@@ -1,0 +1,105 @@
+"""A4 — recency-decay extension of Eq. 4 (our §4.3 generalisation).
+
+Section 4.3 handles stale state with hard interval pruning ("users only
+need to preserve the evaluations within an interval").  The repo implements
+a smooth alternative: each download's Eq. 4 contribution decays
+exponentially with age.  This ablation shows why recency matters:
+
+Scenario: a *turncoat* uploader serves good content for the first half of
+the window, then switches to serving fakes; a *steady* uploader serves good
+content throughout.  At the end of the window we compare the downloader's
+normalised volume trust (DM row) toward both uploaders, with and without
+decay, plus the hard-pruning variant for reference.
+
+Expected shape: without decay the turncoat retains roughly half of the
+trust (old good bytes never fade); with decay (or pruning) trust tracks
+*current* behaviour and the turncoat collapses toward zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (DownloadLedger, EvaluationStore, ReputationConfig,
+                        build_volume_trust_matrix)
+
+from .conftest import DAY, publish_result, run_once
+
+WINDOW_DAYS = 30
+SWITCH_DAY = 15
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+def _build_history():
+    ledger = DownloadLedger()
+    store = EvaluationStore(config=PURE_EXPLICIT)
+    for day in range(WINDOW_DAYS):
+        timestamp = day * DAY
+        # One download from each uploader per day, same size.
+        good_file = f"steady-{day}"
+        ledger.record_download("alice", "steady", good_file, 100.0,
+                               timestamp=timestamp)
+        store.record_vote("alice", good_file, 1.0, timestamp)
+
+        turncoat_file = f"turncoat-{day}"
+        ledger.record_download("alice", "turncoat", turncoat_file, 100.0,
+                               timestamp=timestamp)
+        quality = 1.0 if day < SWITCH_DAY else 0.0  # fakes after the switch
+        store.record_vote("alice", turncoat_file, quality, timestamp)
+    return ledger, store
+
+
+def _run():
+    ledger, store = _build_history()
+    now = WINDOW_DAYS * DAY
+
+    undecayed = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT)
+
+    decayed = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT,
+                                        now=now, half_life=5 * DAY)
+
+    pruned_ledger, pruned_store = _build_history()
+    cutoff = now - 10 * DAY
+    pruned_ledger.prune_older_than(cutoff)
+    pruned = build_volume_trust_matrix(pruned_ledger, pruned_store,
+                                       PURE_EXPLICIT)
+
+    variants = {
+        "no decay (paper Eq. 4)": undecayed,
+        "exp decay, half-life 5d": decayed,
+        "hard pruning, 10d window (Sec 4.3)": pruned,
+    }
+    return {name: (matrix.get("alice", "steady"),
+                   matrix.get("alice", "turncoat"))
+            for name, matrix in variants.items()}
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_decay(benchmark):
+    results = run_once(benchmark, _run)
+
+    rows = [[name, steady, turncoat,
+             turncoat / steady if steady else None]
+            for name, (steady, turncoat) in results.items()]
+    publish_result("ablation_a4_decay", render_table(
+        ["variant", "DM(alice->steady)", "DM(alice->turncoat)",
+         "turncoat share"], rows,
+        title=("A4: volume-trust recency — turncoat uploader "
+               f"(good until day {SWITCH_DAY}, fake after)")))
+
+    no_decay = results["no decay (paper Eq. 4)"]
+    decayed = results["exp decay, half-life 5d"]
+    pruned = results["hard pruning, 10d window (Sec 4.3)"]
+
+    # Undecayed Eq. 4: the turncoat keeps half the steady uploader's
+    # byte-trust (15 good days vs 30) despite serving only fakes lately.
+    assert no_decay[1] / no_decay[0] == pytest.approx(0.5, abs=0.05)
+    # Decay collapses the turncoat's share toward zero.
+    assert decayed[1] / decayed[0] < 0.15
+    # Hard pruning achieves the same end state (everything recent from the
+    # turncoat is fake), but as a step function.
+    assert pruned[1] / pruned[0] < 0.05
+    # All variants keep trusting the steady uploader.
+    for steady, _ in results.values():
+        assert steady > 0.4

@@ -1,0 +1,136 @@
+"""A3 — weight ablations: Eq. 1 (eta/rho) and Eq. 7 (alpha/beta/gamma).
+
+The paper's future work: "we need to do more experiments to improve the
+equations and choose the weight values in our work".  This bench runs those
+experiments:
+
+* **Eq. 1 sweep** — vary the implicit/explicit blend eta (rho = 1 - eta)
+  and measure fake-identification AUC in a noisy-voter world.  Pure
+  implicit loses the precision of votes; pure explicit loses coverage
+  (few voters) — the blend should be robust across the middle.
+* **Eq. 7 sweep** — vary (alpha, beta, gamma) over a simplex grid and
+  measure (a) one-step matrix edge count and (b) honest-vs-polluter
+  reputation separation in a simulated population.  Single-dimension
+  corners are strictly worse on at least one axis than mixed weights.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis import auc, render_table, roc_points, separation
+from repro.baselines import MultiDimensionalMechanism
+from repro.core import ReputationConfig
+from repro.simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+
+from .conftest import DAY, publish_result, run_once
+
+ETA_GRID = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+DIMENSION_GRID = [
+    (1.0, 0.0, 0.0),
+    (0.0, 1.0, 0.0),
+    (0.0, 0.0, 1.0),
+    (0.5, 0.3, 0.2),   # the repo default
+    (0.34, 0.33, 0.33),
+    (0.6, 0.2, 0.2),
+]
+DURATION = 2 * DAY
+
+
+def _simulate(reputation_config: ReputationConfig, seed: int = 61):
+    config = SimulationConfig(
+        scenario=ScenarioSpec(honest=24, polluters=6, free_riders=4,
+                              honest_vote_probability=0.35),
+        duration_seconds=DURATION, num_files=100, request_rate=0.025,
+        seed=seed, use_file_filtering=False)
+    mechanism = MultiDimensionalMechanism(reputation_config)
+    simulation = FileSharingSimulation(config, mechanism)
+    simulation.run()
+    return simulation, mechanism
+
+
+def _fake_auc(simulation, mechanism):
+    observers = sorted(pid for pid, peer in simulation.peers.items()
+                       if peer.label == "honest")[:8]
+    scores = {}
+    for catalog_file in simulation.catalog:
+        values = [mechanism.file_score(observer, catalog_file.file_id)
+                  for observer in observers]
+        known = [value for value in values if value is not None]
+        if known:
+            scores[catalog_file.file_id] = statistics.mean(known)
+    truth = {f.file_id: f.is_fake for f in simulation.catalog
+             if f.file_id in scores}
+    return auc(roc_points(scores, truth))
+
+
+def _honest_polluter_separation(simulation, mechanism):
+    honest = [pid for pid, peer in simulation.peers.items()
+              if peer.label == "honest"]
+    polluters = [pid for pid, peer in simulation.peers.items()
+                 if peer.label == "polluter"]
+    scores = {}
+    for target in honest + polluters:
+        scores[target] = statistics.mean(
+            mechanism.system.user_reputation(observer, target)
+            for observer in honest[:8] if observer != target)
+    return separation(scores, honest, polluters)
+
+
+def _run():
+    eta_rows = []
+    for eta in ETA_GRID:
+        reputation_config = ReputationConfig(
+            eta=eta, rho=1.0 - eta,
+            retention_saturation_seconds=DURATION / 3)
+        simulation, mechanism = _simulate(reputation_config)
+        eta_rows.append([eta, 1.0 - eta, _fake_auc(simulation, mechanism)])
+
+    dimension_rows = []
+    for alpha, beta, gamma in DIMENSION_GRID:
+        reputation_config = ReputationConfig(
+            alpha=alpha, beta=beta, gamma=gamma,
+            retention_saturation_seconds=DURATION / 3)
+        simulation, mechanism = _simulate(reputation_config)
+        edges = mechanism.system.one_step_matrix().entry_count()
+        gap = _honest_polluter_separation(simulation, mechanism)
+        dimension_rows.append([alpha, beta, gamma, edges, gap])
+    return eta_rows, dimension_rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_weights(benchmark):
+    eta_rows, dimension_rows = run_once(benchmark, _run)
+
+    eta_table = render_table(
+        ["eta (implicit)", "rho (explicit)", "fake-id AUC"], eta_rows,
+        title="A3a: Eq. 1 weight sweep")
+    dimension_table = render_table(
+        ["alpha (FM)", "beta (DM)", "gamma (UM)", "TM edges",
+         "honest-polluter separation"], dimension_rows,
+        title="\nA3b: Eq. 7 weight sweep", precision=5)
+    publish_result("ablation_a3_weights", eta_table + "\n" + dimension_table)
+
+    # Eq. 1: every blend must actually rank fakes below reals.
+    for eta, _, fake_auc in eta_rows:
+        assert fake_auc > 0.75, f"eta={eta}"
+    # A mixed blend is at least as good as the worst extreme (robustness).
+    extremes = [row[2] for row in eta_rows if row[0] in (0.0, 1.0)]
+    middles = [row[2] for row in eta_rows if 0.0 < row[0] < 1.0]
+    assert max(middles) >= min(extremes)
+
+    by_weights = {(row[0], row[1], row[2]): (row[3], row[4])
+                  for row in dimension_rows}
+    default_edges, default_gap = by_weights[(0.5, 0.3, 0.2)]
+    # Eq. 7: the mixed default separates honest from polluters...
+    assert default_gap > 0
+    # ...and subsumes the edges of every single-dimension corner.
+    for corner in ((1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)):
+        corner_edges, _ = by_weights[corner]
+        assert default_edges >= corner_edges
+    # The volume-only and user-only corners are much sparser than mixed.
+    assert default_edges > 2 * by_weights[(0.0, 1.0, 0.0)][0]
+    assert default_edges > 2 * by_weights[(0.0, 0.0, 1.0)][0]

@@ -1,0 +1,124 @@
+"""C2 — Section 2 claim: EigenTrust suffers false negatives AND positives.
+
+"Q. Lian et al. [13] also found that it suffers from both false negatives
+and false positives."  Multi-trust (the paper's pairwise RM) avoids both
+because trust stays anchored to each observer's own direct relationships.
+
+Scenario: an honest community with moderate traffic, a set of honest
+*newcomers* with small but flawless service records (false-negative bait),
+and a collusion clique that only trusts itself while baiting honest peers
+(false-positive bait).  We measure:
+
+* false negative rate: newcomers ranked no better than peers with no
+  service record at all;
+* false positive: colluders outranking the median honest peer.
+
+The same population is scored by the paper's multi-trust mechanism for
+contrast (honest observers' mean pairwise view).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import EigenTrustMechanism, MultiDimensionalMechanism
+from repro.core import ReputationConfig
+
+from .conftest import publish_result, run_once
+
+HONEST = [f"honest-{index:02d}" for index in range(12)]
+NEWCOMERS = [f"newcomer-{index:02d}" for index in range(4)]
+IDLE = [f"idle-{index:02d}" for index in range(4)]
+COLLUDERS = [f"colluder-{index:02d}" for index in range(4)]
+
+
+def _drive(mechanism):
+    """Feed the same transaction history into any mechanism."""
+    transaction = 0
+
+    def tx(downloader, uploader, vote):
+        nonlocal transaction
+        file_id = f"f{transaction:05d}"
+        transaction += 1
+        mechanism.record_download(downloader, uploader, file_id, 100.0,
+                                  timestamp=float(transaction))
+        mechanism.record_vote(downloader, file_id, vote,
+                              timestamp=float(transaction) + 0.5)
+
+    # Honest community: ring of positive transactions, several rounds.
+    for round_number in range(6):
+        for index, downloader in enumerate(HONEST):
+            uploader = HONEST[(index + 1 + round_number) % len(HONEST)]
+            if uploader != downloader:
+                tx(downloader, uploader, 0.9)
+    # Newcomers: one flawless upload each.
+    for index, newcomer in enumerate(NEWCOMERS):
+        tx(HONEST[index], newcomer, 0.9)
+    # Idle users appear as downloaders only (no service record at all).
+    for index, idle in enumerate(IDLE):
+        tx(idle, HONEST[index], 0.9)
+    # Colluders: bait one honest transaction each, then fabricate heavy
+    # intra-clique traffic.
+    for index, colluder in enumerate(COLLUDERS):
+        tx(HONEST[index], colluder, 0.9)
+    for round_number in range(10):
+        for index, colluder in enumerate(COLLUDERS):
+            other = COLLUDERS[(index + 1) % len(COLLUDERS)]
+            tx(colluder, other, 1.0)
+    mechanism.refresh()
+    return mechanism
+
+
+def _run():
+    eigentrust = _drive(EigenTrustMechanism(damping=0.1))
+    multitrust = _drive(MultiDimensionalMechanism(
+        ReputationConfig(multitrust_steps=2)))
+
+    eigen_scores = eigentrust.global_scores()
+
+    def honest_view(target):
+        return statistics.mean(
+            multitrust.reputation(observer, target) for observer in HONEST
+            if observer != target)
+
+    return eigen_scores, {user: honest_view(user)
+                          for user in HONEST + NEWCOMERS + IDLE + COLLUDERS}
+
+
+@pytest.mark.benchmark(group="claims")
+def test_claim_eigentrust_errors(benchmark):
+    eigen_scores, mt_scores = run_once(benchmark, _run)
+
+    def mean_of(scores, users):
+        return statistics.mean(scores.get(user, 0.0) for user in users)
+
+    rows = []
+    for label, users in (("honest", HONEST), ("newcomer", NEWCOMERS),
+                         ("idle", IDLE), ("colluder", COLLUDERS)):
+        rows.append([label, mean_of(eigen_scores, users),
+                     mean_of(mt_scores, users)])
+    publish_result("claim_c2_eigentrust", render_table(
+        ["class", "eigentrust (global)", "multi-trust (honest view)"],
+        rows, title="C2: EigenTrust false negatives/positives vs multi-trust",
+        precision=5))
+
+    # False negative: under EigenTrust a newcomer with a flawless record
+    # stays far below established honest peers, barely above peers with no
+    # record at all; multi-trust separates newcomers from no-record peers
+    # much more sharply.
+    eigen_newcomer = mean_of(eigen_scores, NEWCOMERS)
+    eigen_idle = mean_of(eigen_scores, IDLE)
+    eigen_honest = mean_of(eigen_scores, HONEST)
+    assert eigen_newcomer < eigen_honest / 2
+    eigen_ratio = eigen_newcomer / eigen_idle
+    mt_ratio = (mean_of(mt_scores, NEWCOMERS)
+                / max(mean_of(mt_scores, IDLE), 1e-12))
+    assert mt_ratio > 2 * eigen_ratio
+
+    # False positive: the collusion sink outranks honest peers globally...
+    assert mean_of(eigen_scores, COLLUDERS) > mean_of(eigen_scores, HONEST)
+    # ...while honest observers' multi-trust keeps colluders below honest.
+    assert mean_of(mt_scores, COLLUDERS) < mean_of(mt_scores, HONEST)

@@ -1,0 +1,158 @@
+"""F2 — Figure 2: the DHT-based framework, steps 1-6, with message costs.
+
+Figure 2 is the paper's architecture diagram; its companion text (Section 4)
+makes checkable claims this bench regenerates as a table:
+
+* Lookup is the basic operation and routing costs O(log n) hops.
+* A file's evaluation is published *with* its index record, so adding the
+  evaluation layer costs **zero extra lookup messages**, only extra bytes
+  ("the system will not need more lookup messages ... though it will
+  increase the size of the information slightly").
+* All six steps — publish, update, retrieve, user reputation, file
+  reputation, service differentiation — run end to end over the overlay.
+* Forged third-party evaluations are rejected via signatures.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import ReputationConfig
+from repro.dht import (DHTNetwork, EvaluationOverlay, KeyAuthority,
+                       MessageKind, attempt_forged_publication)
+
+from .conftest import publish_result, run_once
+
+NUM_NODES = 64
+NUM_FILES = 200
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+def _run_framework():
+    overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                                config=PURE_EXPLICIT, replication=2,
+                                record_ttl=10 * 3600.0)
+    users = [f"user-{index:03d}" for index in range(NUM_NODES)]
+    for user_id in users:
+        overlay.register_user(user_id)
+
+    # Step 1: publication (each file published with evaluation by 3 owners;
+    # additionally every user holds and evaluates a few popular titles, so
+    # evaluation lists overlap — the substrate Eq. 2 trust needs).
+    publish_hops = []
+    for index in range(NUM_FILES):
+        file_id = f"file-{index:04d}"
+        for owner_offset in range(3):
+            owner = users[(index + owner_offset * 17) % NUM_NODES]
+            evaluation = 0.9 if index % 4 else 0.1
+            publish_hops.append(
+                overlay.publish(owner, file_id, evaluation, now=0.0))
+    for position, user_id in enumerate(users):
+        for popular_index in range(3):
+            file_id = f"file-{popular_index:04d}"
+            evaluation = 0.9 if popular_index % 4 else 0.1
+            publish_hops.append(
+                overlay.publish(user_id, file_id, evaluation, now=0.0))
+    publish_lookups = overlay.tally.count(MessageKind.LOOKUP)
+    publish_count = NUM_FILES * 3 + NUM_NODES * 3
+
+    # Baseline: the same index publications *without* evaluations, in a
+    # parallel overlay, to compare message costs.
+    bare = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                             config=PURE_EXPLICIT, replication=2,
+                             record_ttl=10 * 3600.0)
+    for user_id in users:
+        bare.register_user(user_id)
+    for index in range(NUM_FILES):
+        file_id = f"file-{index:04d}"
+        for owner_offset in range(3):
+            owner = users[(index + owner_offset * 17) % NUM_NODES]
+            bare.publish_index_only(owner, file_id, now=0.0)
+    for user_id in users:
+        for popular_index in range(3):
+            bare.publish_index_only(user_id, f"file-{popular_index:04d}",
+                                    now=0.0)
+
+    # Step 2: update via republication.
+    overlay.republish_all(users[0], now=3600.0)
+
+    # Step 3: retrieval.
+    retrieved = overlay.retrieve(users[5], "file-0004", now=3700.0)
+
+    # Step 4+5: user reputation and file reputation.
+    score, _ = overlay.file_reputation(users[5], "file-0004", now=3700.0)
+
+    # Step 6: service differentiation.
+    level = overlay.service_level(users[5], retrieved.owners[0])
+
+    # Security: forged publication must be rejected.
+    forged_accepted = attempt_forged_publication(
+        overlay, attacker_id=users[1], victim_id=users[2],
+        file_id="file-0004", forged_evaluation=0.0, now=3700.0)
+
+    return {
+        "overlay": overlay,
+        "bare": bare,
+        "publish_hops": publish_hops,
+        "publish_lookups": publish_lookups,
+        "publish_count": publish_count,
+        "retrieved": retrieved,
+        "file_score": score,
+        "service_level": level,
+        "forged_accepted": forged_accepted,
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_dht_framework(benchmark):
+    result = run_once(benchmark, _run_framework)
+    overlay = result["overlay"]
+    bare = result["bare"]
+
+    mean_hops = statistics.mean(result["publish_hops"])
+    publish_lookups = result["publish_lookups"]
+    bare_lookups = bare.tally.count(MessageKind.LOOKUP)
+    eval_bytes = overlay.tally.bytes_sent.get(MessageKind.PUBLISH, 0)
+    bare_bytes = bare.tally.bytes_sent.get(MessageKind.PUBLISH, 0)
+
+    rows = [
+        ["nodes", NUM_NODES],
+        ["publications (index+evaluation)", result["publish_count"]],
+        ["mean publish lookup hops", round(mean_hops, 2)],
+        ["log2(n) reference", round(math.log2(NUM_NODES), 2)],
+        ["publish lookups with evaluations", publish_lookups],
+        ["publish lookups index-only", bare_lookups],
+        ["extra lookups from evaluations", publish_lookups - bare_lookups],
+        ["publish bytes with evaluations", eval_bytes],
+        ["publish bytes index-only", bare_bytes],
+        ["byte overhead ratio", round(eval_bytes / bare_bytes, 2)],
+        ["retrieved owners", len(result["retrieved"].owners)],
+        ["retrieved evaluations", len(result["retrieved"].evaluations)],
+        ["file reputation (step 5)", round(result["file_score"], 3)
+         if result["file_score"] is not None else None],
+        ["bandwidth quota (step 6, B/s)",
+         round(result["service_level"].bandwidth_quota)],
+        ["forged evaluation accepted", result["forged_accepted"]],
+    ]
+    publish_result("fig2", render_table(
+        ["quantity", "value"], rows,
+        title="Figure 2: DHT framework walkthrough (steps 1-6)"))
+
+    # --- Paper-shape assertions -------------------------------------- #
+    # O(log n) routing.
+    assert mean_hops < 2 * math.log2(NUM_NODES)
+    # Evaluations piggyback: identical lookup count to the bare index
+    # overlay for the same publications, strictly more bytes.
+    assert publish_lookups == bare_lookups
+    assert eval_bytes > bare_bytes
+    assert eval_bytes < 5 * bare_bytes  # "increase ... slightly"
+    # The pipeline produced a usable judgement and service level.
+    assert result["retrieved"].evaluations
+    assert result["file_score"] is not None
+    assert result["service_level"].bandwidth_quota > 0
+    # Signatures hold.
+    assert not result["forged_accepted"]

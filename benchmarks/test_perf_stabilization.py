@@ -1,0 +1,68 @@
+"""P2 — Chord stabilisation cost under churn.
+
+The in-process oracle network hides the work real Chord does after churn;
+:class:`~repro.dht.stabilization.StabilizingDHTNetwork` performs it
+explicitly.  This bench measures, for growing ring sizes, how many local
+stabilisation rounds a fresh ring and a churn burst need before every
+pointer matches the ideal ring — and that lookups are correct afterwards.
+
+Expected shape: rounds grow slowly (finger repair is round-robin, so the
+bound is driven by the finger count, not the ring size), and a burst that
+kills 20% of nodes needs no more rounds than full bootstrap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.dht import hash_key, lookup
+from repro.dht.stabilization import StabilizingDHTNetwork
+
+from .conftest import publish_result, run_once
+
+RING_SIZES = [16, 32, 64, 128]
+
+
+def _bootstrap_and_churn(size: int):
+    network = StabilizingDHTNetwork()
+    for index in range(size):
+        network.join(f"node-{index:04d}")
+    bootstrap_rounds = network.stabilize_until_consistent(max_rounds=512)
+
+    rng = random.Random(size)
+    victims = rng.sample([node.user_id for node in network.nodes()],
+                         max(size // 5, 1))
+    for victim in victims:
+        network.fail(victim)
+    churn_rounds = network.stabilize_until_consistent(max_rounds=512)
+
+    # Correctness spot check after repair.
+    for seed in range(20):
+        key = hash_key(f"check-{seed}")
+        assert lookup(network, key).owner is network.owner_of(key)
+    return bootstrap_rounds, churn_rounds
+
+
+def _run():
+    return {size: _bootstrap_and_churn(size) for size in RING_SIZES}
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_stabilization(benchmark):
+    results = run_once(benchmark, _run)
+
+    rows = [[size, bootstrap, churn]
+            for size, (bootstrap, churn) in results.items()]
+    publish_result("perf_stabilization", render_table(
+        ["ring size", "bootstrap rounds", "rounds after 20% failures"],
+        rows, title="P2: Chord stabilisation rounds to consistency"))
+
+    for size, (bootstrap, churn) in results.items():
+        # Convergence must happen well within the round budget.
+        assert bootstrap < 512
+        assert churn < 512
+        # Repairing a 20% burst is never harder than full bootstrap + slack.
+        assert churn <= bootstrap + 16

@@ -1,0 +1,77 @@
+"""Client restart: persist trust state and pick up where you left off.
+
+A real P2P client accumulates months of trust state; losing it on restart
+would reset every relationship to "stranger".  This example builds a
+reputation system, saves it with ``save_system``, "restarts" by loading it
+into a fresh process state, and shows that reputations, judgements and
+service levels survive — then keeps learning on top of the restored state.
+
+Run:  python examples/client_restart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import (MultiDimensionalReputationSystem, ReputationConfig,
+                        explain_reputation, load_system, save_system)
+
+DAY = 24 * 3600.0
+
+
+def build_original() -> MultiDimensionalReputationSystem:
+    system = MultiDimensionalReputationSystem(
+        ReputationConfig(multitrust_steps=1))
+    for file_id, quality in (("album-1", 0.9), ("album-2", 0.85),
+                             ("fake-hit", 0.05)):
+        system.record_retention("me", file_id, 20 * DAY, timestamp=1.0)
+        system.record_vote("me", file_id, quality, timestamp=2.0)
+        system.record_retention("buddy", file_id, 18 * DAY, timestamp=1.0)
+        system.record_vote("buddy", file_id, quality, timestamp=2.0)
+    system.record_download("me", "buddy", "album-1", 60e6, timestamp=3.0)
+    system.add_friend("me", "buddy")
+    system.add_to_blacklist("me", "spammer")
+    system.record_play("me", "album-2", 1.0, timestamp=4.0)
+    return system
+
+
+def main() -> None:
+    original = build_original()
+    print("before shutdown:")
+    print(f"  RM(me -> buddy)    = "
+          f"{original.user_reputation('me', 'buddy'):.4f}")
+    judgement = original.judge_file("me", "fake-hit")
+    print(f"  judge('fake-hit')  = "
+          f"{'accept' if judgement.accept else 'REJECT'} "
+          f"(score {judgement.reputation:.3f})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trust-state.json"
+        save_system(original, path)
+        print(f"\nsaved {path.stat().st_size} bytes of trust state; "
+              f"client restarts ...\n")
+
+        restored = load_system(path)
+
+    print("after restart:")
+    print(f"  RM(me -> buddy)    = "
+          f"{restored.user_reputation('me', 'buddy'):.4f}")
+    judgement = restored.judge_file("me", "fake-hit")
+    print(f"  judge('fake-hit')  = "
+          f"{'accept' if judgement.accept else 'REJECT'} "
+          f"(score {judgement.reputation:.3f})")
+    print(f"  spammer still blacklisted: "
+          f"{restored.user_trust.is_blacklisted('me', 'spammer')}")
+
+    # The restored system keeps learning.
+    restored.record_download("me", "newcomer", "album-3", 40e6,
+                             timestamp=5.0)
+    restored.record_vote("me", "album-3", 0.9, timestamp=6.0)
+    print(f"  new relationship after restart: RM(me -> newcomer) = "
+          f"{restored.user_reputation('me', 'newcomer'):.4f}")
+
+    print()
+    print(explain_reputation(restored, "me", "buddy").render())
+
+
+if __name__ == "__main__":
+    main()

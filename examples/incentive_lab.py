@@ -1,0 +1,79 @@
+"""Incentive lab: what does each behaviour class earn?
+
+The paper's incentive claim (Section 3.4): sharing real files, voting,
+ranking and deleting fakes quickly all raise reputation, which buys queue
+priority and bandwidth; free-riders and polluters end up throttled.
+
+This example simulates a mixed population under the full mechanism and
+prints a per-class report card: service received, credit earned, and how
+honest observers rate each class — the numbers behind benchmark C4.
+
+Run:  python examples/incentive_lab.py
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.baselines import MultiDimensionalMechanism
+from repro.core import IncentiveAction, ReputationConfig
+from repro.simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+
+DAY = 24 * 3600.0
+DURATION = 3 * DAY
+
+
+def main() -> None:
+    config = SimulationConfig(
+        scenario=ScenarioSpec(honest=24, lazy_voters=8, free_riders=8,
+                              polluters=6, honest_vote_probability=0.4),
+        duration_seconds=DURATION, num_files=120, request_rate=0.03,
+        seed=31)
+    mechanism = MultiDimensionalMechanism(
+        ReputationConfig(retention_saturation_seconds=DURATION / 3))
+    simulation = FileSharingSimulation(config, mechanism)
+    metrics = simulation.run()
+
+    honest_ids = [pid for pid, peer in simulation.peers.items()
+                  if peer.label == "honest"]
+
+    def honest_view(target: str) -> float:
+        return statistics.mean(
+            mechanism.system.user_reputation(observer, target)
+            for observer in honest_ids[:10] if observer != target)
+
+    rows = []
+    for label in metrics.class_labels():
+        members = [pid for pid, peer in simulation.peers.items()
+                   if peer.label == label]
+        stats = metrics.stats_for(label)
+        credit = statistics.mean(
+            mechanism.system.credits.credit(pid) for pid in members)
+        uploads = sum(mechanism.system.credits.action_count(
+            pid, IncentiveAction.UPLOAD_REAL_FILE) for pid in members)
+        votes = sum(mechanism.system.credits.action_count(
+            pid, IncentiveAction.VOTE) for pid in members)
+        reputation = statistics.mean(honest_view(pid) for pid in members)
+        rows.append([
+            label, len(members),
+            stats.mean_bandwidth / 1024.0,
+            stats.mean_wait,
+            credit,
+            uploads,
+            votes,
+            reputation * 1000,
+        ])
+
+    print(render_table(
+        ["class", "peers", "bandwidth (KB/s)", "wait (s)", "mean credit",
+         "credited uploads", "votes cast", "honest-view RM (x1000)"],
+        rows, title=("Incentive lab: per-class outcomes after "
+                     "3 simulated days"), precision=1))
+
+    print("\nReading guide: honest sharers and (sharing) lazy voters get "
+          "the fast lane;\nfree-riders earn no upload credit and polluters "
+          "end up blacklisted and throttled.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Pollution defense: fake-file filtering in a simulated P2P network.
+
+Reproduces the paper's motivating scenario ("nearly half of the files of
+some popular titles are fake") at laptop scale: a community of honest
+peers, free-riders and polluters shares a Zipf catalog where 40% of titles
+are fake.  We run the identical workload three times —
+
+* no reputation system (the pre-reputation baseline),
+* EigenTrust (global trust, no file reputation),
+* the paper's multi-dimensional system (Eq. 9 filtering + incentives),
+
+— and compare fake-download rates, blocked fakes and cleanup latency.
+
+Run:  python examples/pollution_defense.py
+"""
+
+from repro.analysis import render_table
+from repro.baselines import (EigenTrustMechanism, MultiDimensionalMechanism,
+                             NullMechanism)
+from repro.core import ReputationConfig
+from repro.simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+
+DAY = 24 * 3600.0
+DURATION = 3 * DAY
+
+
+def build_config() -> SimulationConfig:
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=30, free_riders=5, polluters=8,
+                              honest_vote_probability=0.4),
+        duration_seconds=DURATION,
+        num_files=150,
+        fake_ratio=0.4,
+        request_rate=0.03,
+        seed=2007,
+    )
+
+
+def main() -> None:
+    mechanisms = [
+        ("no reputation", NullMechanism()),
+        ("eigentrust", EigenTrustMechanism(auto_refresh=False)),
+        ("multidimensional", MultiDimensionalMechanism(
+            ReputationConfig(retention_saturation_seconds=DURATION / 3))),
+    ]
+
+    rows = []
+    for name, mechanism in mechanisms:
+        metrics = FileSharingSimulation(build_config(), mechanism).run()
+        blocked = sum(stats.fakes_blocked
+                      for stats in metrics.per_class.values())
+        total = sum(stats.total_downloads
+                    for stats in metrics.per_class.values())
+        real = sum(stats.real_downloads
+                   for stats in metrics.per_class.values())
+        rows.append([
+            name,
+            total,
+            real,
+            metrics.overall_fake_fraction,
+            blocked,
+            metrics.mean_fake_removal_latency / 3600.0,
+        ])
+
+    print(render_table(
+        ["mechanism", "downloads", "real downloads", "fake fraction",
+         "fakes blocked", "cleanup latency (h)"],
+        rows, title="Pollution defense: 3 simulated days, 40% fake titles"))
+
+    null_fake = rows[0][3]
+    md_fake = rows[2][3]
+    print(f"\nThe multi-dimensional system cut the fake-download rate "
+          f"from {null_fake:.1%} to {md_fake:.1%} "
+          f"({rows[2][4]} fakes blocked before download).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Tune the paper's weight values — its own future work, executed.
+
+Section 5: "we need to do more experiments to improve the equations and
+choose the weight values".  This example builds a behavioural history once
+(honest cluster + polluters, downloads, votes, retention), then uses
+``repro.core.tuning`` to sweep
+
+* the Eq. 1 implicit/explicit blend (eta), scored by fake-ranking AUC, and
+* the Eq. 7 dimension weights (alpha, beta, gamma), scored by how well the
+  induced reputation separates honest users from polluters,
+
+and prints the winning configurations.
+
+Run:  python examples/tune_weights.py
+"""
+
+import random
+import statistics
+
+from repro.analysis import render_table
+from repro.core import (DownloadLedger, EvaluationStore, ReputationConfig,
+                        UserTrustStore, build_one_step_matrix,
+                        compute_reputation_matrix, fake_ranking_objective,
+                        file_reputation, separation_objective,
+                        sweep_dimension_weights, sweep_eta)
+
+DAY = 24 * 3600.0
+HONEST = [f"h{index:02d}" for index in range(12)]
+POLLUTERS = [f"p{index:02d}" for index in range(4)]
+FILES = {f"file-{index:02d}": (index % 4 != 0) for index in range(40)}
+# value True = real, False = fake.
+
+
+def build_history(config: ReputationConfig):
+    """One fixed behavioural history, re-interpreted under ``config``."""
+    rng = random.Random(99)
+    evaluations = EvaluationStore(config=config)
+    ledger = DownloadLedger()
+    user_trust = UserTrustStore()
+    for file_id, is_real in FILES.items():
+        quality = 0.9 if is_real else 0.1
+        for user in HONEST:
+            if rng.random() < 0.6:
+                retention = (20 * DAY if is_real else 0.5 * DAY)
+                evaluations.record_retention(user, file_id, retention)
+                if rng.random() < 0.4:
+                    evaluations.record_vote(
+                        user, file_id,
+                        min(max(quality + rng.gauss(0, 0.1), 0.0), 1.0))
+        for user in POLLUTERS:
+            if rng.random() < 0.6:
+                evaluations.record_retention(user, file_id, 20 * DAY)
+                evaluations.record_vote(user, file_id, 1.0 - quality)
+    for index, user in enumerate(HONEST):
+        uploader = HONEST[(index + 1) % len(HONEST)]
+        file_id = f"file-{(index * 3) % 40:02d}"
+        ledger.record_download(user, uploader, file_id, 50e6)
+        if rng.random() < 0.3:
+            user_trust.rate(user, uploader, 0.9)
+    return evaluations, ledger, user_trust
+
+
+def reputation_for(config: ReputationConfig):
+    evaluations, ledger, user_trust = build_history(config)
+    one_step = build_one_step_matrix(evaluations, ledger, user_trust, config)
+    return compute_reputation_matrix(one_step, config=config), evaluations
+
+
+def main() -> None:
+    # --- Eq. 1 sweep: eta scored by fake-ranking AUC ------------------- #
+    def score_files(config):
+        reputation, evaluations = reputation_for(config)
+        scores = {}
+        for file_id in FILES:
+            per_observer = []
+            for observer in HONEST[:6]:
+                value = file_reputation(reputation, observer,
+                                        evaluations.file_evaluations(file_id))
+                if value is not None:
+                    per_observer.append(value)
+            if per_observer:
+                scores[file_id] = statistics.mean(per_observer)
+        return scores
+
+    ground_truth = {file_id: not is_real for file_id, is_real in FILES.items()}
+    eta_result = sweep_eta(fake_ranking_objective(score_files, ground_truth),
+                           steps=5)
+    print(render_table(
+        ["eta", "rho", "fake-ranking AUC"],
+        [[p.config.eta, p.config.rho, p.score] for p in eta_result.points],
+        title="Eq. 1 sweep (choose eta)"))
+    print(f"best eta = {eta_result.best_config.eta:.2f} "
+          f"(AUC {eta_result.best_score:.3f})\n")
+
+    # --- Eq. 7 sweep: weights scored by honest/polluter separation ----- #
+    objective = separation_objective(
+        lambda config: reputation_for(config)[0],
+        observers=HONEST[:6], good=HONEST, bad=POLLUTERS)
+    weight_result = sweep_dimension_weights(objective, resolution=4)
+    top = sorted(weight_result.points, key=lambda p: -p.score)[:5]
+    print(render_table(
+        ["alpha (FM)", "beta (DM)", "gamma (UM)", "separation"],
+        [[p.config.alpha, p.config.beta, p.config.gamma, p.score]
+         for p in top],
+        title="Eq. 7 sweep (top 5 of the simplex grid)", precision=4))
+    best = weight_result.best_config
+    print(f"best weights: alpha={best.alpha:.2f} beta={best.beta:.2f} "
+          f"gamma={best.gamma:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: reproduction of "A Multi-dimensional Reputation System Combined
+with Trust and Incentive Mechanisms in P2P File Sharing Systems"
+(Yang, Feng, Dai, Zhang — ICDCS 2007).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: multi-dimensional direct trust (file /
+    download-volume / user), multi-trust reputation (RM = TM^n), Eq. 9
+    file-reputation fake detection, and the trust-based incentive mechanism.
+``repro.traces``
+    Maze-like synthetic download traces and the Figure 1 coverage replay.
+``repro.simulator``
+    Discrete-event P2P file-sharing simulator with behaviour-typed peers
+    (honest, free-rider, polluter, colluder, forger, whitewasher).
+``repro.dht``
+    Chord-style DHT substrate implementing the Section 4 deployment:
+    evaluation publication, retrieval, signatures and proactive examination.
+``repro.baselines``
+    Tit-for-Tat, EigenTrust, Lian et al.'s hybrid multi-trust, LIP and
+    Credence baselines behind a common interface.
+``repro.analysis``
+    Coverage, classification and ranking analysis plus report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "traces", "simulator", "dht", "baselines", "analysis",
+           "__version__"]

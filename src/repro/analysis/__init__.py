@@ -1,0 +1,40 @@
+"""Analysis: coverage, classification, ranking and report rendering."""
+
+from .classification import ConfusionMatrix, auc, roc_points, score_judgements
+from .convergence import (ordering_convergence, reach_by_step,
+                          steps_to_converge)
+from .coverage import (DimensionDensities, dimension_densities,
+                       matrix_edge_coverage, tit_for_tat_coverage)
+from .ranking import (jain_fairness, kendall_tau, rank_of, separation,
+                      top_k_overlap)
+from .reporting import (format_value, render_ascii_chart,
+                        render_series, render_table)
+from .statistics import (ReplicateSummary, bootstrap_mean_ci, replicate,
+                         summarize_replicates)
+
+__all__ = [
+    "ConfusionMatrix",
+    "auc",
+    "roc_points",
+    "score_judgements",
+    "ordering_convergence",
+    "reach_by_step",
+    "steps_to_converge",
+    "DimensionDensities",
+    "dimension_densities",
+    "matrix_edge_coverage",
+    "tit_for_tat_coverage",
+    "jain_fairness",
+    "kendall_tau",
+    "rank_of",
+    "separation",
+    "top_k_overlap",
+    "format_value",
+    "render_ascii_chart",
+    "render_series",
+    "render_table",
+    "ReplicateSummary",
+    "bootstrap_mean_ci",
+    "replicate",
+    "summarize_replicates",
+]

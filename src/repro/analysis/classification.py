@@ -1,0 +1,116 @@
+"""Binary-classification scoring for fake-file detection.
+
+Benchmarks score a mechanism's file judgements against the catalog's ground
+truth.  Convention: the *positive* class is "fake" (the thing we detect), so
+precision = flagged files that were actually fake, recall = fakes caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConfusionMatrix", "score_judgements", "roc_points", "auc"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts for fake-detection (positive class = fake)."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.true_positives + self.false_positives
+                + self.true_negatives + self.false_negatives)
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        fakes = self.true_positives + self.false_negatives
+        return self.true_positives / fakes if fakes else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        reals = self.false_positives + self.true_negatives
+        return self.false_positives / reals if reals else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return ((self.true_positives + self.true_negatives) / self.total
+                if self.total else 0.0)
+
+    @property
+    def f1(self) -> float:
+        denominator = self.precision + self.recall
+        if denominator == 0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / denominator
+
+
+def score_judgements(flagged_fake: Dict[str, bool],
+                     ground_truth: Dict[str, bool]) -> ConfusionMatrix:
+    """Score per-file fake flags against ground truth.
+
+    ``flagged_fake[file] = True`` means the mechanism called the file fake;
+    ``ground_truth[file] = True`` means it really is.  Files missing from
+    ``flagged_fake`` are treated as "called real" (the optimistic default).
+    """
+    tp = fp = tn = fn = 0
+    for file_id, is_fake in ground_truth.items():
+        called_fake = flagged_fake.get(file_id, False)
+        if is_fake and called_fake:
+            tp += 1
+        elif is_fake and not called_fake:
+            fn += 1
+        elif not is_fake and called_fake:
+            fp += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(true_positives=tp, false_positives=fp,
+                           true_negatives=tn, false_negatives=fn)
+
+
+def roc_points(scores: Dict[str, float],
+               ground_truth: Dict[str, bool]) -> List[Tuple[float, float]]:
+    """(FPR, TPR) pairs sweeping the decision threshold over all scores.
+
+    ``scores`` maps file -> mechanism score where *lower* means *more
+    likely fake* (a file is flagged when its score falls below the
+    threshold).  Files without a score are skipped.
+    """
+    scored = [(scores[f], ground_truth[f]) for f in scores
+              if f in ground_truth]
+    if not scored:
+        return []
+    thresholds = sorted({score for score, _ in scored})
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    positives = sum(1 for _, is_fake in scored if is_fake)
+    negatives = len(scored) - positives
+    for threshold in thresholds:
+        tp = sum(1 for score, is_fake in scored
+                 if is_fake and score <= threshold)
+        fp = sum(1 for score, is_fake in scored
+                 if not is_fake and score <= threshold)
+        tpr = tp / positives if positives else 0.0
+        fpr = fp / negatives if negatives else 0.0
+        points.append((fpr, tpr))
+    points.append((1.0, 1.0))
+    return sorted(set(points))
+
+
+def auc(points: Sequence[Tuple[float, float]]) -> float:
+    """Trapezoidal area under a sorted (FPR, TPR) curve."""
+    if len(points) < 2:
+        return 0.0
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return area

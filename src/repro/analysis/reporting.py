@@ -1,0 +1,138 @@
+"""Fixed-width table and ASCII-series rendering for benchmark output.
+
+Every benchmark prints the rows/series the paper reports through these
+helpers, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+evaluation as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "render_series", "render_ascii_chart",
+           "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Human-friendly cell formatting (floats rounded, None as '-')."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render a fixed-width text table."""
+    formatted = [[format_value(cell, precision) for cell in row]
+                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in formatted)
+    return "\n".join(parts)
+
+
+def render_series(series: Dict[str, Sequence[float]],
+                  x_labels: Optional[Sequence[Cell]] = None,
+                  title: Optional[str] = None,
+                  x_header: str = "x", precision: int = 3) -> str:
+    """Render several named series against a shared x axis as a table.
+
+    ``series`` maps series name -> y values; all series must share a
+    length, which must match ``x_labels`` when given.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series have differing lengths: {sorted(lengths)}")
+    (length,) = lengths
+    if x_labels is None:
+        x_labels = list(range(length))
+    if len(x_labels) != length:
+        raise ValueError("x_labels length does not match the series")
+
+    headers = [x_header] + list(series)
+    rows = [[x_labels[index]] + [series[name][index] for name in series]
+            for index in range(length)]
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+_CHART_MARKS = "ox*+#@%&"
+
+
+def render_ascii_chart(series: Dict[str, Sequence[float]],
+                       height: int = 12,
+                       y_min: Optional[float] = None,
+                       y_max: Optional[float] = None,
+                       title: Optional[str] = None) -> str:
+    """Render named series as a terminal line chart (one column per point).
+
+    Each series gets a mark character; overlapping points show the later
+    series' mark.  The y axis is labelled at top/bottom; the legend maps
+    marks to names.  Useful for eyeballing the Figure 1 curves in a
+    terminal-only environment.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series have differing lengths: {sorted(lengths)}")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series must be non-empty")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    if len(series) > len(_CHART_MARKS):
+        raise ValueError(f"at most {len(_CHART_MARKS)} series supported")
+
+    all_values = [v for values in series.values() for v in values]
+    low = y_min if y_min is not None else min(all_values)
+    high = y_max if y_max is not None else max(all_values)
+    if high <= low:
+        high = low + 1.0
+
+    grid = [[" "] * length for _ in range(height)]
+    marks = {}
+    for mark, (name, values) in zip(_CHART_MARKS, series.items()):
+        marks[name] = mark
+        for column, value in enumerate(values):
+            clamped = min(max(value, low), high)
+            row = round((clamped - low) / (high - low) * (height - 1))
+            grid[height - 1 - row][column] = mark
+
+    label_width = max(len(f"{high:.2f}"), len(f"{low:.2f}"))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{high:.2f}".rjust(label_width)
+        elif index == height - 1:
+            label = f"{low:.2f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    legend = "  ".join(f"{mark}={name}" for name, mark in marks.items())
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

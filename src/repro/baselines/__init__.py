@@ -1,0 +1,38 @@
+"""Reputation-mechanism baselines behind a common interface.
+
+``ALL_MECHANISMS`` maps mechanism name -> zero-argument factory, so
+benchmarks can sweep every mechanism uniformly.
+"""
+
+from typing import Callable, Dict
+
+from .base import ReputationMechanism
+from .credence import CredenceMechanism
+from .eigentrust import EigenTrustMechanism
+from .lip import LIPMechanism
+from .multidimensional import MultiDimensionalMechanism
+from .multitrust_lian import LianMultiTrustMechanism
+from .null import NullMechanism
+from .tit_for_tat import TitForTatMechanism
+
+ALL_MECHANISMS: Dict[str, Callable[[], ReputationMechanism]] = {
+    "null": NullMechanism,
+    "tit-for-tat": TitForTatMechanism,
+    "eigentrust": EigenTrustMechanism,
+    "multitrust-lian": LianMultiTrustMechanism,
+    "lip": LIPMechanism,
+    "credence": CredenceMechanism,
+    "multidimensional": MultiDimensionalMechanism,
+}
+
+__all__ = [
+    "ReputationMechanism",
+    "CredenceMechanism",
+    "EigenTrustMechanism",
+    "LIPMechanism",
+    "MultiDimensionalMechanism",
+    "LianMultiTrustMechanism",
+    "NullMechanism",
+    "TitForTatMechanism",
+    "ALL_MECHANISMS",
+]

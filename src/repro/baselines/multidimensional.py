@@ -1,0 +1,84 @@
+"""Adapter: the paper's system behind the common mechanism interface.
+
+Wraps :class:`repro.core.MultiDimensionalReputationSystem` so the simulator
+and benchmarks can drive it interchangeably with the baselines.  All signals
+map one-to-one onto the façade; ``file_score`` is Eq. 9's file reputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import DEFAULT_CONFIG, ReputationConfig
+from ..core.reputation_system import MultiDimensionalReputationSystem
+from .base import ReputationMechanism
+
+__all__ = ["MultiDimensionalMechanism"]
+
+
+class MultiDimensionalMechanism(ReputationMechanism):
+    """The paper's multi-dimensional reputation system as a mechanism."""
+
+    name = "multidimensional"
+
+    def __init__(self, config: ReputationConfig = DEFAULT_CONFIG,
+                 auto_refresh: bool = False):
+        # Simulation-friendly default: matrices are rebuilt at refresh()
+        # (the simulator's maintenance tick), not on every ingested event.
+        self.system = MultiDimensionalReputationSystem(
+            config, auto_refresh=auto_refresh)
+
+    # ------------------------------------------------------------------ #
+    # Signals                                                            #
+    # ------------------------------------------------------------------ #
+
+    def record_download(self, downloader: str, uploader: str, file_id: str,
+                        size_bytes: float, timestamp: float = 0.0) -> None:
+        self.system.record_download(downloader, uploader, file_id,
+                                    size_bytes, timestamp)
+
+    def record_vote(self, voter: str, file_id: str, vote: float,
+                    timestamp: float = 0.0) -> None:
+        self.system.record_vote(voter, file_id, vote, timestamp)
+
+    def record_retention(self, user: str, file_id: str,
+                         retention_seconds: float,
+                         timestamp: float = 0.0) -> None:
+        self.system.record_retention(user, file_id, retention_seconds,
+                                     timestamp)
+
+    def record_rank(self, rater: str, ratee: str, rating: float) -> None:
+        self.system.record_rank(rater, ratee, rating)
+
+    def record_blacklist(self, user: str, target: str) -> None:
+        self.system.add_to_blacklist(user, target)
+
+    def record_deletion(self, user: str, file_id: str,
+                        timestamp: float = 0.0) -> None:
+        self.system.record_fake_deletion(user, file_id, timestamp)
+
+    def record_upload_outcome(self, uploader: str, positive: bool,
+                              timestamp: float = 0.0) -> None:
+        if positive:
+            self.system.record_real_upload(uploader)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def refresh(self) -> None:
+        self.system.recompute()
+        self.system.reputation_matrix()
+
+    def reputation(self, observer: str, target: str) -> float:
+        return self.system.effective_reputation(observer, target)
+
+    def is_distrusted(self, observer: str, target: str) -> bool:
+        return self.system.user_trust.is_blacklisted(observer, target)
+
+    def file_score(self, observer: str, file_id: str) -> Optional[float]:
+        judgement = self.system.judge_file(observer, file_id)
+        return judgement.reputation
+
+    def global_scores(self) -> Dict[str, float]:
+        return self.system.global_reputation()

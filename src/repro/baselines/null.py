@@ -1,0 +1,25 @@
+"""Null mechanism: no reputation at all.
+
+The control arm for every comparison: all peers are equally trusted, no file
+is ever flagged fake.  Matches a pre-reputation P2P system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ReputationMechanism
+
+__all__ = ["NullMechanism"]
+
+
+class NullMechanism(ReputationMechanism):
+    """Trusts everyone equally and knows nothing about files."""
+
+    name = "null"
+
+    def reputation(self, observer: str, target: str) -> float:
+        return 0.0
+
+    def file_score(self, observer: str, file_id: str) -> Optional[float]:
+        return None

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows a downstream user actually runs:
+
+* ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
+* ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
+* ``coverage``    — regenerate the Figure 1 sweep for chosen k values;
+* ``simulate``    — run the file-sharing simulator under any mechanism and
+  print the per-class outcome table.
+
+All commands are seeded and print fixed-width tables to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import render_table
+from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
+from .core import ReputationConfig
+from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
+                        SimulationConfig, get_scenario)
+from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
+                     compute_statistics, read_csv, read_jsonl, write_csv,
+                     write_jsonl)
+
+__all__ = ["main", "build_parser"]
+
+_DAY = 24 * 3600.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-dimensional P2P reputation system (ICDCS 2007 "
+                    "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("gen-trace",
+                              help="generate a synthetic Maze-like trace")
+    gen.add_argument("output", help="output path (.jsonl or .csv)")
+    gen.add_argument("--users", type=int, default=500)
+    gen.add_argument("--files", type=int, default=600)
+    gen.add_argument("--actions", type=int, default=5000)
+    gen.add_argument("--days", type=float, default=30.0)
+    gen.add_argument("--library", type=int, default=20,
+                     help="pre-existing files per user")
+    gen.add_argument("--fake-ratio", type=float, default=0.2)
+    gen.add_argument("--seed", type=int, default=7)
+
+    stats = commands.add_parser("trace-stats",
+                                help="summarise a trace file")
+    stats.add_argument("trace", help="trace path (.jsonl or .csv)")
+
+    coverage = commands.add_parser(
+        "coverage", help="Figure 1: request coverage vs evaluation coverage")
+    coverage.add_argument("--users", type=int, default=500)
+    coverage.add_argument("--files", type=int, default=600)
+    coverage.add_argument("--actions", type=int, default=5000)
+    coverage.add_argument("--days", type=float, default=30.0)
+    coverage.add_argument("--library", type=int, default=20)
+    coverage.add_argument("--seed", type=int, default=7)
+    coverage.add_argument("--k", type=float, nargs="+",
+                          default=[0.05, 0.2, 1.0],
+                          help="evaluation-coverage levels (fractions)")
+
+    simulate = commands.add_parser(
+        "simulate", help="run the file-sharing simulator")
+    simulate.add_argument("--mechanism", choices=sorted(ALL_MECHANISMS),
+                          default="multidimensional")
+    simulate.add_argument("--scenario", choices=sorted(SCENARIOS),
+                          default=None,
+                          help="use a named preset scenario (overrides the "
+                               "population/catalog flags)")
+    simulate.add_argument("--honest", type=int, default=30)
+    simulate.add_argument("--free-riders", type=int, default=5)
+    simulate.add_argument("--polluters", type=int, default=5)
+    simulate.add_argument("--colluders", type=int, default=0)
+    simulate.add_argument("--catalog", type=int, default=120,
+                          help="number of files")
+    simulate.add_argument("--fake-ratio", type=float, default=0.25)
+    simulate.add_argument("--days", type=float, default=2.0)
+    simulate.add_argument("--request-rate", type=float, default=0.02)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--no-filtering", action="store_true",
+                          help="disable Eq. 9 pre-download filtering")
+    simulate.add_argument("--no-differentiation", action="store_true",
+                          help="disable Section 3.4 service differentiation")
+    return parser
+
+
+def _read_trace(path: str):
+    if path.endswith(".csv"):
+        return read_csv(path)
+    return read_jsonl(path)
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    parameters = TraceParameters(
+        num_users=args.users, num_files=args.files,
+        num_actions=args.actions, trace_days=args.days,
+        library_size=args.library, fake_ratio=args.fake_ratio,
+        seed=args.seed)
+    generated = MazeTraceGenerator(parameters).generate()
+    if args.output.endswith(".csv"):
+        write_csv(generated.trace, args.output)
+    else:
+        write_jsonl(generated.trace, args.output)
+    print(f"wrote {len(generated.trace)} download records to {args.output}")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    trace = _read_trace(args.trace)
+    if not len(trace):
+        print("trace is empty", file=sys.stderr)
+        return 1
+    statistics = compute_statistics(trace)
+    rows = [
+        ["records", statistics.num_records],
+        ["users", statistics.num_users],
+        ["files", statistics.num_files],
+        ["duration (days)", round(statistics.duration_days, 1)],
+        ["popularity Zipf exponent",
+         round(statistics.popularity_zipf_exponent, 3)],
+        ["downloader activity Gini",
+         round(statistics.downloader_activity_gini, 3)],
+        ["uploader activity Gini",
+         round(statistics.uploader_activity_gini, 3)],
+        ["fake download fraction",
+         round(statistics.fake_download_fraction, 3)],
+        ["median file distinct days", statistics.median_file_distinct_days],
+    ]
+    print(render_table(["statistic", "value"], rows,
+                       title=f"Trace statistics: {args.trace}"))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    for k in args.k:
+        if not 0.0 <= k <= 1.0:
+            print(f"coverage level {k} outside [0, 1]", file=sys.stderr)
+            return 1
+    parameters = TraceParameters(
+        num_users=args.users, num_files=args.files,
+        num_actions=args.actions, trace_days=args.days,
+        library_size=args.library, seed=args.seed)
+    generated = MazeTraceGenerator(parameters).generate()
+    rows = []
+    for k in args.k:
+        series = CoverageReplayer(generated, k, seed=args.seed + 1).run()
+        rows.append([f"{k:.0%}", series.overall, series.steady_state()])
+    print(render_table(
+        ["evaluation coverage", "request coverage", "steady-state"], rows,
+        title=(f"Figure 1 sweep: {len(generated.trace)} downloads, "
+               f"{args.users} users, {args.days:.0f} days")))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        preset = get_scenario(args.scenario, seed=args.seed)
+        config = SimulationConfig(
+            scenario=preset.scenario,
+            duration_seconds=preset.duration_seconds,
+            num_files=preset.num_files,
+            fake_ratio=preset.fake_ratio,
+            request_rate=preset.request_rate,
+            seed=preset.seed,
+            churn=preset.churn,
+            use_file_filtering=not args.no_filtering,
+            use_service_differentiation=not args.no_differentiation,
+        )
+        duration = preset.duration_seconds
+    else:
+        duration = args.days * _DAY
+        config = SimulationConfig(
+            scenario=ScenarioSpec(honest=args.honest,
+                                  free_riders=args.free_riders,
+                                  polluters=args.polluters,
+                                  colluders=args.colluders),
+            duration_seconds=duration,
+            num_files=args.catalog,
+            fake_ratio=args.fake_ratio,
+            request_rate=args.request_rate,
+            seed=args.seed,
+            use_file_filtering=not args.no_filtering,
+            use_service_differentiation=not args.no_differentiation,
+        )
+    if args.mechanism == "multidimensional":
+        mechanism = MultiDimensionalMechanism(ReputationConfig(
+            retention_saturation_seconds=duration / 3))
+    else:
+        mechanism = ALL_MECHANISMS[args.mechanism]()
+    metrics = FileSharingSimulation(config, mechanism).run()
+
+    rows = []
+    for label in metrics.class_labels():
+        stats = metrics.stats_for(label)
+        rows.append([label, stats.total_downloads,
+                     stats.fake_fraction, stats.fakes_blocked,
+                     stats.mean_wait, stats.mean_bandwidth / 1024.0])
+    scenario_note = (f"scenario={args.scenario}, "
+                     if args.scenario is not None else "")
+    print(render_table(
+        ["class", "downloads", "fake fraction", "fakes blocked",
+         "mean wait (s)", "bandwidth (KB/s)"], rows,
+        title=(f"Simulation: {scenario_note}mechanism={args.mechanism}, "
+               f"{duration / _DAY:.1f} days, seed={args.seed}")))
+    print(f"\noverall fake fraction: {metrics.overall_fake_fraction:.3f}")
+    print(f"requests: {metrics.total_requests}, blind judgements: "
+          f"{metrics.blind_judgements}")
+    return 0
+
+
+_COMMANDS = {
+    "gen-trace": _cmd_gen_trace,
+    "trace-stats": _cmd_trace_stats,
+    "coverage": _cmd_coverage,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

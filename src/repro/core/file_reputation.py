@@ -1,0 +1,85 @@
+"""File reputation and fake-file identification (Section 3.3, Eq. 9).
+
+Before downloading, a user gathers other users' evaluations of the file and
+weighs each by his *own* reputation view of the evaluator::
+
+    R_f = sum_{j in U} RM_ij * E_jf / sum_{j in U} RM_ij     (Eq. 9)
+
+Because only users who both perform well *and* give honest feedback earn
+reputation, the same RM doubles as feedback trustworthiness — no separate
+credibility score is needed.  The user then compares ``R_f`` against a
+self-chosen threshold to decide whether the file is fake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import EvaluationStore
+from .matrix import TrustMatrix
+
+__all__ = ["file_reputation", "FileJudgement", "judge_file"]
+
+
+def file_reputation(reputation: TrustMatrix, observer: str,
+                    evaluations: Mapping[str, float]) -> Optional[float]:
+    """Eq. 9: reputation-weighted average evaluation of a file.
+
+    ``evaluations`` maps evaluator id -> that user's Eq. 1 evaluation of the
+    file.  Returns ``None`` when the observer has no reputation path to any
+    evaluator (the denominator would be zero) — the caller must fall back to
+    another policy (e.g. optimistic download or unweighted average).
+    """
+    numerator = 0.0
+    denominator = 0.0
+    for evaluator, evaluation in evaluations.items():
+        if evaluator == observer:
+            continue
+        weight = reputation.get(observer, evaluator)
+        if weight > 0.0:
+            numerator += weight * evaluation
+            denominator += weight
+    if denominator == 0.0:
+        return None
+    return numerator / denominator
+
+
+@dataclass(frozen=True)
+class FileJudgement:
+    """Outcome of an observer judging one file before download."""
+
+    file_id: str
+    reputation: Optional[float]
+    threshold: float
+    #: True = proceed with download, False = reject as fake.
+    accept: bool
+    #: True when no reputation-weighted evidence was available and the
+    #: decision fell back to the default policy.
+    blind: bool
+
+
+def judge_file(reputation: TrustMatrix, store: EvaluationStore,
+               observer: str, file_id: str,
+               threshold: Optional[float] = None,
+               config: ReputationConfig = DEFAULT_CONFIG,
+               accept_when_blind: bool = True) -> FileJudgement:
+    """Decide whether ``observer`` should download ``file_id``.
+
+    ``threshold`` defaults to the configured system-wide value; the paper
+    lets each user set his own, so callers may pass a per-user value.  With
+    no usable evidence the decision follows ``accept_when_blind`` (an
+    optimistic default matching pre-reputation systems).
+    """
+    effective_threshold = (threshold if threshold is not None
+                           else config.fake_file_threshold)
+    evaluations = store.file_evaluations(file_id)
+    score = file_reputation(reputation, observer, evaluations)
+    if score is None:
+        return FileJudgement(file_id=file_id, reputation=None,
+                             threshold=effective_threshold,
+                             accept=accept_when_blind, blind=True)
+    return FileJudgement(file_id=file_id, reputation=score,
+                         threshold=effective_threshold,
+                         accept=score >= effective_threshold, blind=False)

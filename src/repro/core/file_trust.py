@@ -1,0 +1,87 @@
+"""File-based direct trust (Section 3.1.1, Eqs. 2-3).
+
+Two users who evaluate the same files similarly are inferred to trust each
+other::
+
+    FT_ij = 1 - (1/m) * sum_{k in F} |E_ik - E_jk|      (Eq. 2)
+    FM_ij = FT_ij / sum_{k in U_all} FT_ik              (Eq. 3)
+
+where ``F`` is the intersection of files both evaluated (``m = |F|``).  When
+the intersection is empty there is *no* file-based edge — this is exactly the
+sparsity the multi-dimensional design fights.
+
+This module also exposes the pairwise trust function on its own so the
+Figure 1 replay can test edge existence without materialising a full matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .distances import get_similarity
+from .evaluation import EvaluationStore
+from .matrix import TrustMatrix
+
+__all__ = ["file_trust", "build_file_trust_matrix"]
+
+
+def file_trust(store: EvaluationStore, user_a: str, user_b: str,
+               config: ReputationConfig = DEFAULT_CONFIG) -> Optional[float]:
+    """Eq. 2: ``FT_ab``, or ``None`` when the users share no evaluated files.
+
+    ``None`` (no relationship) is distinct from ``0.0`` (maximally opposed
+    opinions); Eq. 3's normalisation treats both as a zero matrix entry, but
+    the coverage analysis of Figure 1 counts only the former as "uncovered".
+    """
+    shared = store.shared_files(user_a, user_b)
+    if len(shared) < config.min_overlap:
+        return None
+    similarity = get_similarity(config.distance_metric)
+    vector_a = [store.value(user_a, file_id) for file_id in shared]
+    vector_b = [store.value(user_b, file_id) for file_id in shared]
+    return similarity(vector_a, vector_b)  # type: ignore[arg-type]
+
+
+def build_file_trust_matrix(store: EvaluationStore,
+                            config: ReputationConfig = DEFAULT_CONFIG,
+                            users: Optional[Iterable[str]] = None
+                            ) -> TrustMatrix:
+    """Eqs. 2-3: the row-normalised file-based one-step matrix ``FM``.
+
+    Rather than comparing all user pairs (quadratic in the population), we
+    invert through the file index — only pairs that co-evaluated a file can
+    have an edge — and exploit that every Eq. 2 metric decomposes into a
+    per-file term plus a finaliser (see ``PAIRWISE_ACCUMULATORS``), so each
+    co-evaluation costs O(1) instead of re-intersecting vectors.
+    """
+    from .distances import PAIRWISE_ACCUMULATORS
+
+    universe = set(users) if users is not None else store.users()
+    term, finalize = PAIRWISE_ACCUMULATORS[config.distance_metric]
+
+    totals: Dict[tuple, float] = {}
+    counts: Dict[tuple, int] = {}
+    for file_id in store.files():
+        evaluators = sorted(u for u in store.users_evaluating(file_id)
+                            if u in universe)
+        if len(evaluators) < 2:
+            continue
+        values = {u: store.value(u, file_id) for u in evaluators}
+        for index, a in enumerate(evaluators):
+            value_a = values[a]
+            for b in evaluators[index + 1:]:
+                pair = (a, b)
+                totals[pair] = totals.get(pair, 0.0) + term(value_a, values[b])
+                counts[pair] = counts.get(pair, 0) + 1
+
+    raw = TrustMatrix()
+    for pair, count in counts.items():
+        if count < config.min_overlap:
+            continue
+        trust = finalize(totals[pair], count)
+        if trust > 0.0:
+            a, b = pair
+            raw.set(a, b, trust)
+            raw.set(b, a, trust)
+    return raw.row_normalized()

@@ -1,0 +1,151 @@
+"""Trust-based incentive mechanism (Section 3.4): service differentiation.
+
+The reputation system rewards high-reputation users and throttles
+low-reputation ones:
+
+* **Queue offset** — "These users add to their request time a negative
+  offset whose magnitude grows with their reputation": a requester's
+  effective arrival time is ``arrival - offset(reputation)``, moving them
+  forward in the upload queue.
+* **Bandwidth quota** — "a bandwidth quota is applied to downloads of users
+  with lower reputations": allocated bandwidth interpolates between the
+  configured floor and ceiling with reputation.
+
+Unlike pure trust systems, *every* pro-social act raises reputation here:
+uploading real files, voting on files, ranking other users honestly and
+deleting fake files quickly.  :class:`ActionCreditTracker` accounts those
+credits; the simulator folds them into the user-trust dimension, closing the
+incentive loop (more participation -> denser one-step matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence, Tuple
+
+from .config import DEFAULT_CONFIG, ReputationConfig
+
+__all__ = ["ServiceDifferentiator", "ServiceLevel", "IncentiveAction",
+           "ActionCreditTracker"]
+
+
+@dataclass(frozen=True)
+class ServiceLevel:
+    """The concrete service a requester receives from an uploader."""
+
+    requester: str
+    reputation: float
+    #: Seconds subtracted from the request's arrival time in the queue.
+    queue_offset_seconds: float
+    #: Bytes per second this requester may consume.
+    bandwidth_quota: float
+
+
+class ServiceDifferentiator:
+    """Maps a (normalised) reputation to queue priority and bandwidth.
+
+    ``reference_reputation`` calibrates the scale: a requester at or above it
+    gets the full offset and quota.  Pairwise multi-trust values are tiny
+    (rows are ~stochastic over many peers), so callers should pass e.g. the
+    observer's maximum row entry or a population quantile as the reference.
+    """
+
+    def __init__(self, config: ReputationConfig = DEFAULT_CONFIG,
+                 reference_reputation: float = 1.0):
+        if reference_reputation <= 0:
+            raise ValueError("reference_reputation must be positive")
+        self._config = config
+        self._reference = reference_reputation
+
+    def normalize(self, reputation: float) -> float:
+        """Clamp reputation to [0, 1] relative to the reference value."""
+        if reputation <= 0:
+            return 0.0
+        return min(reputation / self._reference, 1.0)
+
+    def queue_offset(self, reputation: float) -> float:
+        """Negative queue offset (seconds) growing with reputation."""
+        return self.normalize(reputation) * self._config.max_queue_offset_seconds
+
+    def bandwidth_quota(self, reputation: float) -> float:
+        """Allocated bandwidth interpolating floor..ceiling with reputation."""
+        config = self._config
+        span = config.max_bandwidth_quota - config.min_bandwidth_quota
+        return config.min_bandwidth_quota + self.normalize(reputation) * span
+
+    def service_level(self, requester: str, reputation: float) -> ServiceLevel:
+        return ServiceLevel(
+            requester=requester,
+            reputation=reputation,
+            queue_offset_seconds=self.queue_offset(reputation),
+            bandwidth_quota=self.bandwidth_quota(reputation),
+        )
+
+    def order_queue(self, requests: Sequence[Tuple[str, float, float]]
+                    ) -> List[Tuple[str, float]]:
+        """Order pending requests by effective (offset-adjusted) arrival time.
+
+        ``requests`` is a sequence of ``(requester, arrival_time,
+        reputation)``; the result is ``(requester, effective_time)`` sorted
+        ascending — the uploader should serve it front to back.
+        """
+        effective = [
+            (requester, arrival - self.queue_offset(reputation))
+            for requester, arrival, reputation in requests
+        ]
+        return sorted(effective, key=lambda item: (item[1], item[0]))
+
+
+class IncentiveAction(Enum):
+    """Pro-social actions that earn reputation credit (Section 3.4)."""
+
+    UPLOAD_REAL_FILE = "upload_real_file"
+    VOTE = "vote"
+    RANK_USER = "rank_user"
+    DELETE_FAKE_FILE = "delete_fake_file"
+
+
+@dataclass
+class ActionCreditTracker:
+    """Accumulates per-user incentive credit for pro-social actions.
+
+    Credits are *behavioural* reputation inputs — they do not overwrite the
+    trust matrices but feed the user-trust dimension (a well-behaved user
+    becomes rateable even before anyone downloads from him), and give the
+    simulator an auditable ledger of who earned what and why.
+    """
+
+    config: ReputationConfig = field(default=DEFAULT_CONFIG)
+    _credits: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[Tuple[str, IncentiveAction], int] = field(default_factory=dict)
+
+    def record(self, user_id: str, action: IncentiveAction,
+               magnitude: float = 1.0) -> float:
+        """Credit ``user_id`` for one ``action``; returns the new balance."""
+        if magnitude < 0:
+            raise ValueError(f"magnitude must be >= 0, got {magnitude}")
+        credit = magnitude * {
+            IncentiveAction.UPLOAD_REAL_FILE: self.config.upload_credit,
+            IncentiveAction.VOTE: self.config.vote_credit,
+            IncentiveAction.RANK_USER: self.config.rank_credit,
+            IncentiveAction.DELETE_FAKE_FILE: self.config.delete_fake_credit,
+        }[action]
+        self._credits[user_id] = self._credits.get(user_id, 0.0) + credit
+        key = (user_id, action)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        return self._credits[user_id]
+
+    def credit(self, user_id: str) -> float:
+        return self._credits.get(user_id, 0.0)
+
+    def action_count(self, user_id: str, action: IncentiveAction) -> int:
+        return self._counts.get((user_id, action), 0)
+
+    def balances(self) -> Dict[str, float]:
+        return dict(self._credits)
+
+    def top_users(self, k: int = 10) -> List[Tuple[str, float]]:
+        """The ``k`` users with the highest credit, descending."""
+        ranked = sorted(self._credits.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

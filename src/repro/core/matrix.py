@@ -1,0 +1,223 @@
+"""Sparse trust matrices.
+
+Every one-step trust dimension (FM, DM, UM), the integrated matrix TM and
+the multi-trust reputation matrix RM are row-indexed by the *trusting* user
+and column-indexed by the *trusted* user.  Real P2P trust matrices are
+extremely sparse (the paper's central "coverage" problem is precisely this
+sparsity), so the canonical representation is a dict-of-dicts; a dense numpy
+bridge is provided for eigen-analysis and fast matrix powers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TrustMatrix"]
+
+
+class TrustMatrix:
+    """A sparse matrix of trust values ``matrix[i][j] = trust of i in j``.
+
+    The class is agnostic about normalisation; the Eq. 3/5/6 constructors in
+    the dimension modules call :meth:`row_normalized` to produce the
+    row-stochastic one-step matrices the paper uses.
+    """
+
+    def __init__(self, rows: Optional[Mapping[str, Mapping[str, float]]] = None):
+        self._rows: Dict[str, Dict[str, float]] = {}
+        if rows:
+            for i, row in rows.items():
+                for j, value in row.items():
+                    self.set(i, j, value)
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def set(self, i: str, j: str, value: float) -> None:
+        """Set entry (i, j); zero values are stored as absent."""
+        if value < 0:
+            raise ValueError(f"trust values must be >= 0, got {value} at ({i},{j})")
+        if value == 0.0:
+            row = self._rows.get(i)
+            if row is not None:
+                row.pop(j, None)
+                if not row:
+                    del self._rows[i]
+            return
+        self._rows.setdefault(i, {})[j] = value
+
+    def add(self, i: str, j: str, delta: float) -> None:
+        """Increment entry (i, j) by ``delta`` (clamped at zero below)."""
+        current = self.get(i, j)
+        self.set(i, j, max(current + delta, 0.0))
+
+    # ------------------------------------------------------------------ #
+    # Access                                                             #
+    # ------------------------------------------------------------------ #
+
+    def get(self, i: str, j: str) -> float:
+        return self._rows.get(i, {}).get(j, 0.0)
+
+    def row(self, i: str) -> Dict[str, float]:
+        """A copy of row ``i`` (absent rows are empty)."""
+        return dict(self._rows.get(i, {}))
+
+    def rows(self) -> Iterator[Tuple[str, Dict[str, float]]]:
+        for i, row in self._rows.items():
+            yield i, dict(row)
+
+    def row_ids(self) -> List[str]:
+        return list(self._rows)
+
+    def entry_count(self) -> int:
+        """Number of non-zero entries."""
+        return sum(len(row) for row in self._rows.values())
+
+    def node_ids(self) -> List[str]:
+        """All ids appearing as a row or column, sorted for determinism."""
+        ids = set(self._rows)
+        for row in self._rows.values():
+            ids.update(row)
+        return sorted(ids)
+
+    def has_edge(self, i: str, j: str) -> bool:
+        return self.get(i, j) > 0.0
+
+    def density(self, node_ids: Optional[Sequence[str]] = None) -> float:
+        """Fraction of possible off-diagonal edges present.
+
+        ``node_ids`` fixes the universe (defaults to ids seen in the matrix);
+        density over an n-node universe divides by ``n * (n - 1)``.
+        """
+        ids = list(node_ids) if node_ids is not None else self.node_ids()
+        n = len(ids)
+        if n < 2:
+            return 0.0
+        universe = set(ids)
+        edges = sum(
+            1
+            for i, row in self._rows.items() if i in universe
+            for j in row if j in universe and j != i
+        )
+        return edges / (n * (n - 1))
+
+    # ------------------------------------------------------------------ #
+    # Algebra                                                            #
+    # ------------------------------------------------------------------ #
+
+    def row_normalized(self) -> "TrustMatrix":
+        """Return a copy whose non-empty rows sum to 1 (Eqs. 3, 5, 6)."""
+        result = TrustMatrix()
+        for i, row in self._rows.items():
+            total = sum(row.values())
+            if total <= 0:
+                continue
+            for j, value in row.items():
+                result.set(i, j, value / total)
+        return result
+
+    def scaled(self, factor: float) -> "TrustMatrix":
+        """Return ``factor * self``."""
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        result = TrustMatrix()
+        if factor == 0.0:
+            return result
+        for i, row in self._rows.items():
+            for j, value in row.items():
+                result.set(i, j, value * factor)
+        return result
+
+    @staticmethod
+    def weighted_sum(terms: Iterable[Tuple[float, "TrustMatrix"]]) -> "TrustMatrix":
+        """Eq. 7: ``sum_k w_k * M_k`` over (weight, matrix) pairs."""
+        result = TrustMatrix()
+        for weight, matrix in terms:
+            if weight < 0:
+                raise ValueError("weights must be >= 0")
+            if weight == 0.0:
+                continue
+            for i, row in matrix._rows.items():
+                for j, value in row.items():
+                    result.add(i, j, weight * value)
+        return result
+
+    def matmul(self, other: "TrustMatrix") -> "TrustMatrix":
+        """Sparse matrix product ``self @ other``."""
+        result = TrustMatrix()
+        for i, row in self._rows.items():
+            accumulator: Dict[str, float] = {}
+            for k, v_ik in row.items():
+                other_row = other._rows.get(k)
+                if not other_row:
+                    continue
+                for j, v_kj in other_row.items():
+                    accumulator[j] = accumulator.get(j, 0.0) + v_ik * v_kj
+            for j, value in accumulator.items():
+                if value > 0.0:
+                    result.set(i, j, value)
+        return result
+
+    def power(self, n: int) -> "TrustMatrix":
+        """Eq. 8: ``self ** n`` via repeated squaring (n >= 1)."""
+        if n < 1:
+            raise ValueError(f"matrix power requires n >= 1, got {n}")
+        base = self
+        result: Optional[TrustMatrix] = None
+        while n:
+            if n & 1:
+                result = base if result is None else result.matmul(base)
+            n >>= 1
+            if n:
+                base = base.matmul(base)
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Dense bridge                                                       #
+    # ------------------------------------------------------------------ #
+
+    def to_dense(self, node_ids: Optional[Sequence[str]] = None
+                 ) -> Tuple[np.ndarray, List[str]]:
+        """Return ``(array, ids)`` with ``array[a, b] = self[ids[a], ids[b]]``."""
+        ids = list(node_ids) if node_ids is not None else self.node_ids()
+        index = {node_id: position for position, node_id in enumerate(ids)}
+        array = np.zeros((len(ids), len(ids)))
+        for i, row in self._rows.items():
+            a = index.get(i)
+            if a is None:
+                continue
+            for j, value in row.items():
+                b = index.get(j)
+                if b is not None:
+                    array[a, b] = value
+        return array, ids
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, node_ids: Sequence[str]) -> "TrustMatrix":
+        if array.shape != (len(node_ids), len(node_ids)):
+            raise ValueError(
+                f"array shape {array.shape} does not match {len(node_ids)} ids")
+        result = cls()
+        for a, i in enumerate(node_ids):
+            for b, j in enumerate(node_ids):
+                value = float(array[a, b])
+                if value > 0.0:
+                    result.set(i, j, value)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Dunder                                                             #
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrustMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return (f"TrustMatrix(rows={len(self._rows)}, "
+                f"entries={self.entry_count()})")

@@ -1,0 +1,153 @@
+"""Persistence: save/restore the full reputation-system state as JSON.
+
+A deployed client restarts; its trust state must survive.  This module
+serialises everything behavioural the façade holds — evaluations (all three
+channels), the download ledger, user trust (ratings/friends/blacklists) and
+incentive credits — into one JSON document, and restores an equivalent
+system from it.  Matrices are *not* persisted: they are derived state and
+are rebuilt lazily on first query after restore.
+
+The format is versioned; loading rejects unknown versions loudly rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .config import ReputationConfig
+from .incentive import IncentiveAction
+from .reputation_system import MultiDimensionalReputationSystem
+
+__all__ = ["system_to_dict", "system_from_dict", "save_system",
+           "load_system", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_CONFIG_FIELDS = [
+    "eta", "rho", "alpha", "beta", "gamma", "multitrust_steps",
+    "distance_metric", "fake_file_threshold",
+    "retention_saturation_seconds", "evaluation_retention_interval",
+    "min_overlap", "max_queue_offset_seconds", "min_bandwidth_quota",
+    "max_bandwidth_quota", "upload_credit", "vote_credit", "rank_credit",
+    "delete_fake_credit",
+]
+
+
+def system_to_dict(system: MultiDimensionalReputationSystem) -> dict:
+    """Serialise the system's behavioural state to a JSON-safe dict."""
+    evaluations: List[dict] = []
+    for evaluation in system.evaluations:
+        evaluations.append({
+            "user": evaluation.user_id,
+            "file": evaluation.file_id,
+            "implicit": evaluation.implicit,
+            "explicit": evaluation.explicit,
+            "play_fraction": evaluation.play_fraction,
+            "timestamp": evaluation.timestamp,
+        })
+
+    downloads: List[dict] = []
+    for downloader, uploader in system.ledger.pairs():
+        for file_id, size, timestamp in system.ledger.downloads_with_time(
+                downloader, uploader):
+            downloads.append({
+                "downloader": downloader,
+                "uploader": uploader,
+                "file": file_id,
+                "size": size,
+                "timestamp": timestamp,
+            })
+
+    user_trust = {
+        "ratings": [
+            {"rater": rater, "ratee": ratee, "rating": rating}
+            for (rater, ratee), rating in sorted(
+                system.user_trust._ratings.items())
+        ],
+        "friends": {user: sorted(friends) for user, friends in
+                    sorted(system.user_trust._friends.items()) if friends},
+        "blacklists": {user: sorted(targets) for user, targets in
+                       sorted(system.user_trust._blacklists.items())
+                       if targets},
+    }
+
+    credits = {
+        "balances": dict(sorted(system.credits.balances().items())),
+        "counts": [
+            {"user": user, "action": action.value, "count": count}
+            for (user, action), count in sorted(
+                system.credits._counts.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].value))
+        ],
+    }
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {field: getattr(system.config, field)
+                   for field in _CONFIG_FIELDS},
+        "auto_refresh": system.auto_refresh,
+        "evaluations": evaluations,
+        "downloads": downloads,
+        "user_trust": user_trust,
+        "credits": credits,
+    }
+
+
+def system_from_dict(data: dict) -> MultiDimensionalReputationSystem:
+    """Restore a system from :func:`system_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format_version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}")
+
+    config = ReputationConfig(**data["config"])
+    system = MultiDimensionalReputationSystem(
+        config, auto_refresh=data.get("auto_refresh", True))
+
+    for entry in data["evaluations"]:
+        record = system.evaluations._upsert(
+            entry["user"], entry["file"], entry["timestamp"],
+            implicit=entry["implicit"], explicit=entry["explicit"])
+        record.play_fraction = entry.get("play_fraction")
+        record.timestamp = entry["timestamp"]
+
+    for entry in data["downloads"]:
+        system.ledger.record_download(
+            entry["downloader"], entry["uploader"], entry["file"],
+            entry["size"], entry["timestamp"])
+
+    trust = data["user_trust"]
+    for entry in trust["ratings"]:
+        system.user_trust.rate(entry["rater"], entry["ratee"],
+                               entry["rating"])
+    for user, friends in trust["friends"].items():
+        for friend in friends:
+            system.user_trust.add_friend(user, friend)
+    for user, targets in trust["blacklists"].items():
+        for target in targets:
+            system.user_trust.add_to_blacklist(user, target)
+
+    system.credits._credits.update(data["credits"]["balances"])
+    for entry in data["credits"]["counts"]:
+        key = (entry["user"], IncentiveAction(entry["action"]))
+        system.credits._counts[key] = entry["count"]
+
+    system.recompute()
+    return system
+
+
+def save_system(system: MultiDimensionalReputationSystem,
+                path: Union[str, Path]) -> None:
+    """Write the system state as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(system_to_dict(system), handle, indent=1, sort_keys=True)
+
+
+def load_system(path: Union[str, Path]) -> MultiDimensionalReputationSystem:
+    """Read a system saved by :func:`save_system`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return system_from_dict(json.load(handle))

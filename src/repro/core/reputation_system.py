@@ -1,0 +1,236 @@
+"""The multi-dimensional reputation system façade.
+
+:class:`MultiDimensionalReputationSystem` is the paper's contribution as a
+single object.  It ingests the raw behavioural events of a P2P file-sharing
+system —
+
+* downloads (who got which file, what size, from whom),
+* file retention updates and explicit votes,
+* user ranks, friendships and blacklistings,
+* fake-file deletions,
+
+— maintains the evaluation / download / user-trust stores, and answers the
+three questions the paper's mechanisms need:
+
+1. *user reputation* (Eqs. 2-8): pairwise ``RM_ij`` and a global projection;
+2. *file reputation* (Eq. 9): is this file fake?
+3. *service level* (Section 3.4): what queue offset and bandwidth does this
+   requester deserve?
+
+Matrix construction is cached and invalidated on writes, so bursts of event
+ingestion pay the (dominant) matrix cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import EvaluationStore
+from .file_reputation import FileJudgement, judge_file
+from .incentive import (ActionCreditTracker, IncentiveAction,
+                        ServiceDifferentiator, ServiceLevel)
+from .integration import build_one_step_matrix
+from .matrix import TrustMatrix
+from .multitrust import (MultiTierView, compute_reputation_matrix,
+                         global_reputation_vector)
+from .user_trust import UserTrustStore
+from .volume_trust import DownloadLedger
+
+__all__ = ["MultiDimensionalReputationSystem"]
+
+#: Weight of global incentive credit relative to pairwise reputation when
+#: computing the effective reputation used for service differentiation.  The
+#: pairwise term dominates; credit breaks ties and bootstraps newcomers who
+#: behave well before anyone has downloaded from them.
+CREDIT_BONUS_WEIGHT = 0.1
+
+
+class MultiDimensionalReputationSystem:
+    """Facade over the full trust + incentive mechanism of the paper."""
+
+    def __init__(self, config: ReputationConfig = DEFAULT_CONFIG,
+                 auto_refresh: bool = True):
+        self.config = config
+        #: With ``auto_refresh`` every write invalidates the cached matrices
+        #: (always-fresh queries, O(rebuild) per write burst).  Simulations
+        #: ingesting thousands of events set it to False and call
+        #: :meth:`recompute` at their maintenance cadence instead.
+        self.auto_refresh = auto_refresh
+        self.evaluations = EvaluationStore(config=config)
+        self.ledger = DownloadLedger()
+        self.user_trust = UserTrustStore()
+        self.credits = ActionCreditTracker(config=config)
+        self._one_step: Optional[TrustMatrix] = None
+        self._reputation: Optional[TrustMatrix] = None
+        self._tier_view: Optional[MultiTierView] = None
+
+    # ------------------------------------------------------------------ #
+    # Event ingestion                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _invalidate(self) -> None:
+        if self.auto_refresh:
+            self.recompute()
+
+    def recompute(self) -> None:
+        """Drop cached matrices so the next query rebuilds them."""
+        self._one_step = None
+        self._reputation = None
+        self._tier_view = None
+
+    def record_download(self, downloader: str, uploader: str, file_id: str,
+                        size_bytes: float, timestamp: float = 0.0) -> None:
+        """A completed download; feeds the volume-trust dimension (Eq. 4)."""
+        self.ledger.record_download(downloader, uploader, file_id,
+                                    size_bytes, timestamp)
+        self._invalidate()
+
+    def record_retention(self, user_id: str, file_id: str,
+                         retention_seconds: float,
+                         timestamp: float = 0.0) -> None:
+        """Refresh a file's implicit evaluation from its retention time."""
+        self.evaluations.record_retention(user_id, file_id,
+                                          retention_seconds, timestamp)
+        self._invalidate()
+
+    def record_vote(self, user_id: str, file_id: str, vote: float,
+                    timestamp: float = 0.0) -> None:
+        """An explicit vote; also earns incentive credit (Section 3.4)."""
+        self.evaluations.record_vote(user_id, file_id, vote, timestamp)
+        self.credits.record(user_id, IncentiveAction.VOTE)
+        self._invalidate()
+
+    def record_play(self, user_id: str, file_id: str, play_fraction: float,
+                    timestamp: float = 0.0) -> None:
+        """Play-time implicit evaluation for playable media (Section 1)."""
+        self.evaluations.record_play(user_id, file_id, play_fraction,
+                                     timestamp)
+        self._invalidate()
+
+    def record_rank(self, rater: str, ratee: str, rating: float) -> None:
+        """A direct user rating; earns rank credit."""
+        self.user_trust.rate(rater, ratee, rating)
+        self.credits.record(rater, IncentiveAction.RANK_USER)
+        self._invalidate()
+
+    def add_friend(self, user: str, friend: str) -> None:
+        self.user_trust.add_friend(user, friend)
+        self._invalidate()
+
+    def add_to_blacklist(self, user: str, target: str) -> None:
+        self.user_trust.add_to_blacklist(user, target)
+        self._invalidate()
+
+    def record_real_upload(self, uploader: str, size_bytes: float = 1.0) -> None:
+        """Credit an uploader for serving a file later judged real."""
+        self.credits.record(uploader, IncentiveAction.UPLOAD_REAL_FILE)
+
+    def record_fake_deletion(self, user_id: str, file_id: str,
+                             timestamp: float = 0.0) -> None:
+        """The user deleted a fake file: credit + implicit evaluation of 0."""
+        self.credits.record(user_id, IncentiveAction.DELETE_FAKE_FILE)
+        self.evaluations.record_implicit(user_id, file_id, 0.0, timestamp)
+        self._invalidate()
+
+    def prune_before(self, cutoff_timestamp: float) -> int:
+        """Section 4.3: drop evaluations and downloads older than cutoff."""
+        removed = self.evaluations.prune_older_than(cutoff_timestamp)
+        removed += self.ledger.prune_older_than(cutoff_timestamp)
+        if removed:
+            self._invalidate()
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Matrices                                                           #
+    # ------------------------------------------------------------------ #
+
+    def one_step_matrix(self) -> TrustMatrix:
+        """The integrated one-step trust matrix ``TM`` (Eq. 7), cached."""
+        if self._one_step is None:
+            self._one_step = build_one_step_matrix(
+                self.evaluations, self.ledger, self.user_trust, self.config)
+        return self._one_step
+
+    def reputation_matrix(self, steps: Optional[int] = None) -> TrustMatrix:
+        """The multi-trust reputation matrix ``RM = TM^n`` (Eq. 8), cached."""
+        if steps is not None and steps != self.config.multitrust_steps:
+            return compute_reputation_matrix(self.one_step_matrix(), steps,
+                                             self.config)
+        if self._reputation is None:
+            self._reputation = compute_reputation_matrix(
+                self.one_step_matrix(), None, self.config)
+        return self._reputation
+
+    def tier_view(self, max_tier: int = 3) -> MultiTierView:
+        """Multi-tier view over the current one-step matrix."""
+        if self._tier_view is None or self._tier_view.max_tier != max_tier:
+            self._tier_view = MultiTierView(self.one_step_matrix(), max_tier)
+        return self._tier_view
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def user_reputation(self, observer: str, target: str) -> float:
+        """Pairwise reputation ``RM_observer,target``."""
+        return self.reputation_matrix().get(observer, target)
+
+    def effective_reputation(self, observer: str, target: str) -> float:
+        """Pairwise reputation plus a small global incentive-credit bonus.
+
+        The bonus bootstraps well-behaved newcomers: voting/ranking/cleanup
+        earn service priority even before a trust path exists.
+        """
+        pairwise = self.user_reputation(observer, target)
+        balances = self.credits.balances()
+        if not balances:
+            return pairwise
+        max_credit = max(balances.values())
+        if max_credit <= 0:
+            return pairwise
+        bonus = self.credits.credit(target) / max_credit
+        return pairwise + CREDIT_BONUS_WEIGHT * bonus * self._reference(observer)
+
+    def global_reputation(self) -> Dict[str, float]:
+        """Column-mean projection of RM (for baseline comparisons)."""
+        return global_reputation_vector(self.reputation_matrix())
+
+    def judge_file(self, observer: str, file_id: str,
+                   threshold: Optional[float] = None,
+                   accept_when_blind: bool = True) -> FileJudgement:
+        """Eq. 9 + threshold: should ``observer`` download ``file_id``?"""
+        return judge_file(self.reputation_matrix(), self.evaluations,
+                          observer, file_id, threshold, self.config,
+                          accept_when_blind)
+
+    def _reference(self, observer: str) -> float:
+        """Reference reputation scale for the observer (his max row entry)."""
+        row = self.reputation_matrix().row(observer)
+        if not row:
+            return 1.0
+        return max(row.values())
+
+    def service_level(self, observer: str, requester: str) -> ServiceLevel:
+        """Section 3.4: the service ``observer`` should grant ``requester``."""
+        differentiator = ServiceDifferentiator(
+            self.config, reference_reputation=max(self._reference(observer), 1e-12))
+        return differentiator.service_level(
+            requester, self.effective_reputation(observer, requester))
+
+    def order_request_queue(self, observer: str,
+                            requests: Sequence[Tuple[str, float]]
+                            ) -> List[Tuple[str, float]]:
+        """Order ``(requester, arrival_time)`` pairs by effective time.
+
+        High-reputation requesters receive a negative offset and move ahead;
+        ties (including all-zero reputations) preserve arrival order.
+        """
+        differentiator = ServiceDifferentiator(
+            self.config, reference_reputation=max(self._reference(observer), 1e-12))
+        annotated = [
+            (requester, arrival,
+             self.effective_reputation(observer, requester))
+            for requester, arrival in requests
+        ]
+        return differentiator.order_queue(annotated)

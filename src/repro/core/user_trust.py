@@ -1,0 +1,135 @@
+"""User-based direct trust (Section 3.1.3, Eq. 6).
+
+Users can rate each other directly.  The paper supports three idioms:
+
+* an explicit numeric rating ``UT_ij`` in ``[0, 1]``;
+* a *friend list* — friends "should be assigned with a large UT";
+* a *blacklist* — blacklisted users "should be assigned with zero".
+
+Eq. 6 row-normalises ``UT`` into the user-based one-step matrix ``UM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from .matrix import TrustMatrix
+
+__all__ = ["UserTrustStore", "build_user_trust_matrix",
+           "FRIEND_TRUST", "DEFAULT_RATING"]
+
+# Value assigned to friend-list members ("a large UT").
+FRIEND_TRUST = 1.0
+# Value used when a rank event carries no magnitude.
+DEFAULT_RATING = 0.5
+
+
+@dataclass
+class UserTrustStore:
+    """Direct user-to-user ratings plus friend lists and blacklists.
+
+    Blacklisting dominates: a blacklisted user's effective ``UT`` is zero no
+    matter what rating or friendship existed before.
+    """
+
+    _ratings: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    _friends: Dict[str, Set[str]] = field(default_factory=dict)
+    _blacklists: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def rate(self, rater: str, ratee: str, rating: float = DEFAULT_RATING) -> None:
+        """Record ``rater``'s numeric rating of ``ratee`` in [0, 1]."""
+        if rater == ratee:
+            raise ValueError("a user cannot rate itself")
+        if not 0.0 <= rating <= 1.0:
+            raise ValueError(f"rating must be in [0,1], got {rating}")
+        self._ratings[(rater, ratee)] = rating
+
+    def add_friend(self, user: str, friend: str) -> None:
+        if user == friend:
+            raise ValueError("a user cannot befriend itself")
+        self._friends.setdefault(user, set()).add(friend)
+        # Friendship revokes a standing blacklist entry.
+        self._blacklists.get(user, set()).discard(friend)
+
+    def add_to_blacklist(self, user: str, target: str) -> None:
+        if user == target:
+            raise ValueError("a user cannot blacklist itself")
+        self._blacklists.setdefault(user, set()).add(target)
+        self._friends.get(user, set()).discard(target)
+
+    def remove_friend(self, user: str, friend: str) -> None:
+        self._friends.get(user, set()).discard(friend)
+
+    def remove_from_blacklist(self, user: str, target: str) -> None:
+        self._blacklists.get(user, set()).discard(target)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def trust(self, user: str, other: str) -> Optional[float]:
+        """Effective ``UT_user,other``; ``None`` when no relationship exists.
+
+        Precedence: blacklist (0.0) > friendship (FRIEND_TRUST) > rating.
+        """
+        if other in self._blacklists.get(user, ()):
+            return 0.0
+        if other in self._friends.get(user, ()):
+            return FRIEND_TRUST
+        return self._ratings.get((user, other))
+
+    def is_friend(self, user: str, other: str) -> bool:
+        return other in self._friends.get(user, ())
+
+    def is_blacklisted(self, user: str, other: str) -> bool:
+        return other in self._blacklists.get(user, ())
+
+    def friends_of(self, user: str) -> Set[str]:
+        return set(self._friends.get(user, ()))
+
+    def blacklist_of(self, user: str) -> Set[str]:
+        return set(self._blacklists.get(user, ()))
+
+    def raters(self) -> Set[str]:
+        """All users who expressed any user-trust relationship."""
+        users = {rater for rater, _ in self._ratings}
+        users.update(self._friends)
+        users.update(self._blacklists)
+        return users
+
+    def relationships_of(self, user: str) -> Dict[str, float]:
+        """All effective non-None UT values expressed by ``user``."""
+        targets: Set[str] = {ratee for rater, ratee in self._ratings if rater == user}
+        targets.update(self._friends.get(user, ()))
+        targets.update(self._blacklists.get(user, ()))
+        result: Dict[str, float] = {}
+        for other in targets:
+            value = self.trust(user, other)
+            if value is not None:
+                result[other] = value
+        return result
+
+    def rank_count(self, user: str) -> int:
+        """Number of explicit rank/rating actions ``user`` has performed."""
+        explicit = sum(1 for rater, _ in self._ratings if rater == user)
+        return (explicit + len(self._friends.get(user, ()))
+                + len(self._blacklists.get(user, ())))
+
+
+def build_user_trust_matrix(store: UserTrustStore) -> TrustMatrix:
+    """Eq. 6: the row-normalised user-based one-step matrix ``UM``.
+
+    Blacklisted entries are zero and therefore vanish under normalisation,
+    exactly as the paper intends ("they should be assigned with zero").
+    """
+    raw = TrustMatrix()
+    for user in store.raters():
+        for other, value in store.relationships_of(user).items():
+            if value > 0.0:
+                raw.set(user, other, value)
+    return raw.row_normalized()

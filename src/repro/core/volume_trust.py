@@ -1,0 +1,133 @@
+"""Download-volume-based direct trust (Section 3.1.2, Eqs. 4-5).
+
+If user ``i`` downloads real content from user ``j``, ``i`` has implicit
+grounds to trust ``j``.  Valid download volume weights each downloaded file's
+size by ``i``'s evaluation of it::
+
+    VD_ij = sum_{k in D_ij} E_ik * S_k     (Eq. 4)
+    DM_ij = VD_ij / sum_k VD_ik            (Eq. 5)
+
+so a gigabyte of files the downloader later judged fake (evaluation ~0)
+contributes almost nothing, while well-evaluated bytes contribute fully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import EvaluationStore
+from .matrix import TrustMatrix
+
+__all__ = ["DownloadLedger", "valid_download_volume", "build_volume_trust_matrix"]
+
+
+@dataclass(frozen=True)
+class _DownloadEntry:
+    file_id: str
+    size_bytes: float
+    timestamp: float
+
+
+@dataclass
+class DownloadLedger:
+    """Record of who downloaded which file (with size) from whom.
+
+    ``D_ij`` in Eq. 4 is exactly ``entries[(i, j)]``.
+    """
+
+    _entries: Dict[Tuple[str, str], List[_DownloadEntry]] = field(default_factory=dict)
+
+    def record_download(self, downloader: str, uploader: str, file_id: str,
+                        size_bytes: float, timestamp: float = 0.0) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        if downloader == uploader:
+            raise ValueError("a user cannot download from itself")
+        self._entries.setdefault((downloader, uploader), []).append(
+            _DownloadEntry(file_id=file_id, size_bytes=size_bytes,
+                           timestamp=timestamp))
+
+    def downloads(self, downloader: str, uploader: str) -> List[Tuple[str, float]]:
+        """``(file_id, size)`` pairs downloaded by ``downloader`` from ``uploader``."""
+        return [(entry.file_id, entry.size_bytes)
+                for entry in self._entries.get((downloader, uploader), ())]
+
+    def downloads_with_time(self, downloader: str,
+                            uploader: str) -> List[Tuple[str, float, float]]:
+        """``(file_id, size, timestamp)`` triples for the pair."""
+        return [(entry.file_id, entry.size_bytes, entry.timestamp)
+                for entry in self._entries.get((downloader, uploader), ())]
+
+    def uploaders_of(self, downloader: str) -> List[str]:
+        return [u for (d, u) in self._entries if d == downloader]
+
+    def pairs(self) -> Iterable[Tuple[str, str]]:
+        return self._entries.keys()
+
+    def prune_older_than(self, cutoff_timestamp: float) -> int:
+        """Drop download records last seen before ``cutoff_timestamp``."""
+        removed = 0
+        for key in list(self._entries):
+            kept = [e for e in self._entries[key] if e.timestamp >= cutoff_timestamp]
+            removed += len(self._entries[key]) - len(kept)
+            if kept:
+                self._entries[key] = kept
+            else:
+                del self._entries[key]
+        return removed
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+
+def valid_download_volume(ledger: DownloadLedger, store: EvaluationStore,
+                          downloader: str, uploader: str,
+                          now: Optional[float] = None,
+                          half_life: Optional[float] = None) -> float:
+    """Eq. 4: evaluation-weighted bytes ``downloader`` got from ``uploader``.
+
+    Files the downloader has not (yet) evaluated contribute zero — the paper
+    counts only *valid* volume, and validity is established by evaluation.
+
+    With ``now`` and ``half_life`` given, each download's contribution
+    additionally decays exponentially with age (``0.5 ** (age/half_life)``)
+    — a smooth extension of the Section 4.3 interval-pruning rule that lets
+    trust track *recent* behaviour without a hard cliff.
+    """
+    if (half_life is None) != (now is None):
+        raise ValueError("now and half_life must be given together")
+    if half_life is not None and half_life <= 0:
+        raise ValueError("half_life must be positive")
+    total = 0.0
+    for file_id, size_bytes, timestamp in ledger.downloads_with_time(
+            downloader, uploader):
+        evaluation = store.value(downloader, file_id)
+        if evaluation is None:
+            continue
+        contribution = evaluation * size_bytes
+        if half_life is not None:
+            age = max(now - timestamp, 0.0)  # type: ignore[operator]
+            contribution *= 0.5 ** (age / half_life)
+        total += contribution
+    return total
+
+
+def build_volume_trust_matrix(ledger: DownloadLedger, store: EvaluationStore,
+                              config: ReputationConfig = DEFAULT_CONFIG,
+                              now: Optional[float] = None,
+                              half_life: Optional[float] = None
+                              ) -> TrustMatrix:
+    """Eqs. 4-5: the row-normalised volume-based one-step matrix ``DM``.
+
+    ``now``/``half_life`` enable the recency-decayed Eq. 4 variant (see
+    :func:`valid_download_volume`).
+    """
+    raw = TrustMatrix()
+    for downloader, uploader in ledger.pairs():
+        volume = valid_download_volume(ledger, store, downloader, uploader,
+                                       now=now, half_life=half_life)
+        if volume > 0.0:
+            raw.set(downloader, uploader, volume)
+    return raw.row_normalized()

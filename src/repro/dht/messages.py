@@ -1,0 +1,100 @@
+"""DHT message/record types and message-cost accounting.
+
+Section 4.1 defines the published record: ``EvaluationInfo = <FileID,
+OwnerID, Evaluation, Signature>``.  We pair it with the plain index record
+(file metadata + owner) it piggybacks on, and a :class:`MessageTally` that
+counts lookups/publications/retrievals so benchmark F2 can report the
+paper's claim that piggybacking evaluations "will not need more lookup
+messages ... though it will increase the size of the information slightly".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+__all__ = ["EvaluationInfo", "IndexRecord", "MessageKind", "MessageTally"]
+
+
+@dataclass(frozen=True)
+class EvaluationInfo:
+    """A signed evaluation as published to the index peer."""
+
+    file_id: str
+    owner_id: str
+    evaluation: float
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.evaluation <= 1.0:
+            raise ValueError(
+                f"evaluation must be in [0,1], got {self.evaluation}")
+
+    def payload(self) -> bytes:
+        """Canonical byte serialisation covered by the signature."""
+        return json.dumps(
+            {"file_id": self.file_id, "owner_id": self.owner_id,
+             "evaluation": round(self.evaluation, 9)},
+            sort_keys=True).encode("utf-8")
+
+    def with_signature(self, signature: bytes) -> "EvaluationInfo":
+        return EvaluationInfo(file_id=self.file_id, owner_id=self.owner_id,
+                              evaluation=self.evaluation, signature=signature)
+
+    def size_bytes(self) -> int:
+        """Wire size estimate (payload + signature)."""
+        return len(self.payload()) + len(self.signature)
+
+
+@dataclass(frozen=True)
+class IndexRecord:
+    """A file's index entry: which owner holds it (plus metadata)."""
+
+    file_id: str
+    owner_id: str
+    filename: str = ""
+    size_bytes: float = 0.0
+    #: The piggybacked evaluation, if the owner published one.
+    evaluation: Optional[EvaluationInfo] = None
+
+    def wire_size(self) -> int:
+        base = len(self.file_id) + len(self.owner_id) + len(self.filename) + 16
+        if self.evaluation is not None:
+            base += self.evaluation.size_bytes()
+        return base
+
+
+class MessageKind(Enum):
+    LOOKUP = "lookup"
+    LOOKUP_HOP = "lookup_hop"
+    PUBLISH = "publish"
+    RETRIEVE = "retrieve"
+    REPUBLISH = "republish"
+    EVALUATION_LIST = "evaluation_list"
+
+
+@dataclass
+class MessageTally:
+    """Counts messages and bytes by kind."""
+
+    counts: Dict[MessageKind, int] = field(default_factory=dict)
+    bytes_sent: Dict[MessageKind, int] = field(default_factory=dict)
+
+    def record(self, kind: MessageKind, size_bytes: int = 0) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.bytes_sent[kind] = self.bytes_sent.get(kind, 0) + size_bytes
+
+    def count(self, kind: MessageKind) -> int:
+        return self.counts.get(kind, 0)
+
+    def total_messages(self) -> int:
+        return sum(self.counts.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return {kind.value: count for kind, count in sorted(
+            self.counts.items(), key=lambda kv: kv[0].value)}

@@ -1,0 +1,49 @@
+"""A DHT node: identifier, finger table and local storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .id_space import ID_BITS, ID_SPACE, hash_key
+from .storage import NodeStorage
+
+__all__ = ["DHTNode"]
+
+
+@dataclass
+class DHTNode:
+    """One node in the ring.
+
+    The finger table holds, for each ``i``, the first alive node whose id
+    is >= ``node_id + 2**i`` (mod the space) — Chord's standard layout.
+    Fingers are filled by :class:`~repro.dht.ring.DHTNetwork.stabilize`.
+    """
+
+    user_id: str
+    node_id: int = field(default=-1)
+    alive: bool = True
+    storage: NodeStorage = field(default_factory=NodeStorage)
+    fingers: List["DHTNode"] = field(default_factory=list, repr=False)
+    successor: Optional["DHTNode"] = field(default=None, repr=False)
+    predecessor: Optional["DHTNode"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            self.node_id = hash_key(f"node:{self.user_id}")
+        if not 0 <= self.node_id < ID_SPACE:
+            raise ValueError(f"node_id out of range: {self.node_id}")
+
+    def finger_start(self, index: int) -> int:
+        """The ideal id targeted by finger ``index``."""
+        if not 0 <= index < ID_BITS:
+            raise ValueError(f"finger index out of range: {index}")
+        return (self.node_id + (1 << index)) % ID_SPACE
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DHTNode):
+            return NotImplemented
+        return self.node_id == other.node_id

@@ -1,0 +1,266 @@
+"""The Section 4.1 framework: evaluations stored and served over the DHT.
+
+Implements the six steps of Figure 2:
+
+1. **Publication** — a file's evaluation is piggybacked on its index
+   publication: ``EvaluationInfo = <FileID, OwnerID, Evaluation,
+   Signature>`` stored at the file's index peer(s).
+2. **Update** — regular republication refreshes the soft state.
+3. **Retrieval** — a prospective downloader looks up the file's index peer
+   and receives the owner list *plus* the array of signed evaluations
+   (invalid signatures are dropped).
+4. **User reputation** — the user fetches a target's evaluation list
+   directly from the target and computes TM, then RM with multi-trust.
+5. **File reputation** — Eq. 9 over the retrieved evaluation array,
+   weighted by the requester's RM row.
+6. **Service differentiation** — requester reputation maps to a bandwidth
+   quota and queue position via the core incentive machinery.
+
+All message costs flow into a :class:`~repro.dht.messages.MessageTally`, so
+benchmark F2 can check the paper's cost claim: piggybacking evaluations adds
+*no* extra lookups, only bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.config import DEFAULT_CONFIG, ReputationConfig
+from ..core.evaluation import EvaluationStore
+from ..core.file_reputation import file_reputation
+from ..core.file_trust import build_file_trust_matrix
+from ..core.incentive import ServiceDifferentiator, ServiceLevel
+from ..core.matrix import TrustMatrix
+from ..core.multitrust import compute_reputation_matrix
+from .crypto import KeyAuthority
+from .id_space import hash_key
+from .messages import EvaluationInfo, IndexRecord, MessageKind, MessageTally
+from .node import DHTNode
+from .ring import DHTNetwork
+from .routing import lookup
+
+__all__ = ["EvaluationOverlay", "RetrievedEvaluations"]
+
+#: Strategy answering "what is your evaluation list?"; lets attack models
+#: (mimics) answer differently per querier.  Maps querier_id -> {file: eval}.
+ListResponder = Callable[[str], Dict[str, float]]
+
+
+@dataclass
+class RetrievedEvaluations:
+    """Step 3 result: owners plus verified evaluations for one file."""
+
+    file_id: str
+    owners: List[str]
+    evaluations: Dict[str, float]
+    #: Records whose signature failed verification (dropped).
+    rejected: int
+    lookup_hops: int
+
+
+class EvaluationOverlay:
+    """Evaluation publication/retrieval service over a :class:`DHTNetwork`."""
+
+    def __init__(self, network: DHTNetwork, authority: KeyAuthority,
+                 config: ReputationConfig = DEFAULT_CONFIG,
+                 replication: int = 2,
+                 record_ttl: float = 24 * 3600.0):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.network = network
+        self.authority = authority
+        self.config = config
+        self.replication = replication
+        self.record_ttl = record_ttl
+        self.tally = MessageTally()
+        # Each user's true local evaluation list (their own store).
+        self._local_lists: Dict[str, Dict[str, float]] = {}
+        # Pluggable responders for attack modelling; default: honest.
+        self._responders: Dict[str, ListResponder] = {}
+        # Everything a user has published, for republication.
+        self._published: Dict[str, List[IndexRecord]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership passthrough                                             #
+    # ------------------------------------------------------------------ #
+
+    def register_user(self, user_id: str) -> DHTNode:
+        """Join the DHT and provision a signing key."""
+        self.authority.register(user_id)
+        return self.network.join(user_id)
+
+    # ------------------------------------------------------------------ #
+    # Step 1 & 2: publication / update                                   #
+    # ------------------------------------------------------------------ #
+
+    def publish(self, user_id: str, file_id: str, evaluation: float,
+                now: float, filename: str = "",
+                size_bytes: float = 0.0) -> int:
+        """Publish the index record with piggybacked signed evaluation.
+
+        Returns the number of lookup hops used (one lookup regardless of the
+        evaluation — the paper's "no more lookup messages" property).
+        """
+        info = EvaluationInfo(file_id=file_id, owner_id=user_id,
+                              evaluation=evaluation)
+        info = info.with_signature(self.authority.sign(user_id, info.payload()))
+        record = IndexRecord(file_id=file_id, owner_id=user_id,
+                             filename=filename, size_bytes=size_bytes,
+                             evaluation=info)
+        hops = self._store(record, user_id, now, MessageKind.PUBLISH)
+        self._local_lists.setdefault(user_id, {})[file_id] = evaluation
+        published = self._published.setdefault(user_id, [])
+        published[:] = [r for r in published if r.file_id != file_id]
+        published.append(record)
+        return hops
+
+    def publish_index_only(self, user_id: str, file_id: str, now: float,
+                           filename: str = "",
+                           size_bytes: float = 0.0) -> int:
+        """Publish holdership without an evaluation (user hasn't judged)."""
+        record = IndexRecord(file_id=file_id, owner_id=user_id,
+                             filename=filename, size_bytes=size_bytes)
+        hops = self._store(record, user_id, now, MessageKind.PUBLISH)
+        published = self._published.setdefault(user_id, [])
+        published[:] = [r for r in published if r.file_id != file_id]
+        published.append(record)
+        return hops
+
+    def republish_all(self, user_id: str, now: float) -> int:
+        """Step 2: refresh all of the user's records (returns record count)."""
+        records = self._published.get(user_id, [])
+        for record in records:
+            self._store(record, user_id, now, MessageKind.REPUBLISH)
+        return len(records)
+
+    def _store(self, record: IndexRecord, user_id: str, now: float,
+               kind: MessageKind) -> int:
+        key = hash_key(f"file:{record.file_id}")
+        start = (self.network.node(user_id)
+                 if self.network.has_node(user_id) else None)
+        result = lookup(self.network, key, start=start)
+        self.tally.record(MessageKind.LOOKUP, 0)
+        self.tally.record(MessageKind.LOOKUP_HOP, 0)
+        for _ in range(result.hops):
+            self.tally.record(MessageKind.LOOKUP_HOP, 0)
+        for replica in self.network.replica_nodes(key, self.replication):
+            replica.storage.put(key, record.owner_id, record, now,
+                                self.record_ttl)
+            self.tally.record(kind, record.wire_size())
+        return result.hops
+
+    # ------------------------------------------------------------------ #
+    # Step 3: retrieval                                                  #
+    # ------------------------------------------------------------------ #
+
+    def retrieve(self, requester_id: str, file_id: str,
+                 now: float) -> RetrievedEvaluations:
+        """Fetch the owner list + verified evaluation array for a file."""
+        key = hash_key(f"file:{file_id}")
+        start = (self.network.node(requester_id)
+                 if self.network.has_node(requester_id) else None)
+        result = lookup(self.network, key, start=start)
+        self.tally.record(MessageKind.LOOKUP, 0)
+        self.tally.record(MessageKind.RETRIEVE, 0)
+
+        owners: List[str] = []
+        evaluations: Dict[str, float] = {}
+        rejected = 0
+        for stored in result.owner.storage.get(key, now):
+            record = stored.value
+            owners.append(record.owner_id)
+            info = record.evaluation
+            if info is None:
+                continue
+            if not self.authority.verify(info.owner_id, info.payload(),
+                                         info.signature):
+                rejected += 1
+                continue
+            evaluations[info.owner_id] = info.evaluation
+        return RetrievedEvaluations(file_id=file_id, owners=sorted(set(owners)),
+                                    evaluations=evaluations,
+                                    rejected=rejected,
+                                    lookup_hops=result.hops)
+
+    # ------------------------------------------------------------------ #
+    # Step 4: user reputation                                            #
+    # ------------------------------------------------------------------ #
+
+    def set_responder(self, user_id: str, responder: ListResponder) -> None:
+        """Install an attack-model responder for ``user_id``'s list."""
+        self._responders[user_id] = responder
+
+    def fetch_evaluation_list(self, requester_id: str,
+                              target_id: str) -> Dict[str, float]:
+        """Ask ``target_id`` for its evaluation list (step 4 first half)."""
+        self.tally.record(MessageKind.EVALUATION_LIST, 0)
+        responder = self._responders.get(target_id)
+        if responder is not None:
+            return dict(responder(requester_id))
+        return dict(self._local_lists.get(target_id, {}))
+
+    def local_list(self, user_id: str) -> Dict[str, float]:
+        """The user's true local evaluation list (not an RPC)."""
+        return dict(self._local_lists.get(user_id, {}))
+
+    def compute_reputation_matrix(self, requester_id: str,
+                                  targets: Iterable[str]) -> TrustMatrix:
+        """Step 4 second half: fetch lists, build TM (file dimension), RM.
+
+        Over the DHT only the file-based dimension is computable from
+        remote evaluation lists; download-volume and user trust are local
+        knowledge integrated by the full system (see ``repro.core``).
+        """
+        store = EvaluationStore(config=self.config)
+        own = self._local_lists.get(requester_id, {})
+        for file_id, evaluation in own.items():
+            store.record_implicit(requester_id, file_id, evaluation)
+        for target_id in targets:
+            if target_id == requester_id:
+                continue
+            for file_id, evaluation in self.fetch_evaluation_list(
+                    requester_id, target_id).items():
+                store.record_implicit(target_id, file_id,
+                                      min(max(evaluation, 0.0), 1.0))
+        one_step = build_file_trust_matrix(store, self.config)
+        return compute_reputation_matrix(one_step, config=self.config)
+
+    # ------------------------------------------------------------------ #
+    # Step 5: file reputation                                            #
+    # ------------------------------------------------------------------ #
+
+    def file_reputation(self, requester_id: str, file_id: str,
+                        now: float) -> Tuple[Optional[float], RetrievedEvaluations]:
+        """Eq. 9 over the retrieved evaluation array."""
+        retrieved = self.retrieve(requester_id, file_id, now)
+        reputation = self.compute_reputation_matrix(
+            requester_id, retrieved.evaluations)
+        score = file_reputation(reputation, requester_id,
+                                retrieved.evaluations)
+        return score, retrieved
+
+    # ------------------------------------------------------------------ #
+    # Step 6: service differentiation                                    #
+    # ------------------------------------------------------------------ #
+
+    def service_level(self, uploader_id: str,
+                      requester_id: str) -> ServiceLevel:
+        """What service should ``uploader_id`` grant ``requester_id``?"""
+        reputation = self.compute_reputation_matrix(
+            uploader_id, [requester_id])
+        row = reputation.row(uploader_id)
+        reference = max(row.values()) if row else 1.0
+        differentiator = ServiceDifferentiator(
+            self.config, reference_reputation=max(reference, 1e-12))
+        return differentiator.service_level(
+            requester_id, reputation.get(uploader_id, requester_id))
+
+    # ------------------------------------------------------------------ #
+    # Churn helpers                                                      #
+    # ------------------------------------------------------------------ #
+
+    def expire_all(self, now: float) -> int:
+        """Expire stale records on every node (maintenance sweep)."""
+        return sum(node.storage.expire_all(now)
+                   for node in self.network.nodes())

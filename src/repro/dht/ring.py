@@ -1,0 +1,155 @@
+"""The DHT ring: membership, stabilisation and key ownership.
+
+An in-process Chord-style network.  Membership changes (join/leave/fail) are
+followed by :meth:`DHTNetwork.stabilize`, which rebuilds successor,
+predecessor and finger pointers from the current alive set — the in-process
+equivalent of Chord's periodic stabilisation converging.  Lookup routing
+itself lives in :mod:`repro.dht.routing` and uses only finger/successor
+pointers, so hop counts match a real ring (O(log n)).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from .id_space import ID_BITS, ID_SPACE
+from .node import DHTNode
+
+__all__ = ["DHTNetwork"]
+
+
+class DHTNetwork:
+    """Tracks ring membership and provides key-ownership queries."""
+
+    def __init__(self, finger_count: int = ID_BITS):
+        if not 1 <= finger_count <= ID_BITS:
+            raise ValueError(f"finger_count must be in [1, {ID_BITS}]")
+        self.finger_count = finger_count
+        self._nodes: Dict[str, DHTNode] = {}
+        self._sorted_ids: List[int] = []
+        self._by_id: Dict[int, DHTNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership                                                         #
+    # ------------------------------------------------------------------ #
+
+    def join(self, user_id: str) -> DHTNode:
+        """Add a node for ``user_id`` (idempotent for alive nodes)."""
+        existing = self._nodes.get(user_id)
+        if existing is not None and existing.alive:
+            return existing
+        node = DHTNode(user_id=user_id)
+        if node.node_id in self._by_id and self._by_id[node.node_id].alive:
+            raise ValueError(f"node id collision for {user_id!r}")
+        self._nodes[user_id] = node
+        self._by_id[node.node_id] = node
+        bisect.insort(self._sorted_ids, node.node_id)
+        self.stabilize()
+        return node
+
+    def leave(self, user_id: str) -> None:
+        """Graceful leave: hand stored records to the successor, then go."""
+        node = self._require(user_id)
+        successor = self.successor_of(node)
+        if successor is not None and successor is not node:
+            for record in list(node.storage.records()):
+                successor.storage.put(record.key, record.owner_id,
+                                      record.value, record.stored_at,
+                                      record.ttl)
+        self._remove(node)
+
+    def fail(self, user_id: str) -> None:
+        """Abrupt failure: stored records are lost."""
+        node = self._require(user_id)
+        self._remove(node)
+
+    def _remove(self, node: DHTNode) -> None:
+        node.alive = False
+        self._nodes.pop(node.user_id, None)
+        self._by_id.pop(node.node_id, None)
+        index = bisect.bisect_left(self._sorted_ids, node.node_id)
+        if index < len(self._sorted_ids) and self._sorted_ids[index] == node.node_id:
+            self._sorted_ids.pop(index)
+        self.stabilize()
+
+    def _require(self, user_id: str) -> DHTNode:
+        node = self._nodes.get(user_id)
+        if node is None:
+            raise KeyError(f"no alive node for {user_id!r}")
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Topology                                                           #
+    # ------------------------------------------------------------------ #
+
+    def stabilize(self) -> None:
+        """Rebuild successor/predecessor/finger pointers for all nodes."""
+        if not self._sorted_ids:
+            return
+        for node in self._nodes.values():
+            node.successor = self._first_at_or_after(node.node_id + 1)
+            node.predecessor = self._last_before(node.node_id)
+            node.fingers = [
+                self._first_at_or_after(node.finger_start(i))
+                for i in range(self.finger_count)
+            ]
+
+    def _first_at_or_after(self, target: int) -> DHTNode:
+        target %= ID_SPACE
+        index = bisect.bisect_left(self._sorted_ids, target)
+        if index == len(self._sorted_ids):
+            index = 0
+        return self._by_id[self._sorted_ids[index]]
+
+    def _last_before(self, target: int) -> DHTNode:
+        target %= ID_SPACE
+        index = bisect.bisect_left(self._sorted_ids, target) - 1
+        return self._by_id[self._sorted_ids[index]]
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def owner_of(self, key: int) -> Optional[DHTNode]:
+        """The node responsible for ``key`` (its successor on the ring)."""
+        if not self._sorted_ids:
+            return None
+        return self._first_at_or_after(key)
+
+    def replica_nodes(self, key: int, count: int) -> List[DHTNode]:
+        """The ``count`` distinct successors of ``key`` (replica set)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not self._sorted_ids:
+            return []
+        replicas: List[DHTNode] = []
+        node = self.owner_of(key)
+        seen = set()
+        while node is not None and node.node_id not in seen and len(replicas) < count:
+            replicas.append(node)
+            seen.add(node.node_id)
+            node = self.successor_of(node)
+        return replicas
+
+    def successor_of(self, node: DHTNode) -> Optional[DHTNode]:
+        if not self._sorted_ids:
+            return None
+        return self._first_at_or_after(node.node_id + 1)
+
+    def node(self, user_id: str) -> DHTNode:
+        return self._require(user_id)
+
+    def has_node(self, user_id: str) -> bool:
+        return user_id in self._nodes
+
+    def nodes(self) -> List[DHTNode]:
+        return [self._by_id[node_id] for node_id in self._sorted_ids]
+
+    def any_node(self) -> Optional[DHTNode]:
+        if not self._sorted_ids:
+            return None
+        return self._by_id[self._sorted_ids[0]]
+
+    def __len__(self) -> int:
+        return len(self._sorted_ids)

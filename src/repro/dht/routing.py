@@ -1,0 +1,81 @@
+"""Iterative finger-table routing with hop accounting.
+
+``Lookup(key, ...)`` — the "basic operation" of Section 4 — walks the ring
+greedily: from the current node, take the farthest finger that does not
+overshoot the key, until the key's owner (the first node at or past the key)
+is reached.  Hop counts are returned so benchmarks can verify the O(log n)
+routing cost and measure the message overhead of the evaluation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .id_space import ID_SPACE, in_interval
+from .node import DHTNode
+from .ring import DHTNetwork
+
+__all__ = ["LookupResult", "lookup"]
+
+#: Safety bound: no sane lookup takes more hops than nodes.
+_MAX_HOPS_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a lookup: the owner node and the route taken."""
+
+    key: int
+    owner: DHTNode
+    hops: int
+    path: List[str]
+
+
+def lookup(network: DHTNetwork, key: int,
+           start: Optional[DHTNode] = None) -> LookupResult:
+    """Route from ``start`` (default: an arbitrary node) to ``key``'s owner."""
+    if len(network) == 0:
+        raise RuntimeError("cannot look up in an empty network")
+    key %= ID_SPACE
+    current = start if start is not None else network.any_node()
+    assert current is not None
+    expected_owner = network.owner_of(key)
+    assert expected_owner is not None
+
+    path = [current.user_id]
+    hops = 0
+    max_hops = max(len(network) * _MAX_HOPS_FACTOR, 8)
+    while current.node_id != expected_owner.node_id:
+        next_node = _closest_preceding(current, key)
+        if next_node is None or next_node.node_id == current.node_id:
+            # No finger makes progress: fall through to the successor.
+            next_node = current.successor
+        if next_node is None:
+            raise RuntimeError("routing failed: node has no successor")
+        current = next_node
+        hops += 1
+        path.append(current.user_id)
+        if hops > max_hops:
+            raise RuntimeError(
+                f"routing did not converge after {hops} hops "
+                "(stale finger tables? call stabilize())")
+    return LookupResult(key=key, owner=current, hops=hops, path=path)
+
+
+def _closest_preceding(node: DHTNode, key: int) -> Optional[DHTNode]:
+    """The farthest finger strictly between ``node`` and ``key`` (Chord).
+
+    Additionally, if the node's direct successor already owns the key,
+    route straight to it.
+    """
+    successor = node.successor
+    if successor is not None and in_interval(
+            key, node.node_id, successor.node_id, inclusive_end=True):
+        return successor
+    for finger in reversed(node.fingers):
+        if finger is None or not finger.alive:
+            continue
+        if in_interval(finger.node_id, node.node_id, key):
+            return finger
+    return successor

@@ -1,0 +1,102 @@
+"""Per-node storage with TTL expiry and republication bookkeeping.
+
+DHT entries are soft state: a record lives ``ttl`` seconds past its last
+(re-)publication and is dropped afterwards, so data owned by departed users
+ages out naturally — the standard technique for handling churn that
+Section 4.3 alludes to ("a user will publish index information to
+multi-users regularly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+
+__all__ = ["StoredRecord", "NodeStorage"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class StoredRecord(Generic[T]):
+    """One stored value plus its freshness metadata."""
+
+    key: int
+    owner_id: str
+    value: T
+    stored_at: float
+    ttl: float
+
+    def expires_at(self) -> float:
+        return self.stored_at + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at()
+
+
+class NodeStorage(Generic[T]):
+    """Key -> per-owner records.  One owner holds one record per key."""
+
+    def __init__(self, default_ttl: float = 24 * 3600.0):
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be positive")
+        self.default_ttl = default_ttl
+        self._records: Dict[int, Dict[str, StoredRecord[T]]] = {}
+
+    def put(self, key: int, owner_id: str, value: T, now: float,
+            ttl: Optional[float] = None) -> StoredRecord[T]:
+        """Store/refresh ``owner_id``'s record under ``key``."""
+        record = StoredRecord(key=key, owner_id=owner_id, value=value,
+                              stored_at=now,
+                              ttl=ttl if ttl is not None else self.default_ttl)
+        self._records.setdefault(key, {})[owner_id] = record
+        return record
+
+    def get(self, key: int, now: float) -> List[StoredRecord[T]]:
+        """All live records under ``key`` (expired ones are dropped)."""
+        self._expire_key(key, now)
+        per_owner = self._records.get(key, {})
+        return sorted(per_owner.values(), key=lambda r: r.owner_id)
+
+    def get_owner(self, key: int, owner_id: str,
+                  now: float) -> Optional[StoredRecord[T]]:
+        self._expire_key(key, now)
+        return self._records.get(key, {}).get(owner_id)
+
+    def remove(self, key: int, owner_id: str) -> bool:
+        per_owner = self._records.get(key)
+        if per_owner and owner_id in per_owner:
+            del per_owner[owner_id]
+            if not per_owner:
+                del self._records[key]
+            return True
+        return False
+
+    def expire_all(self, now: float) -> int:
+        """Drop every expired record; returns the number removed."""
+        removed = 0
+        for key in list(self._records):
+            removed += self._expire_key(key, now)
+        return removed
+
+    def _expire_key(self, key: int, now: float) -> int:
+        per_owner = self._records.get(key)
+        if not per_owner:
+            return 0
+        stale = [owner for owner, record in per_owner.items()
+                 if record.expired(now)]
+        for owner in stale:
+            del per_owner[owner]
+        if not per_owner:
+            del self._records[key]
+        return len(stale)
+
+    def keys(self) -> List[int]:
+        return sorted(self._records)
+
+    def records(self) -> Iterator[StoredRecord[T]]:
+        for per_owner in self._records.values():
+            yield from per_owner.values()
+
+    def __len__(self) -> int:
+        return sum(len(per_owner) for per_owner in self._records.values())

@@ -1,0 +1,50 @@
+"""Discrete-event P2P file-sharing simulator."""
+
+from .behaviors import (CamouflagedPolluterBehavior, ColluderBehavior,
+                        ForgerBehavior, FreeRiderBehavior, HonestBehavior,
+                        LazyVoterBehavior, PeerBehavior, PolluterBehavior,
+                        WhitewasherBehavior)
+from .churn import ChurnModel
+from .engine import EventEngine, ScheduledEvent
+from .files import FileRegistry, Holding
+from .metrics import ClassStats, SimulationMetrics
+from .peers import Peer, UploadRequest
+from .scenarios import (SCENARIOS, balanced_mix, churn_heavy,
+                        collusion_stress, get_scenario, kazaa_pollution,
+                        maze_incentive)
+from .simulation import FileSharingSimulation, ScenarioSpec, SimulationConfig
+from .trace_export import TraceRecorder
+from .workload import WorkloadModel
+
+__all__ = [
+    "CamouflagedPolluterBehavior",
+    "ColluderBehavior",
+    "ForgerBehavior",
+    "FreeRiderBehavior",
+    "HonestBehavior",
+    "LazyVoterBehavior",
+    "PeerBehavior",
+    "PolluterBehavior",
+    "WhitewasherBehavior",
+    "ChurnModel",
+    "EventEngine",
+    "ScheduledEvent",
+    "FileRegistry",
+    "Holding",
+    "ClassStats",
+    "SimulationMetrics",
+    "Peer",
+    "UploadRequest",
+    "FileSharingSimulation",
+    "ScenarioSpec",
+    "SimulationConfig",
+    "TraceRecorder",
+    "WorkloadModel",
+    "SCENARIOS",
+    "balanced_mix",
+    "churn_heavy",
+    "collusion_stress",
+    "get_scenario",
+    "kazaa_pollution",
+    "maze_incentive",
+]

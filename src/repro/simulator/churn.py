@@ -1,0 +1,49 @@
+"""Peer churn: session and offline durations.
+
+"In a real P2P network, users may join and leave the system frequently and
+churn may affect data's availability" (Section 4.3).  Sessions and offline
+gaps are exponentially distributed, the standard first-order churn model;
+the simulation schedules leave/rejoin events from these draws.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["ChurnModel"]
+
+
+@dataclass
+class ChurnModel:
+    """Exponential session/offline churn; ``enabled=False`` disables churn."""
+
+    enabled: bool = True
+    mean_session_seconds: float = 6 * 3600.0
+    mean_offline_seconds: float = 18 * 3600.0
+    #: Peers join staggered over this initial window.
+    join_spread_seconds: float = 3600.0
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.mean_session_seconds <= 0:
+            raise ValueError("mean_session_seconds must be positive")
+        if self.mean_offline_seconds <= 0:
+            raise ValueError("mean_offline_seconds must be positive")
+        if self.join_spread_seconds < 0:
+            raise ValueError("join_spread_seconds must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    def initial_join_delay(self) -> float:
+        """Delay before a peer's first join."""
+        if self.join_spread_seconds == 0:
+            return 0.0
+        return self._rng.uniform(0.0, self.join_spread_seconds)
+
+    def session_duration(self) -> float:
+        """How long the peer stays online this session."""
+        return self._rng.expovariate(1.0 / self.mean_session_seconds)
+
+    def offline_duration(self) -> float:
+        """How long the peer stays offline before rejoining."""
+        return self._rng.expovariate(1.0 / self.mean_offline_seconds)

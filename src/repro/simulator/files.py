@@ -1,0 +1,117 @@
+"""Shared-file state inside the simulator.
+
+:class:`FileRegistry` tracks, for every catalog file, which peers currently
+hold a copy (and since when), who injected fakes, and deletion history.  The
+registry is ground truth the *simulator* sees; mechanisms only observe the
+behavioural signals the simulation forwards to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..traces.catalog import FileCatalog
+
+__all__ = ["Holding", "FileRegistry"]
+
+
+@dataclass
+class Holding:
+    """One peer's copy of one file."""
+
+    peer_id: str
+    file_id: str
+    acquired_at: float
+    #: None while held; set when the peer deletes the copy.
+    deleted_at: Optional[float] = None
+
+    def retention(self, now: float) -> float:
+        """Seconds the copy has been (or was) held."""
+        end = self.deleted_at if self.deleted_at is not None else now
+        return max(end - self.acquired_at, 0.0)
+
+    @property
+    def held(self) -> bool:
+        return self.deleted_at is None
+
+
+class FileRegistry:
+    """Who holds what, built over a :class:`FileCatalog`."""
+
+    def __init__(self, catalog: FileCatalog):
+        self.catalog = catalog
+        self._holdings: Dict[Tuple[str, str], Holding] = {}
+        self._holders: Dict[str, Set[str]] = {}
+        self._peer_files: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def add_copy(self, peer_id: str, file_id: str, now: float) -> Holding:
+        """Record that ``peer_id`` acquired ``file_id`` at time ``now``.
+
+        Re-acquiring a previously deleted copy resets the holding.
+        """
+        self.catalog.get(file_id)  # KeyError for unknown files
+        holding = Holding(peer_id=peer_id, file_id=file_id, acquired_at=now)
+        self._holdings[(peer_id, file_id)] = holding
+        self._holders.setdefault(file_id, set()).add(peer_id)
+        self._peer_files.setdefault(peer_id, set()).add(file_id)
+        return holding
+
+    def delete_copy(self, peer_id: str, file_id: str, now: float) -> Holding:
+        """Record that ``peer_id`` deleted its copy at time ``now``."""
+        holding = self._holdings.get((peer_id, file_id))
+        if holding is None or not holding.held:
+            raise KeyError(f"{peer_id} does not hold {file_id}")
+        holding.deleted_at = now
+        self._holders[file_id].discard(peer_id)
+        self._peer_files[peer_id].discard(file_id)
+        return holding
+
+    def drop_peer(self, peer_id: str, now: float) -> List[str]:
+        """Peer left the system: all held copies become unavailable."""
+        file_ids = list(self._peer_files.get(peer_id, ()))
+        for file_id in file_ids:
+            self.delete_copy(peer_id, file_id, now)
+        return file_ids
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def holders(self, file_id: str) -> Set[str]:
+        """Peers currently holding a copy of ``file_id``."""
+        return set(self._holders.get(file_id, ()))
+
+    def files_of(self, peer_id: str) -> Set[str]:
+        """Files ``peer_id`` currently holds."""
+        return set(self._peer_files.get(peer_id, ()))
+
+    def holding(self, peer_id: str, file_id: str) -> Optional[Holding]:
+        return self._holdings.get((peer_id, file_id))
+
+    def holds(self, peer_id: str, file_id: str) -> bool:
+        holding = self._holdings.get((peer_id, file_id))
+        return holding is not None and holding.held
+
+    def retention(self, peer_id: str, file_id: str, now: float) -> Optional[float]:
+        holding = self._holdings.get((peer_id, file_id))
+        if holding is None:
+            return None
+        return holding.retention(now)
+
+    def current_holdings(self) -> Iterable[Holding]:
+        """All live holdings (peer still has the copy)."""
+        return (holding for holding in self._holdings.values() if holding.held)
+
+    def is_fake(self, file_id: str) -> bool:
+        return self.catalog.get(file_id).is_fake
+
+    def quality(self, file_id: str) -> float:
+        return self.catalog.get(file_id).quality
+
+    def size(self, file_id: str) -> float:
+        return self.catalog.get(file_id).size_bytes

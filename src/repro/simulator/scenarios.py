@@ -1,0 +1,120 @@
+"""Named simulation scenarios from the paper's motivating settings.
+
+Each factory returns a ready :class:`SimulationConfig` (seeded, laptop
+sized) modelling one of the situations the paper argues about:
+
+* ``kazaa_pollution``   — heavy pollution of popular titles ("nearly half
+  of the files of some popular titles are fake"), sparse voting ("less
+  than 1% of the popular files on KaZaA are voted on");
+* ``maze_incentive``    — a mostly honest community with a free-rider
+  problem, the regime incentive mechanisms target;
+* ``collusion_stress``  — organised colluder cliques boosting each other
+  (the Lian et al. study the paper builds on);
+* ``churn_heavy``       — short sessions and long offline gaps stressing
+  evaluation availability (Section 4.3);
+* ``balanced_mix``      — a bit of everything, the default demo world.
+
+Use :func:`get_scenario` / ``SCENARIOS`` for CLI-style lookup by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .churn import ChurnModel
+from .simulation import ScenarioSpec, SimulationConfig
+
+__all__ = ["SCENARIOS", "get_scenario", "kazaa_pollution", "maze_incentive",
+           "collusion_stress", "churn_heavy", "balanced_mix"]
+
+_DAY = 24 * 3600.0
+
+
+def kazaa_pollution(seed: int = 42) -> SimulationConfig:
+    """Popular titles heavily polluted, users barely vote."""
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=30, free_riders=5, polluters=10,
+                              honest_vote_probability=0.05),
+        duration_seconds=3 * _DAY,
+        num_files=150,
+        fake_ratio=0.45,
+        request_rate=0.03,
+        seed=seed,
+    )
+
+
+def maze_incentive(seed: int = 42) -> SimulationConfig:
+    """Mostly honest community with a substantial free-rider population."""
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=30, lazy_voters=10, free_riders=20,
+                              polluters=2, honest_vote_probability=0.4),
+        duration_seconds=3 * _DAY,
+        num_files=120,
+        fake_ratio=0.1,
+        request_rate=0.03,
+        seed=seed,
+    )
+
+
+def collusion_stress(seed: int = 42) -> SimulationConfig:
+    """Two organised colluder cliques against an honest majority."""
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=30, colluders=10, clique_size=5,
+                              forgers=2, whitewashers=2,
+                              honest_vote_probability=0.4),
+        duration_seconds=3 * _DAY,
+        num_files=120,
+        fake_ratio=0.3,
+        request_rate=0.03,
+        seed=seed,
+    )
+
+
+def churn_heavy(seed: int = 42) -> SimulationConfig:
+    """Short sessions, long offline gaps: availability under stress."""
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=30, polluters=5,
+                              honest_vote_probability=0.4),
+        duration_seconds=2 * _DAY,
+        num_files=100,
+        fake_ratio=0.25,
+        request_rate=0.03,
+        seed=seed,
+        churn=ChurnModel(mean_session_seconds=2 * 3600.0,
+                         mean_offline_seconds=10 * 3600.0,
+                         seed=seed + 1),
+    )
+
+
+def balanced_mix(seed: int = 42) -> SimulationConfig:
+    """A bit of every behaviour; the default demo world."""
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=24, lazy_voters=6, free_riders=6,
+                              polluters=4, colluders=4, forgers=2,
+                              whitewashers=2, honest_vote_probability=0.35),
+        duration_seconds=2 * _DAY,
+        num_files=120,
+        fake_ratio=0.25,
+        request_rate=0.03,
+        seed=seed,
+    )
+
+
+SCENARIOS: Dict[str, Callable[[int], SimulationConfig]] = {
+    "kazaa-pollution": kazaa_pollution,
+    "maze-incentive": maze_incentive,
+    "collusion-stress": collusion_stress,
+    "churn-heavy": churn_heavy,
+    "balanced-mix": balanced_mix,
+}
+
+
+def get_scenario(name: str, seed: int = 42) -> SimulationConfig:
+    """Look a scenario up by name (raises ``KeyError`` with suggestions)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(SCENARIOS))}") from None
+    return factory(seed)

@@ -1,0 +1,33 @@
+"""Maze-like download traces: generation, replay, statistics, persistence."""
+
+from .catalog import CatalogFile, FileCatalog, zipf_weights
+from .generator import GeneratedTrace, MazeTraceGenerator, TraceParameters
+from .io import read_csv, read_jsonl, write_csv, write_jsonl
+from .records import DownloadRecord, DownloadTrace
+from .replay import (CoveragePoint, CoverageReplayer, CoverageSeries,
+                     run_coverage_sweep)
+from .stats import (TraceStatistics, compute_statistics, gini_coefficient,
+                    zipf_exponent_fit)
+
+__all__ = [
+    "CatalogFile",
+    "FileCatalog",
+    "zipf_weights",
+    "GeneratedTrace",
+    "MazeTraceGenerator",
+    "TraceParameters",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+    "DownloadRecord",
+    "DownloadTrace",
+    "CoveragePoint",
+    "CoverageReplayer",
+    "CoverageSeries",
+    "run_coverage_sweep",
+    "TraceStatistics",
+    "compute_statistics",
+    "gini_coefficient",
+    "zipf_exponent_fit",
+]

@@ -1,0 +1,88 @@
+"""Trace persistence: JSONL and CSV round-trips.
+
+The Maze log format is one record per line; we mirror that with JSON lines
+(lossless) and CSV (interoperable).  Both formats carry the ground-truth
+``is_fake`` flag so persisted traces stay benchmark-scorable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .records import DownloadRecord, DownloadTrace
+
+__all__ = ["write_jsonl", "read_jsonl", "write_csv", "read_csv"]
+
+_FIELDS = ["uploader_id", "downloader_id", "timestamp", "content_hash",
+           "filename", "size_bytes", "is_fake"]
+
+
+def _record_to_dict(record: DownloadRecord) -> dict:
+    return {
+        "uploader_id": record.uploader_id,
+        "downloader_id": record.downloader_id,
+        "timestamp": record.timestamp,
+        "content_hash": record.content_hash,
+        "filename": record.filename,
+        "size_bytes": record.size_bytes,
+        "is_fake": record.is_fake,
+    }
+
+
+def _record_from_dict(data: dict) -> DownloadRecord:
+    return DownloadRecord(
+        uploader_id=str(data["uploader_id"]),
+        downloader_id=str(data["downloader_id"]),
+        timestamp=float(data["timestamp"]),
+        content_hash=str(data["content_hash"]),
+        filename=str(data["filename"]),
+        size_bytes=float(data.get("size_bytes", 0.0)),
+        is_fake=_parse_bool(data.get("is_fake", False)),
+    )
+
+
+def _parse_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "1", "yes")
+    return bool(value)
+
+
+def write_jsonl(trace: DownloadTrace, path: Union[str, Path]) -> None:
+    """Write one JSON object per record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in trace:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def read_jsonl(path: Union[str, Path]) -> DownloadTrace:
+    """Read a trace written by :func:`write_jsonl` (blank lines ignored)."""
+    trace = DownloadTrace()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                trace.append(_record_from_dict(json.loads(line)))
+    return trace
+
+
+def write_csv(trace: DownloadTrace, path: Union[str, Path]) -> None:
+    """Write a header row plus one CSV row per record."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in trace:
+            writer.writerow(_record_to_dict(record))
+
+
+def read_csv(path: Union[str, Path]) -> DownloadTrace:
+    """Read a trace written by :func:`write_csv`."""
+    trace = DownloadTrace()
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            trace.append(_record_from_dict(row))
+    return trace

@@ -1,0 +1,104 @@
+"""Download-log records matching the Maze log schema of Section 3.2.
+
+"A log server is used to record every downloading action and each log
+contains uploading user-id, downloading user-id, global time, files content
+hash, and filename."  We add the transferred size (needed by Eq. 4 and
+available in any real deployment) and a ground-truth ``is_fake`` flag the
+*mechanisms never see* — it exists only so the benchmarks can score
+detection quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+__all__ = ["DownloadRecord", "DownloadTrace"]
+
+
+@dataclass(frozen=True)
+class DownloadRecord:
+    """One downloading action from the (synthetic) Maze log."""
+
+    uploader_id: str
+    downloader_id: str
+    timestamp: float
+    content_hash: str
+    filename: str
+    size_bytes: float = 0.0
+    #: Ground truth, hidden from the mechanisms; benchmark scoring only.
+    is_fake: bool = False
+
+    def __post_init__(self) -> None:
+        if self.uploader_id == self.downloader_id:
+            raise ValueError("uploader and downloader must differ")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be >= 0, got {self.timestamp}")
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+
+@dataclass
+class DownloadTrace:
+    """An ordered collection of download records plus summary accessors."""
+
+    records: List[DownloadRecord] = field(default_factory=list)
+
+    def append(self, record: DownloadRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[DownloadRecord]) -> None:
+        self.records.extend(records)
+
+    def sort_by_time(self) -> None:
+        self.records.sort(key=lambda r: (r.timestamp, r.downloader_id,
+                                         r.uploader_id, r.content_hash))
+
+    # ------------------------------------------------------------------ #
+    # Summary accessors                                                  #
+    # ------------------------------------------------------------------ #
+
+    def users(self) -> List[str]:
+        """All user ids appearing as uploader or downloader, sorted."""
+        ids = set()
+        for record in self.records:
+            ids.add(record.uploader_id)
+            ids.add(record.downloader_id)
+        return sorted(ids)
+
+    def files(self) -> List[str]:
+        """All content hashes, sorted."""
+        return sorted({record.content_hash for record in self.records})
+
+    def duration(self) -> float:
+        """Span between first and last record (0 for empty traces)."""
+        if not self.records:
+            return 0.0
+        times = [record.timestamp for record in self.records]
+        return max(times) - min(times)
+
+    def downloads_of(self, downloader_id: str) -> List[DownloadRecord]:
+        return [r for r in self.records if r.downloader_id == downloader_id]
+
+    def uploads_of(self, uploader_id: str) -> List[DownloadRecord]:
+        return [r for r in self.records if r.uploader_id == uploader_id]
+
+    def fake_fraction(self) -> float:
+        """Ground-truth fraction of downloads that delivered a fake file."""
+        if not self.records:
+            return 0.0
+        return sum(r.is_fake for r in self.records) / len(self.records)
+
+    def window(self, start: float, end: float) -> "DownloadTrace":
+        """Records with ``start <= timestamp < end`` (a day slice, etc.)."""
+        return DownloadTrace([r for r in self.records
+                              if start <= r.timestamp < end])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DownloadRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> DownloadRecord:
+        return self.records[index]

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import render_ascii_chart
+
+
+class TestRenderAsciiChart:
+    def test_basic_shape(self):
+        chart = render_ascii_chart({"a": [0.0, 0.5, 1.0]}, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 6  # 5 rows + legend
+        assert "o=a" in lines[-1]
+
+    def test_title_prepended(self):
+        chart = render_ascii_chart({"a": [1.0]}, height=3, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_y_axis_labels(self):
+        chart = render_ascii_chart({"a": [0.0, 1.0]}, height=4,
+                                   y_min=0.0, y_max=1.0)
+        assert "1.00" in chart
+        assert "0.00" in chart
+
+    def test_high_values_on_top(self):
+        chart = render_ascii_chart({"a": [0.0, 1.0]}, height=3,
+                                   y_min=0.0, y_max=1.0)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert rows[0].split("|")[1] == " o"   # high point in top row
+        assert rows[-1].split("|")[1] == "o "  # low point in bottom row
+
+    def test_multiple_series_get_distinct_marks(self):
+        chart = render_ascii_chart({"low": [0.0], "high": [1.0]}, height=3,
+                                   y_min=0.0, y_max=1.0)
+        assert "o=low" in chart and "x=high" in chart
+
+    def test_values_clamped_to_range(self):
+        chart = render_ascii_chart({"a": [5.0]}, height=3,
+                                   y_min=0.0, y_max=1.0)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_ascii_chart({"a": [0.5, 0.5, 0.5]}, height=3)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart({})
+        with pytest.raises(ValueError):
+            render_ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            render_ascii_chart({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            render_ascii_chart({"a": [1.0]}, height=1)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.5] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            render_ascii_chart(series)

@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import ConfusionMatrix, auc, roc_points, score_judgements
+
+
+class TestConfusionMatrix:
+    def test_perfect_detector(self):
+        matrix = ConfusionMatrix(true_positives=10, true_negatives=10)
+        assert matrix.precision == 1.0
+        assert matrix.recall == 1.0
+        assert matrix.f1 == 1.0
+        assert matrix.accuracy == 1.0
+
+    def test_useless_detector(self):
+        matrix = ConfusionMatrix(false_positives=5, false_negatives=5)
+        assert matrix.precision == 0.0
+        assert matrix.recall == 0.0
+        assert matrix.f1 == 0.0
+
+    def test_empty_matrix_safe(self):
+        matrix = ConfusionMatrix()
+        assert matrix.precision == 0.0
+        assert matrix.recall == 0.0
+        assert matrix.accuracy == 0.0
+        assert matrix.false_positive_rate == 0.0
+
+    def test_false_positive_rate(self):
+        matrix = ConfusionMatrix(false_positives=2, true_negatives=8)
+        assert matrix.false_positive_rate == pytest.approx(0.2)
+
+
+class TestScoreJudgements:
+    def test_counts_all_four_cells(self):
+        truth = {"tp": True, "fn": True, "fp": False, "tn": False}
+        flagged = {"tp": True, "fn": False, "fp": True, "tn": False}
+        matrix = score_judgements(flagged, truth)
+        assert matrix.true_positives == 1
+        assert matrix.false_negatives == 1
+        assert matrix.false_positives == 1
+        assert matrix.true_negatives == 1
+
+    def test_missing_flags_default_to_real(self):
+        truth = {"a": True, "b": False}
+        matrix = score_judgements({}, truth)
+        assert matrix.false_negatives == 1
+        assert matrix.true_negatives == 1
+
+    @given(truth=st.dictionaries(st.text(min_size=1, max_size=4),
+                                 st.booleans(), max_size=20),
+           flags=st.dictionaries(st.text(min_size=1, max_size=4),
+                                 st.booleans(), max_size=20))
+    def test_cells_partition_ground_truth(self, truth, flags):
+        matrix = score_judgements(flags, truth)
+        assert matrix.total == len(truth)
+
+
+class TestROC:
+    def test_perfect_scores_give_auc_one(self):
+        scores = {"fake1": 0.0, "fake2": 0.1, "real1": 0.9, "real2": 1.0}
+        truth = {"fake1": True, "fake2": True, "real1": False, "real2": False}
+        points = roc_points(scores, truth)
+        assert auc(points) == pytest.approx(1.0)
+
+    def test_inverted_scores_give_auc_zero(self):
+        scores = {"fake1": 1.0, "real1": 0.0}
+        truth = {"fake1": True, "real1": False}
+        assert auc(roc_points(scores, truth)) == pytest.approx(0.0, abs=0.01)
+
+    def test_random_scores_give_half(self):
+        import random
+        rng = random.Random(1)
+        scores, truth = {}, {}
+        for index in range(400):
+            name = f"f{index}"
+            scores[name] = rng.random()
+            truth[name] = index % 2 == 0
+        assert auc(roc_points(scores, truth)) == pytest.approx(0.5, abs=0.1)
+
+    def test_points_monotone(self):
+        scores = {"a": 0.2, "b": 0.5, "c": 0.8}
+        truth = {"a": True, "b": False, "c": False}
+        points = roc_points(scores, truth)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_empty_inputs(self):
+        assert roc_points({}, {}) == []
+        assert auc([]) == 0.0
+
+    def test_unscored_files_skipped(self):
+        scores = {"a": 0.1}
+        truth = {"a": True, "unscored": False}
+        points = roc_points(scores, truth)
+        assert points[-1] == (1.0, 1.0)

@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.convergence."""
+
+import pytest
+
+from repro.analysis import (ordering_convergence, reach_by_step,
+                            steps_to_converge)
+from repro.core import TrustMatrix
+
+
+@pytest.fixture
+def chain():
+    """a -> b -> c -> d: each power reaches exactly one tier."""
+    return TrustMatrix({"a": {"b": 1.0}, "b": {"c": 1.0}, "c": {"d": 1.0}})
+
+
+@pytest.fixture
+def dense_ring():
+    """Everyone trusts everyone (uniform): converged from step one."""
+    ids = [f"n{i}" for i in range(4)]
+    matrix = TrustMatrix()
+    for i in ids:
+        for j in ids:
+            if i != j:
+                matrix.set(i, j, 1.0)
+    return matrix.row_normalized()
+
+
+class TestReachByStep:
+    def test_chain_reach_is_tier_count(self, chain):
+        fractions = reach_by_step(chain, max_steps=3)
+        # 4 nodes -> 12 ordered pairs; step n reaches the pairs at distance
+        # exactly n along the chain: 3, then 2, then 1.
+        assert fractions[0] == pytest.approx(3 / 12)
+        assert fractions[1] == pytest.approx(2 / 12)
+        assert fractions[2] == pytest.approx(1 / 12)
+
+    def test_dense_ring_reaches_everything_at_step_one(self, dense_ring):
+        fractions = reach_by_step(dense_ring, max_steps=2)
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError):
+            reach_by_step(chain, max_steps=0)
+        with pytest.raises(ValueError):
+            reach_by_step(TrustMatrix({"a": {"a": 1.0}}), observers=["a"])
+
+
+class TestOrderingConvergence:
+    def test_uniform_matrix_converged_immediately(self, dense_ring):
+        taus = ordering_convergence(dense_ring, max_steps=3)
+        assert all(tau == pytest.approx(1.0) for tau in taus)
+
+    def test_returns_one_tau_per_transition(self, chain):
+        taus = ordering_convergence(chain, max_steps=4)
+        assert len(taus) == 3
+        assert all(-1.0 <= tau <= 1.0 for tau in taus)
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError):
+            ordering_convergence(chain, max_steps=1)
+
+
+class TestStepsToConverge:
+    def test_dense_converges_at_one(self, dense_ring):
+        assert steps_to_converge(dense_ring, max_steps=3) == 1
+
+    def test_none_when_never_converging(self, chain):
+        # The chain's ordering keeps shifting as mass moves down the chain
+        # and then vanishes; with a strict tolerance nothing qualifies.
+        result = steps_to_converge(chain, max_steps=3, tolerance=1.0)
+        assert result is None or result >= 1
+
+    def test_tolerance_validation(self, dense_ring):
+        with pytest.raises(ValueError):
+            steps_to_converge(dense_ring, tolerance=0.0)
+
+    def test_realistic_community_converges_fast(self):
+        """A well-mixed trust community needs very few steps — the
+        quantitative backbone of the paper's 'n = 1 is enough' choice."""
+        import random
+        rng = random.Random(4)
+        ids = [f"u{i}" for i in range(30)]
+        matrix = TrustMatrix()
+        for i in ids:
+            for j in rng.sample(ids, 10):
+                if i != j:
+                    matrix.set(i, j, rng.uniform(0.3, 1.0))
+        one_step = matrix.row_normalized()
+        step = steps_to_converge(one_step, max_steps=5, tolerance=0.95)
+        assert step is not None and step <= 3

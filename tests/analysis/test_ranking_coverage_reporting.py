@@ -1,0 +1,165 @@
+"""Tests for repro.analysis ranking, coverage and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (dimension_densities, kendall_tau,
+                            matrix_edge_coverage, rank_of, render_series,
+                            render_table, separation, tit_for_tat_coverage,
+                            top_k_overlap)
+from repro.core import TrustMatrix
+from repro.traces import DownloadRecord, DownloadTrace
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        a = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        a = {"x": 3.0, "y": 2.0, "z": 1.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_only_common_keys_compared(self):
+        a = {"x": 1.0, "y": 2.0, "only_a": 9.0}
+        b = {"x": 1.0, "y": 2.0, "only_b": 9.0}
+        assert kendall_tau(a, b) == pytest.approx(1.0)
+
+    def test_too_few_common_keys(self):
+        with pytest.raises(ValueError):
+            kendall_tau({"x": 1.0}, {"x": 1.0})
+
+
+class TestTopKAndRank:
+    def test_top_k_overlap(self):
+        a = {"w": 4.0, "x": 3.0, "y": 2.0, "z": 1.0}
+        b = {"w": 4.0, "x": 3.0, "y": 0.0, "z": 5.0}
+        assert top_k_overlap(a, b, 2) == pytest.approx(0.5)
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_overlap({}, {}, 0)
+
+    def test_rank_of(self):
+        scores = {"best": 3.0, "middle": 2.0, "worst": 1.0}
+        assert rank_of(scores, "best") == 1
+        assert rank_of(scores, "worst") == 3
+
+    def test_rank_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            rank_of({"a": 1.0}, "z")
+
+    def test_separation_sign(self):
+        scores = {"g1": 0.9, "g2": 0.8, "b1": 0.1}
+        assert separation(scores, ["g1", "g2"], ["b1"]) > 0
+        assert separation(scores, ["b1"], ["g1", "g2"]) < 0
+
+    def test_separation_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            separation({"a": 1.0}, [], ["a"])
+
+
+def _trace(records):
+    trace = DownloadTrace()
+    for uploader, downloader, timestamp in records:
+        trace.append(DownloadRecord(uploader, downloader, timestamp,
+                                    "f", "f.dat", 1.0))
+    return trace
+
+
+class TestTitForTatCoverage:
+    def test_no_reciprocity_means_zero(self):
+        trace = _trace([("a", "b", 0.0), ("a", "c", 1.0)])
+        assert tit_for_tat_coverage(trace) == 0.0
+
+    def test_reciprocal_pair_covered(self):
+        # b downloads from a, then a downloads from... b uploads to a:
+        # second record: b serves a -> b previously downloaded from a.
+        trace = _trace([("a", "b", 0.0), ("b", "a", 1.0)])
+        assert tit_for_tat_coverage(trace) == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        assert tit_for_tat_coverage(DownloadTrace()) == 0.0
+
+
+class TestMatrixEdgeCoverage:
+    def test_counts_edges_in_direction_uploader_to_downloader(self):
+        trace = _trace([("a", "b", 0.0), ("c", "d", 1.0)])
+        matrix = TrustMatrix({"a": {"b": 1.0}})
+        assert matrix_edge_coverage(trace, matrix) == pytest.approx(0.5)
+
+    def test_empty_trace_zero(self):
+        assert matrix_edge_coverage(DownloadTrace(), TrustMatrix()) == 0.0
+
+
+class TestDimensionDensities:
+    def test_integration_gain(self):
+        fm = TrustMatrix({"a": {"b": 1.0}})
+        dm = TrustMatrix({"b": {"c": 1.0}})
+        um = TrustMatrix({"c": {"a": 1.0}})
+        integrated = TrustMatrix.weighted_sum([(1 / 3, fm), (1 / 3, dm),
+                                               (1 / 3, um)])
+        densities = dimension_densities(fm, dm, um, integrated)
+        assert densities.integrated_density == pytest.approx(3 / 6)
+        assert densities.integration_gain() == pytest.approx(3.0)
+
+    def test_padding_population(self):
+        fm = TrustMatrix({"a": {"b": 1.0}})
+        empty = TrustMatrix()
+        densities = dimension_densities(fm, empty, empty, fm, population=10)
+        assert densities.file_density == pytest.approx(1 / 90)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in text
+        assert "-" in lines[3]
+
+    def test_render_table_with_title(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_render_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_series(self):
+        text = render_series({"cov": [0.1, 0.2]}, x_labels=["day0", "day1"],
+                             x_header="day")
+        assert "day0" in text and "0.200" in text
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_render_series_requires_data(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+
+class TestJainFairness:
+    def test_equal_allocation_is_one(self):
+        from repro.analysis import jain_fairness
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_winner_take_all_is_one_over_n(self):
+        from repro.analysis import jain_fairness
+        assert jain_fairness([0.0, 0.0, 0.0, 12.0]) == pytest.approx(0.25)
+
+    def test_monotone_in_inequality(self):
+        from repro.analysis import jain_fairness
+        assert jain_fairness([1.0, 9.0]) < jain_fairness([4.0, 6.0])
+
+    def test_zero_total_is_trivially_fair(self):
+        from repro.analysis import jain_fairness
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        from repro.analysis import jain_fairness
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (bootstrap_mean_ci, replicate,
+                            summarize_replicates)
+
+
+class TestBootstrapCI:
+    def test_single_value_collapses(self):
+        mean, low, high = bootstrap_mean_ci([5.0])
+        assert mean == low == high == 5.0
+
+    def test_interval_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, low, high = bootstrap_mean_ci(values, seed=1)
+        assert low <= mean <= high
+        assert mean == pytest.approx(3.0)
+
+    def test_deterministic_for_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(values, seed=3) == bootstrap_mean_ci(
+            values, seed=3)
+
+    def test_tighter_with_more_confidence_means_wider_interval(self):
+        values = list(range(20))
+        _, low95, high95 = bootstrap_mean_ci(values, confidence=0.95, seed=1)
+        _, low50, high50 = bootstrap_mean_ci(values, confidence=0.50, seed=1)
+        assert (high95 - low95) >= (high50 - low50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], resamples=0)
+
+    @given(values=st.lists(st.floats(min_value=-100, max_value=100),
+                           min_size=2, max_size=30))
+    def test_interval_bounds_within_data_range(self, values):
+        _, low, high = bootstrap_mean_ci(values, seed=2, resamples=200)
+        assert min(values) - 1e-9 <= low <= high <= max(values) + 1e-9
+
+
+class TestReplicate:
+    def test_collects_per_seed_metrics(self):
+        collected = replicate(lambda seed: {"x": seed * 2.0}, [1, 2, 3])
+        assert collected == {"x": [2.0, 4.0, 6.0]}
+
+    def test_multiple_metrics(self):
+        collected = replicate(lambda seed: {"a": 1.0, "b": float(seed)},
+                              [5, 6])
+        assert collected["a"] == [1.0, 1.0]
+        assert collected["b"] == [5.0, 6.0]
+
+    def test_inconsistent_metrics_rejected(self):
+        def experiment(seed):
+            return {"a": 1.0} if seed == 1 else {"b": 1.0}
+        with pytest.raises(ValueError):
+            replicate(experiment, [1, 2])
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: {"x": 0.0}, [])
+
+
+class TestSummaries:
+    def test_summaries_sorted_by_metric(self):
+        collected = {"z": [1.0, 2.0], "a": [3.0, 4.0]}
+        summaries = summarize_replicates(collected, seed=1)
+        assert [s.metric for s in summaries] == ["a", "z"]
+
+    def test_summary_fields(self):
+        summaries = summarize_replicates({"m": [1.0, 2.0, 3.0]}, seed=1)
+        summary = summaries[0]
+        assert summary.n == 3
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert len(summary.row()) == 5

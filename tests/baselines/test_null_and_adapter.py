@@ -1,0 +1,100 @@
+"""Tests for the null mechanism, the adapter and the mechanism registry."""
+
+import pytest
+
+from repro.baselines import (ALL_MECHANISMS, MultiDimensionalMechanism,
+                             NullMechanism, ReputationMechanism)
+from repro.core import ReputationConfig
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+class TestNull:
+    def test_trusts_nobody_and_nothing(self):
+        mechanism = NullMechanism()
+        mechanism.record_download("a", "b", "f", 1.0)
+        mechanism.record_vote("a", "f", 1.0)
+        assert mechanism.reputation("a", "b") == 0.0
+        assert mechanism.file_score("a", "f") is None
+
+
+class TestRegistry:
+    def test_all_mechanisms_constructible(self):
+        for name, factory in ALL_MECHANISMS.items():
+            mechanism = factory()
+            assert isinstance(mechanism, ReputationMechanism)
+            assert mechanism.name == name
+
+    def test_registry_covers_paper_and_baselines(self):
+        assert set(ALL_MECHANISMS) == {
+            "null", "tit-for-tat", "eigentrust", "multitrust-lian",
+            "lip", "credence", "multidimensional"}
+
+    def test_common_interface_signals_are_safe_everywhere(self):
+        """Every mechanism must accept every signal without blowing up."""
+        for factory in ALL_MECHANISMS.values():
+            mechanism = factory()
+            mechanism.record_download("a", "b", "f", 100.0, timestamp=1.0)
+            mechanism.record_vote("a", "f", 0.9, timestamp=2.0)
+            mechanism.record_retention("a", "f", 3600.0, timestamp=3.0)
+            mechanism.record_rank("a", "b", 0.8)
+            mechanism.record_deletion("a", "f", timestamp=4.0)
+            mechanism.record_upload_outcome("b", positive=True)
+            mechanism.refresh()
+            mechanism.reputation("a", "b")
+            mechanism.file_score("a", "f")
+            mechanism.global_scores()
+
+
+class TestMultiDimensionalAdapter:
+    def test_signals_reach_the_facade(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_vote("a", "f1", 0.9)
+        adapter.record_vote("b", "f1", 0.9)
+        adapter.refresh()
+        assert adapter.reputation("a", "b") > 0.0
+
+    def test_file_score_is_eq9(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_vote("a", "shared", 0.9)
+        adapter.record_vote("b", "shared", 0.9)
+        adapter.record_vote("b", "target", 0.8)
+        adapter.refresh()
+        assert adapter.file_score("a", "target") == pytest.approx(0.8)
+
+    def test_unknown_file_score_is_none(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        assert adapter.file_score("a", "mystery") is None
+
+    def test_manual_refresh_by_default(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_vote("a", "f1", 0.9)
+        adapter.record_vote("b", "f1", 0.9)
+        assert adapter.system.user_reputation("a", "b") > 0.0  # lazily built
+        adapter.record_vote("c", "f1", 0.9)  # does not invalidate the cache
+        assert adapter.system.user_reputation("a", "c") == 0.0
+        adapter.refresh()
+        assert adapter.system.user_reputation("a", "c") > 0.0
+
+    def test_positive_upload_outcome_earns_credit(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_upload_outcome("uploader", positive=True)
+        assert adapter.system.credits.credit("uploader") > 0.0
+
+    def test_negative_upload_outcome_earns_nothing(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_upload_outcome("uploader", positive=False)
+        assert adapter.system.credits.credit("uploader") == 0.0
+
+    def test_deletion_maps_to_fake_deletion(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_deletion("a", "fake")
+        assert adapter.system.credits.credit("a") > 0.0
+
+    def test_global_scores_projection(self):
+        adapter = MultiDimensionalMechanism(PURE_EXPLICIT)
+        adapter.record_vote("a", "f1", 0.9)
+        adapter.record_vote("b", "f1", 0.9)
+        adapter.refresh()
+        scores = adapter.global_scores()
+        assert scores and all(v >= 0 for v in scores.values())

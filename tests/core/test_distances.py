@@ -1,0 +1,108 @@
+"""Tests for repro.core.distances: Eq. 2 similarity metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (euclidean_similarity, get_similarity, kl_similarity,
+                        l1_similarity)
+from repro.core.distances import SIMILARITY_METRICS
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+vectors = st.lists(unit_floats, min_size=1, max_size=20)
+
+
+def paired_vectors():
+    return st.integers(min_value=1, max_value=20).flatmap(
+        lambda n: st.tuples(
+            st.lists(unit_floats, min_size=n, max_size=n),
+            st.lists(unit_floats, min_size=n, max_size=n)))
+
+
+class TestL1:
+    def test_identical_vectors_give_one(self):
+        assert l1_similarity([0.3, 0.7], [0.3, 0.7]) == pytest.approx(1.0)
+
+    def test_opposite_vectors_give_zero(self):
+        assert l1_similarity([0.0, 1.0], [1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_paper_formula(self):
+        # FT = 1 - (1/m) * sum |E_ik - E_jk| with m = 2.
+        value = l1_similarity([0.9, 0.5], [0.7, 0.1])
+        assert value == pytest.approx(1.0 - (0.2 + 0.4) / 2)
+
+    def test_single_element(self):
+        assert l1_similarity([0.25], [0.75]) == pytest.approx(0.5)
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            l1_similarity([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            l1_similarity([0.5], [0.5, 0.5])
+
+
+class TestEuclidean:
+    def test_identical_vectors_give_one(self):
+        assert euclidean_similarity([0.2, 0.8], [0.2, 0.8]) == pytest.approx(1.0)
+
+    def test_opposite_vectors_give_zero(self):
+        assert euclidean_similarity([1.0], [0.0]) == pytest.approx(0.0)
+
+    def test_penalizes_one_large_disagreement_more_than_l1(self):
+        # One big disagreement vs. spread-out small ones: RMS punishes the
+        # concentrated error harder.
+        concentrated_l1 = l1_similarity([1.0, 0.5, 0.5], [0.0, 0.5, 0.5])
+        concentrated_l2 = euclidean_similarity([1.0, 0.5, 0.5], [0.0, 0.5, 0.5])
+        assert concentrated_l2 < concentrated_l1
+
+
+class TestKL:
+    def test_identical_vectors_give_one(self):
+        assert kl_similarity([0.4, 0.6], [0.4, 0.6]) == pytest.approx(1.0)
+
+    def test_handles_extreme_evaluations(self):
+        # 0 and 1 would make raw KL infinite; clamping keeps it finite.
+        value = kl_similarity([0.0, 1.0], [1.0, 0.0])
+        assert 0.0 <= value < 0.01
+
+    def test_monotone_in_disagreement(self):
+        close = kl_similarity([0.5], [0.6])
+        far = kl_similarity([0.5], [0.9])
+        assert far < close
+
+
+class TestRegistry:
+    def test_get_similarity_resolves_all_names(self):
+        for name in ("l1", "euclidean", "kl"):
+            assert get_similarity(name) is SIMILARITY_METRICS[name]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown similarity"):
+            get_similarity("cosine")
+
+
+class TestSharedProperties:
+    """Properties every Eq. 2-compatible similarity must satisfy."""
+
+    @pytest.mark.parametrize("name", sorted(SIMILARITY_METRICS))
+    @given(pair=paired_vectors())
+    def test_range_is_unit_interval(self, name, pair):
+        a, b = pair
+        value = SIMILARITY_METRICS[name](a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @pytest.mark.parametrize("name", sorted(SIMILARITY_METRICS))
+    @given(vector=vectors)
+    def test_self_similarity_is_one(self, name, vector):
+        assert SIMILARITY_METRICS[name](vector, vector) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(SIMILARITY_METRICS))
+    @given(pair=paired_vectors())
+    def test_symmetry(self, name, pair):
+        a, b = pair
+        metric = SIMILARITY_METRICS[name]
+        assert metric(a, b) == pytest.approx(metric(b, a))

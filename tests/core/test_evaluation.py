@@ -1,0 +1,207 @@
+"""Tests for repro.core.evaluation: Eq. 1 and the evaluation store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (EvaluationStore, FileEvaluation, ReputationConfig,
+                        implicit_from_retention)
+
+DAY = 24 * 3600.0
+
+
+class TestImplicitFromRetention:
+    def test_zero_retention_gives_zero(self):
+        assert implicit_from_retention(0.0, 30 * DAY) == 0.0
+
+    def test_saturation_gives_one(self):
+        assert implicit_from_retention(30 * DAY, 30 * DAY) == 1.0
+
+    def test_beyond_saturation_clamped(self):
+        assert implicit_from_retention(90 * DAY, 30 * DAY) == 1.0
+
+    def test_linear_below_saturation(self):
+        assert implicit_from_retention(15 * DAY, 30 * DAY) == pytest.approx(0.5)
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            implicit_from_retention(-1.0, 30 * DAY)
+
+    def test_nonpositive_saturation_rejected(self):
+        with pytest.raises(ValueError):
+            implicit_from_retention(1.0, 0.0)
+
+    @given(retention=st.floats(min_value=0, max_value=1e9),
+           saturation=st.floats(min_value=1.0, max_value=1e9))
+    def test_always_in_unit_interval(self, retention, saturation):
+        assert 0.0 <= implicit_from_retention(retention, saturation) <= 1.0
+
+
+class TestEq1Blending:
+    """E_ij = IE if no vote; IE*eta + EE*rho if voted (Eq. 1)."""
+
+    def test_no_vote_returns_implicit(self):
+        evaluation = FileEvaluation("u", "f", implicit=0.42)
+        assert evaluation.value() == pytest.approx(0.42)
+
+    def test_vote_blends_with_configured_weights(self):
+        config = ReputationConfig(eta=0.4, rho=0.6)
+        evaluation = FileEvaluation("u", "f", implicit=0.5, explicit=1.0)
+        assert evaluation.value(config) == pytest.approx(0.5 * 0.4 + 1.0 * 0.6)
+
+    def test_pure_explicit_config_ignores_implicit(self):
+        config = ReputationConfig(eta=0.0, rho=1.0)
+        evaluation = FileEvaluation("u", "f", implicit=0.1, explicit=0.9)
+        assert evaluation.value(config) == pytest.approx(0.9)
+
+    def test_out_of_range_implicit_rejected(self):
+        with pytest.raises(ValueError):
+            FileEvaluation("u", "f", implicit=1.5)
+
+    def test_out_of_range_explicit_rejected(self):
+        with pytest.raises(ValueError):
+            FileEvaluation("u", "f", implicit=0.5, explicit=-0.1)
+
+    @given(implicit=st.floats(min_value=0, max_value=1),
+           explicit=st.floats(min_value=0, max_value=1))
+    def test_blend_stays_in_unit_interval(self, implicit, explicit):
+        evaluation = FileEvaluation("u", "f", implicit=implicit,
+                                    explicit=explicit)
+        assert 0.0 <= evaluation.value() <= 1.0
+
+    @given(implicit=st.floats(min_value=0, max_value=1),
+           explicit=st.floats(min_value=0, max_value=1))
+    def test_blend_between_implicit_and_explicit(self, implicit, explicit):
+        evaluation = FileEvaluation("u", "f", implicit=implicit,
+                                    explicit=explicit)
+        low, high = sorted((implicit, explicit))
+        assert low - 1e-12 <= evaluation.value() <= high + 1e-12
+
+
+class TestStoreRecording:
+    def test_record_retention_sets_implicit(self):
+        store = EvaluationStore()
+        store.record_retention("u", "f", 15 * DAY)
+        assert store.value("u", "f") == pytest.approx(0.5)
+
+    def test_record_vote_blends(self):
+        store = EvaluationStore()
+        store.record_retention("u", "f", 30 * DAY)
+        store.record_vote("u", "f", 0.0)
+        # implicit 1.0 * 0.4 + explicit 0.0 * 0.6
+        assert store.value("u", "f") == pytest.approx(0.4)
+
+    def test_vote_without_retention_uses_zero_implicit(self):
+        store = EvaluationStore()
+        store.record_vote("u", "f", 1.0)
+        assert store.value("u", "f") == pytest.approx(0.6)
+
+    def test_vote_out_of_range_rejected(self):
+        store = EvaluationStore()
+        with pytest.raises(ValueError):
+            store.record_vote("u", "f", 1.1)
+
+    def test_retention_update_refreshes_implicit(self):
+        store = EvaluationStore()
+        store.record_retention("u", "f", 3 * DAY, timestamp=1.0)
+        first = store.value("u", "f")
+        store.record_retention("u", "f", 30 * DAY, timestamp=2.0)
+        assert store.value("u", "f") > first
+
+    def test_timestamp_never_goes_backwards(self):
+        store = EvaluationStore()
+        store.record_vote("u", "f", 0.5, timestamp=10.0)
+        store.record_retention("u", "f", DAY, timestamp=5.0)
+        assert store.get("u", "f").timestamp == 10.0
+
+    def test_value_of_missing_evaluation_is_none(self):
+        store = EvaluationStore()
+        assert store.value("u", "f") is None
+
+
+class TestStoreQueries:
+    @pytest.fixture
+    def store(self):
+        store = EvaluationStore()
+        store.record_vote("a", "f1", 0.9)
+        store.record_vote("a", "f2", 0.8)
+        store.record_vote("b", "f2", 0.7)
+        store.record_vote("b", "f3", 0.1)
+        return store
+
+    def test_files_evaluated_by(self, store):
+        assert store.files_evaluated_by("a") == {"f1", "f2"}
+
+    def test_users_evaluating(self, store):
+        assert store.users_evaluating("f2") == {"a", "b"}
+
+    def test_shared_files(self, store):
+        assert store.shared_files("a", "b") == {"f2"}
+
+    def test_shared_files_with_unknown_user_empty(self, store):
+        assert store.shared_files("a", "nobody") == set()
+
+    def test_evaluation_vector(self, store):
+        vector = store.evaluation_vector("a")
+        assert set(vector) == {"f1", "f2"}
+        assert vector["f1"] == pytest.approx(0.54)  # 0*0.4 + 0.9*0.6
+
+    def test_file_evaluations(self, store):
+        per_user = store.file_evaluations("f2")
+        assert set(per_user) == {"a", "b"}
+
+    def test_users_and_files(self, store):
+        assert store.users() == {"a", "b"}
+        assert store.files() == {"f1", "f2", "f3"}
+
+    def test_len_counts_evaluations(self, store):
+        assert len(store) == 4
+
+    def test_vote_count(self, store):
+        assert store.vote_count("a") == 2
+        store.record_retention("a", "f9", DAY)
+        assert store.vote_count("a") == 2  # retention is not a vote
+
+    def test_iteration_yields_all(self, store):
+        assert len(list(store)) == 4
+
+
+class TestRemovalAndPruning:
+    def test_remove_drops_both_indexes(self):
+        store = EvaluationStore()
+        store.record_vote("a", "f1", 0.9)
+        store.remove("a", "f1")
+        assert store.get("a", "f1") is None
+        assert store.users_evaluating("f1") == set()
+        assert store.files_evaluated_by("a") == set()
+
+    def test_remove_missing_is_noop(self):
+        store = EvaluationStore()
+        store.remove("a", "f1")  # must not raise
+
+    def test_prune_older_than_cutoff(self):
+        """Section 4.3: only evaluations within an interval are preserved."""
+        store = EvaluationStore()
+        store.record_vote("a", "old", 0.9, timestamp=10.0)
+        store.record_vote("a", "new", 0.9, timestamp=100.0)
+        removed = store.prune_older_than(50.0)
+        assert removed == 1
+        assert store.files_evaluated_by("a") == {"new"}
+
+    def test_prune_keeps_refreshed_evaluations(self):
+        store = EvaluationStore()
+        store.record_vote("a", "f", 0.9, timestamp=10.0)
+        store.record_retention("a", "f", DAY, timestamp=90.0)
+        assert store.prune_older_than(50.0) == 0
+
+    @given(timestamps=st.lists(st.floats(min_value=0, max_value=1000),
+                               min_size=1, max_size=30))
+    def test_prune_removes_exactly_the_stale(self, timestamps):
+        store = EvaluationStore()
+        for index, timestamp in enumerate(timestamps):
+            store.record_vote(f"u{index}", f"f{index}", 0.5,
+                              timestamp=timestamp)
+        cutoff = 500.0
+        expected = sum(1 for t in timestamps if t < cutoff)
+        assert store.prune_older_than(cutoff) == expected
+        assert len(store) == len(timestamps) - expected

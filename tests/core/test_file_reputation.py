@@ -1,0 +1,103 @@
+"""Tests for repro.core.file_reputation: Eq. 9 and fake judgement."""
+
+import pytest
+
+from repro.core import (EvaluationStore, ReputationConfig, TrustMatrix,
+                        file_reputation, judge_file)
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+@pytest.fixture
+def reputation():
+    return TrustMatrix({"me": {"honest": 0.8, "liar": 0.2}})
+
+
+class TestEq9:
+    def test_weighted_average(self, reputation):
+        evaluations = {"honest": 1.0, "liar": 0.0}
+        score = file_reputation(reputation, "me", evaluations)
+        assert score == pytest.approx(0.8)
+
+    def test_unreachable_evaluators_give_none(self, reputation):
+        score = file_reputation(reputation, "me", {"stranger": 1.0})
+        assert score is None
+
+    def test_own_evaluation_excluded(self, reputation):
+        # The observer judging a file should not count himself.
+        score = file_reputation(reputation, "me",
+                                {"me": 0.0, "honest": 1.0})
+        assert score == pytest.approx(1.0)
+
+    def test_empty_evaluations_give_none(self, reputation):
+        assert file_reputation(reputation, "me", {}) is None
+
+    def test_single_evaluator_dominates(self, reputation):
+        score = file_reputation(reputation, "me", {"honest": 0.3})
+        assert score == pytest.approx(0.3)
+
+    def test_weights_are_relative(self):
+        # Doubling all reputation weights leaves Eq. 9 unchanged.
+        small = TrustMatrix({"me": {"x": 0.1, "y": 0.3}})
+        large = TrustMatrix({"me": {"x": 0.2, "y": 0.6}})
+        evaluations = {"x": 1.0, "y": 0.0}
+        assert file_reputation(small, "me", evaluations) == pytest.approx(
+            file_reputation(large, "me", evaluations))
+
+
+class TestJudgeFile:
+    @pytest.fixture
+    def store(self):
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        store.record_vote("honest", "good-file", 0.9)
+        store.record_vote("honest", "fake-file", 0.05)
+        store.record_vote("liar", "fake-file", 1.0)
+        return store
+
+    def test_accepts_well_evaluated_file(self, reputation, store):
+        judgement = judge_file(reputation, store, "me", "good-file",
+                               config=PURE_EXPLICIT)
+        assert judgement.accept
+        assert not judgement.blind
+        assert judgement.reputation == pytest.approx(0.9)
+
+    def test_rejects_fake_file(self, reputation, store):
+        judgement = judge_file(reputation, store, "me", "fake-file",
+                               config=PURE_EXPLICIT)
+        # Weighted: (0.8*0.05 + 0.2*1.0) / 1.0 = 0.24 < 0.5.
+        assert not judgement.accept
+        assert judgement.reputation == pytest.approx(0.24)
+
+    def test_liar_weight_matters(self, store):
+        # If the observer mistakenly trusts the liar more, the fake passes:
+        # the mechanism is only as good as the trust placed in evaluators.
+        reputation = TrustMatrix({"me": {"honest": 0.1, "liar": 0.9}})
+        judgement = judge_file(reputation, store, "me", "fake-file",
+                               config=PURE_EXPLICIT)
+        assert judgement.accept
+
+    def test_blind_judgement_defaults_to_accept(self, store):
+        judgement = judge_file(TrustMatrix(), store, "me", "good-file",
+                               config=PURE_EXPLICIT)
+        assert judgement.blind
+        assert judgement.accept
+        assert judgement.reputation is None
+
+    def test_blind_judgement_can_default_to_reject(self, store):
+        judgement = judge_file(TrustMatrix(), store, "me", "good-file",
+                               config=PURE_EXPLICIT, accept_when_blind=False)
+        assert judgement.blind
+        assert not judgement.accept
+
+    def test_per_user_threshold(self, reputation, store):
+        # "he can judge whether to download this file by the threshold set
+        # by himself": a paranoid threshold rejects the good file too.
+        judgement = judge_file(reputation, store, "me", "good-file",
+                               threshold=0.95, config=PURE_EXPLICIT)
+        assert not judgement.accept
+        assert judgement.threshold == 0.95
+
+    def test_threshold_boundary_accepts_at_equality(self, reputation, store):
+        judgement = judge_file(reputation, store, "me", "good-file",
+                               threshold=0.9, config=PURE_EXPLICIT)
+        assert judgement.accept

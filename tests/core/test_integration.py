@@ -1,0 +1,107 @@
+"""Tests for repro.core.integration: Eq. 7."""
+
+import pytest
+
+from repro.core import (DownloadLedger, EvaluationStore, ReputationConfig,
+                        TrustDimension, TrustMatrix, UserTrustStore,
+                        build_one_step_matrix, integrate_dimensions)
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+def _dimension(name, weight, entries):
+    matrix = TrustMatrix()
+    for i, j, value in entries:
+        matrix.set(i, j, value)
+    return TrustDimension(name, weight, matrix)
+
+
+class TestIntegrateDimensions:
+    def test_eq7_weighted_sum(self):
+        fm = _dimension("file", 0.5, [("a", "b", 1.0)])
+        dm = _dimension("volume", 0.3, [("a", "b", 1.0)])
+        um = _dimension("user", 0.2, [("a", "c", 1.0)])
+        tm = integrate_dimensions([fm, dm, um])
+        assert tm.get("a", "b") == pytest.approx(0.8)
+        assert tm.get("a", "c") == pytest.approx(0.2)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            integrate_dimensions([_dimension("file", 0.5, []),
+                                  _dimension("volume", 0.2, [])])
+
+    def test_unnormalized_allowed_when_requested(self):
+        tm = integrate_dimensions([_dimension("file", 0.5,
+                                              [("a", "b", 1.0)])],
+                                  require_normalized=False)
+        assert tm.get("a", "b") == pytest.approx(0.5)
+
+    def test_extension_to_more_dimensions(self):
+        # "When there are more methods ... this equation can be extended
+        # easily": four dimensions work just like three.
+        dimensions = [
+            _dimension("file", 0.25, [("a", "b", 1.0)]),
+            _dimension("volume", 0.25, [("a", "b", 1.0)]),
+            _dimension("user", 0.25, [("a", "b", 1.0)]),
+            _dimension("play-time", 0.25, [("a", "b", 1.0)]),
+        ]
+        tm = integrate_dimensions(dimensions)
+        assert tm.get("a", "b") == pytest.approx(1.0)
+
+    def test_empty_dimension_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            integrate_dimensions([])
+
+    def test_negative_dimension_weight_rejected(self):
+        with pytest.raises(ValueError):
+            _dimension("file", -0.5, [])
+
+
+class TestBuildOneStepMatrix:
+    @pytest.fixture
+    def stores(self):
+        evaluations = EvaluationStore(config=PURE_EXPLICIT)
+        evaluations.record_vote("a", "f1", 0.9)
+        evaluations.record_vote("b", "f1", 0.9)
+        ledger = DownloadLedger()
+        ledger.record_download("a", "c", "f1", 100.0)
+        evaluations.record_vote("a", "f1", 0.9)  # validates the volume
+        user_trust = UserTrustStore()
+        user_trust.add_friend("a", "d")
+        return evaluations, ledger, user_trust
+
+    def test_combines_all_three_dimensions(self, stores):
+        evaluations, ledger, user_trust = stores
+        tm = build_one_step_matrix(evaluations, ledger, user_trust,
+                                   PURE_EXPLICIT)
+        # FM edge a->b, DM edge a->c, UM edge a->d all present.
+        assert tm.get("a", "b") == pytest.approx(PURE_EXPLICIT.alpha)
+        assert tm.get("a", "c") == pytest.approx(PURE_EXPLICIT.beta)
+        assert tm.get("a", "d") == pytest.approx(PURE_EXPLICIT.gamma)
+
+    def test_row_sums_bounded_by_one(self, stores):
+        evaluations, ledger, user_trust = stores
+        tm = build_one_step_matrix(evaluations, ledger, user_trust,
+                                   PURE_EXPLICIT)
+        for _, row in tm.rows():
+            assert sum(row.values()) <= 1.0 + 1e-9
+
+    def test_missing_stores_skip_dimensions(self, stores):
+        evaluations, _, _ = stores
+        tm = build_one_step_matrix(evaluations, None, None, PURE_EXPLICIT)
+        assert tm.get("a", "b") == pytest.approx(PURE_EXPLICIT.alpha)
+        assert not tm.has_edge("a", "c")
+        assert not tm.has_edge("a", "d")
+
+    def test_zero_weight_skips_dimension(self, stores):
+        evaluations, ledger, user_trust = stores
+        config = ReputationConfig(eta=0.0, rho=1.0,
+                                  alpha=0.0, beta=0.0, gamma=1.0)
+        tm = build_one_step_matrix(evaluations, ledger, user_trust, config)
+        assert not tm.has_edge("a", "b")
+        assert tm.get("a", "d") == pytest.approx(1.0)
+
+    def test_everything_empty_gives_empty_matrix(self):
+        tm = build_one_step_matrix(EvaluationStore(), DownloadLedger(),
+                                   UserTrustStore())
+        assert tm.entry_count() == 0

@@ -1,0 +1,208 @@
+"""Tests for repro.core.matrix: the sparse trust matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import TrustMatrix
+
+
+def matrices(max_nodes: int = 6):
+    """Random sparse trust matrices over a small id universe."""
+    ids = [f"n{i}" for i in range(max_nodes)]
+    entry = st.tuples(st.sampled_from(ids), st.sampled_from(ids),
+                      st.floats(min_value=0.001, max_value=10.0))
+    return st.lists(entry, max_size=20).map(_build)
+
+
+def _build(entries):
+    matrix = TrustMatrix()
+    for i, j, value in entries:
+        matrix.set(i, j, value)
+    return matrix
+
+
+class TestBasicOps:
+    def test_get_default_zero(self):
+        assert TrustMatrix().get("a", "b") == 0.0
+
+    def test_set_and_get(self):
+        matrix = TrustMatrix()
+        matrix.set("a", "b", 0.5)
+        assert matrix.get("a", "b") == 0.5
+
+    def test_setting_zero_removes_entry(self):
+        matrix = TrustMatrix()
+        matrix.set("a", "b", 0.5)
+        matrix.set("a", "b", 0.0)
+        assert matrix.entry_count() == 0
+        assert not matrix.has_edge("a", "b")
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            TrustMatrix().set("a", "b", -0.1)
+
+    def test_add_accumulates(self):
+        matrix = TrustMatrix()
+        matrix.add("a", "b", 0.3)
+        matrix.add("a", "b", 0.2)
+        assert matrix.get("a", "b") == pytest.approx(0.5)
+
+    def test_add_clamps_at_zero(self):
+        matrix = TrustMatrix()
+        matrix.set("a", "b", 0.3)
+        matrix.add("a", "b", -1.0)
+        assert matrix.get("a", "b") == 0.0
+
+    def test_constructor_from_mapping(self):
+        matrix = TrustMatrix({"a": {"b": 1.0, "c": 2.0}})
+        assert matrix.get("a", "c") == 2.0
+        assert matrix.entry_count() == 2
+
+    def test_row_returns_copy(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}})
+        row = matrix.row("a")
+        row["b"] = 99.0
+        assert matrix.get("a", "b") == 1.0
+
+    def test_node_ids_union_of_rows_and_columns(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}})
+        assert matrix.node_ids() == ["a", "b"]
+
+    def test_equality(self):
+        assert TrustMatrix({"a": {"b": 1.0}}) == TrustMatrix({"a": {"b": 1.0}})
+        assert TrustMatrix({"a": {"b": 1.0}}) != TrustMatrix()
+
+
+class TestNormalization:
+    def test_rows_sum_to_one(self):
+        matrix = TrustMatrix({"a": {"b": 2.0, "c": 6.0}})
+        normalized = matrix.row_normalized()
+        assert normalized.get("a", "b") == pytest.approx(0.25)
+        assert normalized.get("a", "c") == pytest.approx(0.75)
+
+    def test_normalization_is_eq3_shape(self):
+        # Eq. 3: FM_ij = FT_ij / sum_k FT_ik.
+        matrix = TrustMatrix({"i": {"j": 0.8, "k": 0.2}})
+        normalized = matrix.row_normalized()
+        assert sum(normalized.row("i").values()) == pytest.approx(1.0)
+
+    def test_original_unchanged(self):
+        matrix = TrustMatrix({"a": {"b": 2.0}})
+        matrix.row_normalized()
+        assert matrix.get("a", "b") == 2.0
+
+    @given(matrix=matrices())
+    def test_all_nonempty_rows_stochastic(self, matrix):
+        normalized = matrix.row_normalized()
+        for _, row in normalized.rows():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+
+class TestWeightedSum:
+    def test_eq7_combination(self):
+        fm = TrustMatrix({"a": {"b": 1.0}})
+        dm = TrustMatrix({"a": {"c": 1.0}})
+        um = TrustMatrix({"a": {"b": 1.0}})
+        tm = TrustMatrix.weighted_sum([(0.5, fm), (0.3, dm), (0.2, um)])
+        assert tm.get("a", "b") == pytest.approx(0.7)
+        assert tm.get("a", "c") == pytest.approx(0.3)
+
+    def test_zero_weight_contributes_nothing(self):
+        fm = TrustMatrix({"a": {"b": 1.0}})
+        tm = TrustMatrix.weighted_sum([(0.0, fm)])
+        assert tm.entry_count() == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TrustMatrix.weighted_sum([(-0.5, TrustMatrix())])
+
+    def test_scaled(self):
+        matrix = TrustMatrix({"a": {"b": 2.0}})
+        assert matrix.scaled(0.5).get("a", "b") == pytest.approx(1.0)
+
+    @given(matrix=matrices())
+    def test_weighted_sum_of_stochastic_stays_stochastic(self, matrix):
+        normalized = matrix.row_normalized()
+        combined = TrustMatrix.weighted_sum(
+            [(0.6, normalized), (0.4, normalized)])
+        for _, row in combined.rows():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+
+class TestMatmulAndPower:
+    def test_two_step_path(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}, "b": {"c": 1.0}})
+        squared = matrix.matmul(matrix)
+        assert squared.get("a", "c") == pytest.approx(1.0)
+        assert not squared.has_edge("a", "b")
+
+    def test_power_one_is_identity_operation(self):
+        matrix = TrustMatrix({"a": {"b": 0.7}})
+        assert matrix.power(1) == matrix
+
+    def test_power_matches_repeated_matmul(self):
+        matrix = TrustMatrix(
+            {"a": {"b": 0.5, "c": 0.5}, "b": {"a": 1.0}, "c": {"b": 1.0}})
+        manual = matrix.matmul(matrix).matmul(matrix)
+        assert matrix.power(3) == manual
+
+    def test_power_zero_rejected(self):
+        with pytest.raises(ValueError):
+            TrustMatrix().power(0)
+
+    @given(matrix=matrices(max_nodes=4), n=st.integers(min_value=1, max_value=4))
+    def test_power_agrees_with_numpy(self, matrix, n):
+        ids = matrix.node_ids()
+        if not ids:
+            return
+        dense, _ = matrix.to_dense(ids)
+        expected = np.linalg.matrix_power(dense, n)
+        result, _ = matrix.power(n).to_dense(ids)
+        assert np.allclose(result, expected, atol=1e-9)
+
+    @given(matrix=matrices())
+    def test_stochastic_rows_stay_substochastic_under_power(self, matrix):
+        # RM = TM^n: probability mass can leak to absorbing nodes (rows
+        # without outgoing edges) but never exceed 1.
+        normalized = matrix.row_normalized()
+        powered = normalized.power(2)
+        for _, row in powered.rows():
+            assert sum(row.values()) <= 1.0 + 1e-9
+
+
+class TestDensity:
+    def test_empty_matrix_density_zero(self):
+        assert TrustMatrix().density() == 0.0
+
+    def test_full_two_node_density(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}, "b": {"a": 1.0}})
+        assert matrix.density() == pytest.approx(1.0)
+
+    def test_density_over_fixed_universe(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}})
+        # Universe of 3 nodes: 6 possible edges, 1 present.
+        assert matrix.density(["a", "b", "c"]) == pytest.approx(1 / 6)
+
+    def test_diagonal_not_counted(self):
+        matrix = TrustMatrix({"a": {"a": 1.0, "b": 1.0}, "b": {"a": 1.0}})
+        assert matrix.density(["a", "b"]) == pytest.approx(1.0)
+
+
+class TestDenseBridge:
+    def test_round_trip(self):
+        matrix = TrustMatrix({"a": {"b": 0.25}, "b": {"a": 0.75}})
+        dense, ids = matrix.to_dense()
+        restored = TrustMatrix.from_dense(dense, ids)
+        assert restored == matrix
+
+    def test_to_dense_respects_id_order(self):
+        matrix = TrustMatrix({"x": {"y": 1.0}})
+        dense, ids = matrix.to_dense(["y", "x"])
+        assert ids == ["y", "x"]
+        assert dense[1, 0] == 1.0
+
+    def test_from_dense_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TrustMatrix.from_dense(np.zeros((2, 2)), ["a"])

@@ -1,0 +1,109 @@
+"""Tests for repro.core.persistence: save/restore round trips."""
+
+import json
+
+import pytest
+
+from repro.core import (MultiDimensionalReputationSystem, ReputationConfig,
+                        load_system, save_system, system_from_dict,
+                        system_to_dict)
+
+DAY = 24 * 3600.0
+
+
+@pytest.fixture
+def populated_system():
+    config = ReputationConfig(eta=0.3, rho=0.7, alpha=0.4, beta=0.4,
+                              gamma=0.2, multitrust_steps=2)
+    system = MultiDimensionalReputationSystem(config)
+    system.record_retention("alice", "f1", 20 * DAY, timestamp=10.0)
+    system.record_vote("alice", "f1", 0.9, timestamp=11.0)
+    system.record_play("alice", "f2", 0.8, timestamp=12.0)
+    system.record_vote("bob", "f1", 0.85, timestamp=13.0)
+    system.record_download("alice", "bob", "f1", 5e8, timestamp=14.0)
+    system.record_rank("alice", "bob", 0.7)
+    system.add_friend("bob", "alice")
+    system.add_to_blacklist("alice", "mallory")
+    system.record_fake_deletion("bob", "junk", timestamp=15.0)
+    system.record_real_upload("bob")
+    return system
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_reputations(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        users = ("alice", "bob", "mallory")
+        for observer in users:
+            for target in users:
+                assert restored.user_reputation(observer, target) == \
+                    pytest.approx(
+                        populated_system.user_reputation(observer, target))
+
+    def test_config_restored(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        assert restored.config == populated_system.config
+
+    def test_evaluation_channels_restored(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        original = populated_system.evaluations.get("alice", "f2")
+        copy = restored.evaluations.get("alice", "f2")
+        assert copy.play_fraction == original.play_fraction
+        original = populated_system.evaluations.get("alice", "f1")
+        copy = restored.evaluations.get("alice", "f1")
+        assert copy.explicit == original.explicit
+        assert copy.implicit == original.implicit
+        assert copy.timestamp == original.timestamp
+
+    def test_user_trust_restored(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        assert restored.user_trust.is_friend("bob", "alice")
+        assert restored.user_trust.is_blacklisted("alice", "mallory")
+        assert restored.user_trust.trust("alice", "bob") == 0.7
+
+    def test_credits_restored(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        for user in ("alice", "bob"):
+            assert restored.credits.credit(user) == pytest.approx(
+                populated_system.credits.credit(user))
+
+    def test_judgements_survive_round_trip(self, populated_system):
+        restored = system_from_dict(system_to_dict(populated_system))
+        original = populated_system.judge_file("alice", "f1")
+        copy = restored.judge_file("alice", "f1")
+        assert copy.accept == original.accept
+        assert copy.reputation == pytest.approx(original.reputation)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, populated_system, tmp_path):
+        path = tmp_path / "state.json"
+        save_system(populated_system, path)
+        restored = load_system(path)
+        assert restored.user_reputation("alice", "bob") == pytest.approx(
+            populated_system.user_reputation("alice", "bob"))
+
+    def test_file_is_valid_json(self, populated_system, tmp_path):
+        path = tmp_path / "state.json"
+        save_system(populated_system, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+
+    def test_save_is_deterministic(self, populated_system, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_system(populated_system, a)
+        save_system(populated_system, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, populated_system):
+        data = system_to_dict(populated_system)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format_version"):
+            system_from_dict(data)
+
+    def test_missing_version_rejected(self, populated_system):
+        data = system_to_dict(populated_system)
+        del data["format_version"]
+        with pytest.raises(ValueError):
+            system_from_dict(data)

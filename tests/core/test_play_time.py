@@ -1,0 +1,81 @@
+"""Tests for the play-time implicit-evaluation channel (Section 1)."""
+
+import pytest
+
+from repro.core import (EvaluationStore, FileEvaluation,
+                        MultiDimensionalReputationSystem, ReputationConfig)
+
+DAY = 24 * 3600.0
+
+
+class TestFileEvaluationPlayChannel:
+    def test_play_fraction_boosts_implicit(self):
+        evaluation = FileEvaluation("u", "f", implicit=0.1,
+                                    play_fraction=0.8)
+        assert evaluation.effective_implicit() == pytest.approx(0.8)
+
+    def test_retention_wins_when_larger(self):
+        evaluation = FileEvaluation("u", "f", implicit=0.9,
+                                    play_fraction=0.2)
+        assert evaluation.effective_implicit() == pytest.approx(0.9)
+
+    def test_no_play_data_falls_back_to_retention(self):
+        evaluation = FileEvaluation("u", "f", implicit=0.3)
+        assert evaluation.effective_implicit() == pytest.approx(0.3)
+
+    def test_play_feeds_eq1_blend(self):
+        config = ReputationConfig(eta=0.5, rho=0.5)
+        evaluation = FileEvaluation("u", "f", implicit=0.0,
+                                    play_fraction=1.0, explicit=0.0)
+        assert evaluation.value(config) == pytest.approx(0.5)
+
+    def test_out_of_range_play_rejected(self):
+        with pytest.raises(ValueError):
+            FileEvaluation("u", "f", play_fraction=1.2)
+
+
+class TestStorePlayRecording:
+    def test_record_play_creates_evaluation(self):
+        store = EvaluationStore()
+        store.record_play("u", "movie", 0.75)
+        assert store.value("u", "movie") == pytest.approx(0.75)
+
+    def test_play_is_monotone(self):
+        store = EvaluationStore()
+        store.record_play("u", "movie", 0.9)
+        store.record_play("u", "movie", 0.3)  # replaying less changes nothing
+        assert store.get("u", "movie").play_fraction == pytest.approx(0.9)
+
+    def test_play_combines_with_retention(self):
+        store = EvaluationStore()
+        store.record_retention("u", "movie", 3 * DAY)  # small implicit
+        store.record_play("u", "movie", 0.95)
+        evaluation = store.get("u", "movie")
+        assert evaluation.effective_implicit() == pytest.approx(0.95)
+
+    def test_invalid_play_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationStore().record_play("u", "f", -0.1)
+
+
+class TestFacadePlayIntegration:
+    def test_play_signal_builds_file_trust(self):
+        """Two users who fully watched the same movies gain trust even if
+        neither votes nor keeps the files long."""
+        system = MultiDimensionalReputationSystem()
+        for movie in ("m1", "m2"):
+            system.record_play("a", movie, 1.0)
+            system.record_play("b", movie, 1.0)
+        assert system.user_reputation("a", "b") > 0.0
+
+    def test_unplayed_fake_stays_distinguishable(self):
+        config = ReputationConfig(eta=1.0, rho=0.0)
+        system = MultiDimensionalReputationSystem(config)
+        # Both watched the good movie fully; both abandoned the fake early.
+        for user in ("a", "b"):
+            system.record_play(user, "good", 1.0)
+            system.record_play(user, "fake", 0.05)
+        judgement = system.judge_file("a", "fake")
+        assert not judgement.accept
+        judgement = system.judge_file("a", "good")
+        assert judgement.accept

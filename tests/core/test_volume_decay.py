@@ -1,0 +1,79 @@
+"""Tests for the recency-decayed Eq. 4 variant."""
+
+import pytest
+
+from repro.core import (DownloadLedger, EvaluationStore, ReputationConfig,
+                        build_volume_trust_matrix, valid_download_volume)
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+DAY = 24 * 3600.0
+
+
+@pytest.fixture
+def history():
+    ledger = DownloadLedger()
+    store = EvaluationStore(config=PURE_EXPLICIT)
+    # Old download from b, fresh download from c, equal size/quality.
+    ledger.record_download("a", "b", "old-file", 1000.0, timestamp=0.0)
+    ledger.record_download("a", "c", "new-file", 1000.0, timestamp=30 * DAY)
+    store.record_vote("a", "old-file", 1.0)
+    store.record_vote("a", "new-file", 1.0)
+    return ledger, store
+
+
+class TestDecayedVolume:
+    def test_no_decay_without_half_life(self, history):
+        ledger, store = history
+        assert valid_download_volume(ledger, store, "a", "b") == \
+            pytest.approx(1000.0)
+
+    def test_one_half_life_halves_contribution(self, history):
+        ledger, store = history
+        volume = valid_download_volume(ledger, store, "a", "b",
+                                       now=30 * DAY, half_life=30 * DAY)
+        assert volume == pytest.approx(500.0)
+
+    def test_fresh_download_undecayed(self, history):
+        ledger, store = history
+        volume = valid_download_volume(ledger, store, "a", "c",
+                                       now=30 * DAY, half_life=30 * DAY)
+        assert volume == pytest.approx(1000.0)
+
+    def test_future_timestamps_not_amplified(self, history):
+        ledger, store = history
+        # now earlier than the record: age clamps at 0, weight stays 1.
+        volume = valid_download_volume(ledger, store, "a", "c",
+                                       now=0.0, half_life=DAY)
+        assert volume == pytest.approx(1000.0)
+
+    def test_half_life_requires_now(self, history):
+        ledger, store = history
+        with pytest.raises(ValueError):
+            valid_download_volume(ledger, store, "a", "b", half_life=DAY)
+        with pytest.raises(ValueError):
+            valid_download_volume(ledger, store, "a", "b", now=1.0)
+
+    def test_nonpositive_half_life_rejected(self, history):
+        ledger, store = history
+        with pytest.raises(ValueError):
+            valid_download_volume(ledger, store, "a", "b", now=1.0,
+                                  half_life=0.0)
+
+
+class TestDecayedMatrix:
+    def test_decay_shifts_normalised_trust_toward_recent(self, history):
+        ledger, store = history
+        undecayed = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT)
+        decayed = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT,
+                                            now=30 * DAY, half_life=10 * DAY)
+        # Without decay b and c split a's trust evenly.
+        assert undecayed.get("a", "b") == pytest.approx(0.5)
+        # With decay the stale uploader loses normalised share.
+        assert decayed.get("a", "b") < 0.2
+        assert decayed.get("a", "c") > 0.8
+
+    def test_rows_stay_stochastic_under_decay(self, history):
+        ledger, store = history
+        decayed = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT,
+                                            now=30 * DAY, half_life=10 * DAY)
+        assert sum(decayed.row("a").values()) == pytest.approx(1.0)

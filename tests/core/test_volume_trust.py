@@ -1,0 +1,121 @@
+"""Tests for repro.core.volume_trust: Eqs. 4-5."""
+
+import pytest
+
+from repro.core import (DownloadLedger, EvaluationStore, ReputationConfig,
+                        build_volume_trust_matrix, valid_download_volume)
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+class TestLedger:
+    def test_record_and_list_downloads(self):
+        ledger = DownloadLedger()
+        ledger.record_download("a", "b", "f1", 100.0)
+        ledger.record_download("a", "b", "f2", 200.0)
+        assert ledger.downloads("a", "b") == [("f1", 100.0), ("f2", 200.0)]
+
+    def test_self_download_rejected(self):
+        with pytest.raises(ValueError):
+            DownloadLedger().record_download("a", "a", "f", 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DownloadLedger().record_download("a", "b", "f", -1.0)
+
+    def test_uploaders_of(self):
+        ledger = DownloadLedger()
+        ledger.record_download("a", "b", "f", 1.0)
+        ledger.record_download("a", "c", "g", 1.0)
+        assert sorted(ledger.uploaders_of("a")) == ["b", "c"]
+
+    def test_len_counts_entries(self):
+        ledger = DownloadLedger()
+        ledger.record_download("a", "b", "f", 1.0)
+        ledger.record_download("a", "b", "f", 1.0)
+        assert len(ledger) == 2
+
+    def test_prune_drops_old_entries(self):
+        ledger = DownloadLedger()
+        ledger.record_download("a", "b", "f1", 1.0, timestamp=10.0)
+        ledger.record_download("a", "b", "f2", 1.0, timestamp=100.0)
+        assert ledger.prune_older_than(50.0) == 1
+        assert ledger.downloads("a", "b") == [("f2", 1.0)]
+
+    def test_prune_removes_empty_pairs(self):
+        ledger = DownloadLedger()
+        ledger.record_download("a", "b", "f", 1.0, timestamp=0.0)
+        ledger.prune_older_than(10.0)
+        assert list(ledger.pairs()) == []
+
+
+class TestValidDownloadVolume:
+    def test_eq4_weights_size_by_evaluation(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 1000.0)
+        store.record_vote("a", "f1", 0.5)
+        volume = valid_download_volume(ledger, store, "a", "b")
+        assert volume == pytest.approx(500.0)
+
+    def test_unevaluated_downloads_contribute_zero(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 1000.0)
+        assert valid_download_volume(ledger, store, "a", "b") == 0.0
+
+    def test_fake_downloads_contribute_nothing(self):
+        # A gigabyte judged fake (evaluation 0) adds no trust.
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "fake", 1e9)
+        store.record_vote("a", "fake", 0.0)
+        assert valid_download_volume(ledger, store, "a", "b") == 0.0
+
+    def test_sums_over_files(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 100.0)
+        ledger.record_download("a", "b", "f2", 300.0)
+        store.record_vote("a", "f1", 1.0)
+        store.record_vote("a", "f2", 1.0)
+        assert valid_download_volume(ledger, store, "a", "b") == pytest.approx(400.0)
+
+    def test_no_history_gives_zero(self):
+        assert valid_download_volume(DownloadLedger(), EvaluationStore(),
+                                     "a", "b") == 0.0
+
+
+class TestVolumeMatrix:
+    def test_eq5_row_normalization(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 300.0)
+        ledger.record_download("a", "c", "f2", 100.0)
+        store.record_vote("a", "f1", 1.0)
+        store.record_vote("a", "f2", 1.0)
+        matrix = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT)
+        assert matrix.get("a", "b") == pytest.approx(0.75)
+        assert matrix.get("a", "c") == pytest.approx(0.25)
+
+    def test_zero_volume_pairs_excluded(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 300.0)
+        store.record_vote("a", "f1", 0.0)
+        matrix = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT)
+        assert matrix.entry_count() == 0
+
+    def test_direction_is_downloader_to_uploader(self):
+        ledger = DownloadLedger()
+        store = EvaluationStore(config=PURE_EXPLICIT)
+        ledger.record_download("a", "b", "f1", 100.0)
+        store.record_vote("a", "f1", 1.0)
+        matrix = build_volume_trust_matrix(ledger, store, PURE_EXPLICIT)
+        assert matrix.has_edge("a", "b")
+        assert not matrix.has_edge("b", "a")
+
+    def test_empty_ledger_empty_matrix(self):
+        matrix = build_volume_trust_matrix(DownloadLedger(),
+                                           EvaluationStore())
+        assert matrix.entry_count() == 0

@@ -1,0 +1,54 @@
+"""Tests for repro.dht.crypto: simulated signatures."""
+
+import pytest
+
+from repro.dht import KeyAuthority, SignatureError
+
+
+class TestKeyAuthority:
+    def test_sign_verify_round_trip(self):
+        authority = KeyAuthority()
+        authority.register("alice")
+        signature = authority.sign("alice", b"payload")
+        assert authority.verify("alice", b"payload", signature)
+
+    def test_tampered_payload_fails(self):
+        authority = KeyAuthority()
+        authority.register("alice")
+        signature = authority.sign("alice", b"payload")
+        assert not authority.verify("alice", b"tampered", signature)
+
+    def test_wrong_signer_fails(self):
+        """The Section 4.2 attack-1 property: only the owner can sign."""
+        authority = KeyAuthority()
+        authority.register("alice")
+        authority.register("mallory")
+        forged = authority.sign("mallory", b"payload")
+        assert not authority.verify("alice", b"payload", forged)
+
+    def test_unregistered_signer_raises(self):
+        with pytest.raises(SignatureError):
+            KeyAuthority().sign("ghost", b"payload")
+
+    def test_unregistered_verification_fails_closed(self):
+        assert not KeyAuthority().verify("ghost", b"p", b"sig")
+
+    def test_register_is_idempotent(self):
+        authority = KeyAuthority()
+        authority.register("alice")
+        first = authority.sign("alice", b"x")
+        authority.register("alice")
+        assert authority.sign("alice", b"x") == first
+
+    def test_is_registered(self):
+        authority = KeyAuthority()
+        assert not authority.is_registered("alice")
+        authority.register("alice")
+        assert authority.is_registered("alice")
+
+    def test_different_seeds_give_different_keys(self):
+        a = KeyAuthority(seed=b"one")
+        b = KeyAuthority(seed=b"two")
+        a.register("alice")
+        b.register("alice")
+        assert a.sign("alice", b"x") != b.sign("alice", b"x")

@@ -1,0 +1,104 @@
+"""Tests for the DHT-backed deployment of the mechanism."""
+
+import pytest
+
+from repro.core import ReputationConfig
+from repro.dht import DHTBackedMechanism, MessageKind
+from repro.simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+
+DAY = 24 * 3600.0
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+@pytest.fixture
+def mechanism():
+    return DHTBackedMechanism(PURE_EXPLICIT, record_ttl=10 * DAY)
+
+
+class TestSignalsFlowToOverlay:
+    def test_vote_is_published_to_the_dht(self, mechanism):
+        mechanism.record_vote("alice", "f1", 0.9, timestamp=1.0)
+        retrieved = mechanism.overlay.retrieve("alice", "f1", now=2.0)
+        assert retrieved.evaluations == {"alice": pytest.approx(0.9)}
+
+    def test_download_publishes_holdership(self, mechanism):
+        mechanism.record_download("alice", "bob", "f1", 100.0, timestamp=1.0)
+        retrieved = mechanism.overlay.retrieve("bob", "f1", now=2.0)
+        assert "alice" in retrieved.owners
+
+    def test_users_auto_register_as_dht_nodes(self, mechanism):
+        mechanism.record_vote("alice", "f1", 0.9)
+        mechanism.record_download("carol", "dave", "f2", 1.0)
+        for user in ("alice", "carol", "dave"):
+            assert mechanism.overlay.network.has_node(user)
+
+    def test_deletion_depresses_published_evaluation(self):
+        # Default config blends implicit and explicit: deleting the file
+        # zeroes the implicit channel, dragging the published value down.
+        mechanism = DHTBackedMechanism(ReputationConfig(),
+                                       record_ttl=10 * DAY)
+        mechanism.record_retention("alice", "fake", 20 * DAY, timestamp=1.0)
+        mechanism.record_vote("alice", "fake", 0.9, timestamp=1.0)
+        before = mechanism.overlay.retrieve("alice", "fake",
+                                            now=2.0).evaluations["alice"]
+        mechanism.record_deletion("alice", "fake", timestamp=3.0)
+        after = mechanism.overlay.retrieve("alice", "fake",
+                                           now=4.0).evaluations["alice"]
+        assert after < before
+
+
+class TestFileScoreOverDHT:
+    def test_score_uses_retrievable_evaluations(self, mechanism):
+        # alice trusts bob (shared evaluations).
+        for file_id in ("s1", "s2"):
+            mechanism.record_vote("alice", file_id, 0.9, timestamp=1.0)
+            mechanism.record_vote("bob", file_id, 0.9, timestamp=1.0)
+        mechanism.record_vote("bob", "target", 0.8, timestamp=1.0)
+        mechanism.refresh()
+        assert mechanism.file_score("alice", "target") == pytest.approx(0.8)
+
+    def test_expired_evaluations_become_invisible(self):
+        mechanism = DHTBackedMechanism(PURE_EXPLICIT, record_ttl=100.0)
+        for file_id in ("s1", "s2"):
+            mechanism.record_vote("alice", file_id, 0.9, timestamp=0.0)
+            mechanism.record_vote("bob", file_id, 0.9, timestamp=0.0)
+        mechanism.record_vote("bob", "target", 0.8, timestamp=0.0)
+        # Time passes far beyond the TTL with no republication.
+        mechanism.record_vote("carol", "other", 0.5, timestamp=10_000.0)
+        assert mechanism.file_score("alice", "target") is None
+
+    def test_republication_keeps_evaluations_alive(self):
+        mechanism = DHTBackedMechanism(PURE_EXPLICIT, record_ttl=100.0)
+        for file_id in ("s1", "s2"):
+            mechanism.record_vote("alice", file_id, 0.9, timestamp=0.0)
+            mechanism.record_vote("bob", file_id, 0.9, timestamp=0.0)
+        mechanism.record_vote("bob", "target", 0.8, timestamp=0.0)
+        mechanism.record_vote("carol", "other", 0.5, timestamp=90.0)
+        mechanism.refresh()  # republishes everything at now=90
+        mechanism.record_vote("carol", "other2", 0.5, timestamp=150.0)
+        assert mechanism.file_score("alice", "target") is not None
+
+    def test_unknown_file_scores_none(self, mechanism):
+        assert mechanism.file_score("alice", "mystery") is None
+
+
+class TestDeploymentInSimulator:
+    def test_full_simulation_over_the_dht(self):
+        duration = 1 * DAY
+        config = SimulationConfig(
+            scenario=ScenarioSpec(honest=15, polluters=3,
+                                  honest_vote_probability=0.5),
+            duration_seconds=duration, num_files=50, request_rate=0.01,
+            seed=13)
+        mechanism = DHTBackedMechanism(
+            ReputationConfig(retention_saturation_seconds=duration / 3),
+            record_ttl=duration)
+        metrics = FileSharingSimulation(config, mechanism).run()
+
+        assert metrics.total_requests > 0
+        # The deployment actually moved messages.
+        assert mechanism.overlay.tally.count(MessageKind.PUBLISH) > 100
+        assert mechanism.overlay.tally.count(MessageKind.RETRIEVE) > 0
+        # And every simulated peer became a DHT node.
+        assert len(mechanism.overlay.network) >= 18

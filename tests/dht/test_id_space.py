@@ -1,0 +1,75 @@
+"""Tests for repro.dht.id_space."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht import ID_BITS, ID_SPACE, distance, hash_key, in_interval
+
+ids = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+class TestHashKey:
+    def test_deterministic(self):
+        assert hash_key("abc") == hash_key("abc")
+
+    def test_distinct_inputs_differ(self):
+        assert hash_key("abc") != hash_key("abd")
+
+    def test_within_space(self):
+        assert 0 <= hash_key("anything") < ID_SPACE
+
+    def test_160_bits(self):
+        assert ID_SPACE == 2 ** 160
+        assert ID_BITS == 160
+
+
+class TestDistance:
+    def test_zero_distance_to_self(self):
+        assert distance(42, 42) == 0
+
+    def test_clockwise_only(self):
+        assert distance(10, 20) == 10
+        assert distance(20, 10) == ID_SPACE - 10
+
+    @given(a=ids, b=ids)
+    def test_distance_in_range(self, a, b):
+        assert 0 <= distance(a, b) < ID_SPACE
+
+    @given(a=ids, b=ids)
+    def test_round_trip_sums_to_space(self, a, b):
+        if a != b:
+            assert distance(a, b) + distance(b, a) == ID_SPACE
+
+
+class TestInInterval:
+    def test_simple_interval(self):
+        assert in_interval(5, 1, 10)
+        assert not in_interval(0, 1, 10)
+        assert not in_interval(1, 1, 10)  # start exclusive
+        assert not in_interval(10, 1, 10)  # end exclusive by default
+
+    def test_inclusive_end(self):
+        assert in_interval(10, 1, 10, inclusive_end=True)
+
+    def test_wrap_around(self):
+        near_top = ID_SPACE - 5
+        assert in_interval(ID_SPACE - 1, near_top, 10)
+        assert in_interval(3, near_top, 10)
+        assert not in_interval(100, near_top, 10)
+
+    def test_full_ring_when_start_equals_end(self):
+        assert in_interval(5, 7, 7)
+        assert not in_interval(7, 7, 7)
+        assert in_interval(7, 7, 7, inclusive_end=True)
+
+    @given(value=ids, start=ids, end=ids)
+    def test_exclusive_interval_never_contains_start(self, value, start, end):
+        if value == start:
+            assert not in_interval(value, start, end)
+
+    @given(start=ids, end=ids)
+    def test_end_membership_iff_inclusive(self, start, end):
+        if start != end:
+            assert in_interval(end, start, end, inclusive_end=True)
+            assert not in_interval(end, start, end, inclusive_end=False)

@@ -1,0 +1,69 @@
+"""Tests for repro.dht.messages."""
+
+import pytest
+
+from repro.dht import EvaluationInfo, IndexRecord, MessageKind, MessageTally
+
+
+class TestEvaluationInfo:
+    def test_paper_message_fields(self):
+        """EvaluationInfo = <FileID, OwnerID, Evaluation, Signature>."""
+        info = EvaluationInfo("f1", "alice", 0.8, b"sig")
+        assert info.file_id == "f1"
+        assert info.owner_id == "alice"
+        assert info.evaluation == 0.8
+        assert info.signature == b"sig"
+
+    def test_out_of_range_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationInfo("f", "a", 1.5)
+
+    def test_payload_is_deterministic(self):
+        a = EvaluationInfo("f", "alice", 0.5)
+        b = EvaluationInfo("f", "alice", 0.5)
+        assert a.payload() == b.payload()
+
+    def test_payload_excludes_signature(self):
+        unsigned = EvaluationInfo("f", "alice", 0.5)
+        signed = unsigned.with_signature(b"sig")
+        assert unsigned.payload() == signed.payload()
+
+    def test_payload_differs_by_content(self):
+        assert (EvaluationInfo("f", "alice", 0.5).payload()
+                != EvaluationInfo("f", "alice", 0.6).payload())
+
+    def test_size_includes_signature(self):
+        unsigned = EvaluationInfo("f", "alice", 0.5)
+        signed = unsigned.with_signature(b"x" * 32)
+        assert signed.size_bytes() == unsigned.size_bytes() + 32
+
+
+class TestIndexRecord:
+    def test_wire_size_grows_with_evaluation(self):
+        """The paper's cost claim: piggybacking increases size 'slightly'."""
+        bare = IndexRecord("f", "alice", "name.dat", 100.0)
+        info = EvaluationInfo("f", "alice", 0.5, b"s" * 32)
+        with_eval = IndexRecord("f", "alice", "name.dat", 100.0,
+                                evaluation=info)
+        assert with_eval.wire_size() > bare.wire_size()
+        assert with_eval.wire_size() < 3 * bare.wire_size() + 200
+
+
+class TestMessageTally:
+    def test_counts_and_bytes(self):
+        tally = MessageTally()
+        tally.record(MessageKind.PUBLISH, 100)
+        tally.record(MessageKind.PUBLISH, 50)
+        tally.record(MessageKind.LOOKUP, 0)
+        assert tally.count(MessageKind.PUBLISH) == 2
+        assert tally.total_messages() == 3
+        assert tally.total_bytes() == 150
+
+    def test_unused_kind_is_zero(self):
+        assert MessageTally().count(MessageKind.RETRIEVE) == 0
+
+    def test_snapshot(self):
+        tally = MessageTally()
+        tally.record(MessageKind.LOOKUP)
+        snapshot = tally.snapshot()
+        assert snapshot == {"lookup": 1}

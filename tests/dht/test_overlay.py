@@ -1,0 +1,143 @@
+"""Tests for repro.dht.overlay_service: the Section 4.1 six-step framework."""
+
+import pytest
+
+from repro.core import ReputationConfig
+from repro.dht import (DHTNetwork, EvaluationOverlay, KeyAuthority,
+                       MessageKind)
+
+PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
+
+
+@pytest.fixture
+def overlay():
+    overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                                config=PURE_EXPLICIT, replication=2,
+                                record_ttl=1000.0)
+    for index in range(32):
+        overlay.register_user(f"user-{index:03d}")
+    return overlay
+
+
+class TestPublication:
+    def test_publish_then_retrieve(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        retrieved = overlay.retrieve("user-002", "file-x", now=1.0)
+        assert retrieved.evaluations == {"user-001": 0.8}
+        assert "user-001" in retrieved.owners
+
+    def test_index_only_publication_has_no_evaluation(self, overlay):
+        overlay.publish_index_only("user-001", "file-x", now=0.0)
+        retrieved = overlay.retrieve("user-002", "file-x", now=1.0)
+        assert retrieved.evaluations == {}
+        assert retrieved.owners == ["user-001"]
+
+    def test_republish_refreshes_expiry(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        overlay.republish_all("user-001", now=900.0)
+        retrieved = overlay.retrieve("user-002", "file-x", now=1500.0)
+        assert retrieved.evaluations == {"user-001": 0.8}
+
+    def test_records_expire_without_republication(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        retrieved = overlay.retrieve("user-002", "file-x", now=2000.0)
+        assert retrieved.evaluations == {}
+
+    def test_update_replaces_evaluation(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        overlay.publish("user-001", "file-x", 0.2, now=10.0)
+        retrieved = overlay.retrieve("user-002", "file-x", now=11.0)
+        assert retrieved.evaluations == {"user-001": 0.2}
+
+    def test_replication_survives_single_failure(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        from repro.dht import hash_key
+        primary = overlay.network.owner_of(hash_key("file:file-x"))
+        overlay.network.fail(primary.user_id)
+        retrieved = overlay.retrieve("user-002", "file-x", now=1.0)
+        assert retrieved.evaluations == {"user-001": 0.8}
+
+    def test_local_list_tracks_publications(self, overlay):
+        overlay.publish("user-001", "f1", 0.8, now=0.0)
+        overlay.publish("user-001", "f2", 0.3, now=0.0)
+        assert overlay.local_list("user-001") == {"f1": 0.8, "f2": 0.3}
+
+
+class TestMessageCosts:
+    def test_publish_uses_exactly_one_lookup(self, overlay):
+        """The paper's claim: evaluations piggyback on index publication,
+        costing no additional lookup messages."""
+        before = overlay.tally.count(MessageKind.LOOKUP)
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        assert overlay.tally.count(MessageKind.LOOKUP) == before + 1
+
+    def test_index_only_costs_the_same_lookups(self, overlay):
+        overlay.publish("user-001", "file-a", 0.8, now=0.0)
+        with_eval = overlay.tally.count(MessageKind.LOOKUP)
+        overlay.publish_index_only("user-001", "file-b", now=0.0)
+        assert overlay.tally.count(MessageKind.LOOKUP) == with_eval + 1
+
+    def test_evaluation_increases_bytes_not_messages(self, overlay):
+        overlay.publish_index_only("user-001", "file-a", now=0.0)
+        bare_bytes = overlay.tally.total_bytes()
+        bare_lookups = overlay.tally.count(MessageKind.LOOKUP)
+        bare_publishes = overlay.tally.count(MessageKind.PUBLISH)
+        overlay.publish("user-002", "file-b", 0.5, now=0.0)
+        eval_bytes = overlay.tally.total_bytes() - bare_bytes
+        # Same number of lookups and publish messages, strictly more bytes.
+        assert overlay.tally.count(MessageKind.LOOKUP) == 2 * bare_lookups
+        assert overlay.tally.count(MessageKind.PUBLISH) == 2 * bare_publishes
+        assert eval_bytes > bare_bytes
+
+    def test_fetch_evaluation_list_counted(self, overlay):
+        overlay.fetch_evaluation_list("user-001", "user-002")
+        assert overlay.tally.count(MessageKind.EVALUATION_LIST) == 1
+
+
+class TestReputationPipeline:
+    def _publish_profiles(self, overlay):
+        # user-010 and user-011 agree; user-012 disagrees with both.
+        for suffix, value in (("a", 0.9), ("b", 0.8), ("c", 0.1)):
+            overlay.publish("user-010", f"shared-{suffix}", value, now=0.0)
+            overlay.publish("user-011", f"shared-{suffix}", value, now=0.0)
+            overlay.publish("user-012", f"shared-{suffix}", 1.0 - value, now=0.0)
+
+    def test_step4_reputation_matrix(self, overlay):
+        self._publish_profiles(overlay)
+        rm = overlay.compute_reputation_matrix(
+            "user-010", ["user-011", "user-012"])
+        assert rm.get("user-010", "user-011") > rm.get("user-010", "user-012")
+
+    def test_step5_file_reputation(self, overlay):
+        self._publish_profiles(overlay)
+        overlay.publish("user-011", "new-file", 0.95, now=0.0)
+        overlay.publish("user-012", "new-file", 0.05, now=0.0)
+        score, retrieved = overlay.file_reputation("user-010", "new-file",
+                                                   now=1.0)
+        assert score is not None
+        # The agreeing user's praise outweighs the disagreeing user's pan.
+        assert score > 0.5
+        assert set(retrieved.evaluations) == {"user-011", "user-012"}
+
+    def test_step6_service_differentiation(self, overlay):
+        self._publish_profiles(overlay)
+        trusted = overlay.service_level("user-010", "user-011")
+        stranger = overlay.service_level("user-010", "user-025")
+        assert trusted.bandwidth_quota > stranger.bandwidth_quota
+
+    def test_responder_override(self, overlay):
+        overlay.set_responder("user-020", lambda querier: {"x": 1.0})
+        assert overlay.fetch_evaluation_list("anyone", "user-020") == {"x": 1.0}
+
+
+class TestMaintenance:
+    def test_expire_all_sweeps_every_node(self, overlay):
+        overlay.publish("user-001", "file-x", 0.8, now=0.0)
+        removed = overlay.expire_all(now=5000.0)
+        assert removed >= 1
+        retrieved = overlay.retrieve("user-002", "file-x", now=5000.0)
+        assert retrieved.evaluations == {}
+
+    def test_replication_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationOverlay(DHTNetwork(), KeyAuthority(), replication=0)

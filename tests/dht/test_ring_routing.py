@@ -1,0 +1,148 @@
+"""Tests for repro.dht.ring and routing."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.dht import DHTNetwork, hash_key, lookup
+
+
+def _network(n, prefix="node"):
+    network = DHTNetwork()
+    for index in range(n):
+        network.join(f"{prefix}-{index:04d}")
+    return network
+
+
+class TestMembership:
+    def test_join_adds_node(self):
+        network = DHTNetwork()
+        node = network.join("alice")
+        assert len(network) == 1
+        assert network.node("alice") is node
+
+    def test_join_is_idempotent(self):
+        network = DHTNetwork()
+        first = network.join("alice")
+        second = network.join("alice")
+        assert first is second
+        assert len(network) == 1
+
+    def test_leave_removes_node(self):
+        network = _network(5)
+        network.leave("node-0000")
+        assert len(network) == 4
+        assert not network.has_node("node-0000")
+
+    def test_leave_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DHTNetwork().leave("ghost")
+
+    def test_graceful_leave_hands_off_data(self):
+        network = _network(5)
+        node = network.node("node-0001")
+        node.storage.put(123, "owner", "value", now=0.0)
+        successor = network.successor_of(node)
+        network.leave("node-0001")
+        assert successor.storage.get_owner(123, "owner", now=1.0) is not None
+
+    def test_abrupt_failure_loses_data(self):
+        network = _network(5)
+        node = network.node("node-0001")
+        node.storage.put(123, "owner", "value", now=0.0)
+        successor = network.successor_of(node)
+        network.fail("node-0001")
+        assert successor.storage.get_owner(123, "owner", now=1.0) is None
+
+
+class TestTopology:
+    def test_ring_is_circular(self):
+        network = _network(8)
+        nodes = network.nodes()
+        walked = [nodes[0]]
+        for _ in range(7):
+            walked.append(network.successor_of(walked[-1]))
+        assert {node.user_id for node in walked} == {
+            node.user_id for node in nodes}
+
+    def test_successor_of_single_node_is_itself(self):
+        network = _network(1)
+        node = network.nodes()[0]
+        assert network.successor_of(node) is node
+
+    def test_predecessor_successor_inverse(self):
+        network = _network(10)
+        for node in network.nodes():
+            assert node.successor.predecessor is node
+
+    def test_owner_of_key_is_first_at_or_after(self):
+        network = _network(10)
+        nodes = network.nodes()
+        key = (nodes[3].node_id + 1) % (2 ** 160)
+        assert network.owner_of(key) is nodes[4 % len(nodes)]
+
+    def test_owner_of_node_id_is_that_node(self):
+        network = _network(10)
+        node = network.nodes()[2]
+        assert network.owner_of(node.node_id) is node
+
+    def test_replica_nodes_distinct_successors(self):
+        network = _network(6)
+        replicas = network.replica_nodes(hash_key("x"), 3)
+        assert len(replicas) == 3
+        assert len({r.node_id for r in replicas}) == 3
+
+    def test_replica_count_capped_by_network_size(self):
+        network = _network(2)
+        assert len(network.replica_nodes(hash_key("x"), 5)) == 2
+
+
+class TestRouting:
+    def test_lookup_finds_owner(self):
+        network = _network(32)
+        key = hash_key("some-file")
+        result = lookup(network, key)
+        assert result.owner is network.owner_of(key)
+
+    def test_lookup_from_every_start(self):
+        network = _network(16)
+        key = hash_key("target")
+        expected = network.owner_of(key)
+        for node in network.nodes():
+            assert lookup(network, key, start=node).owner is expected
+
+    def test_lookup_hops_logarithmic(self):
+        network = _network(128)
+        rng = random.Random(1)
+        hops = [lookup(network, rng.randrange(2 ** 160)).hops
+                for _ in range(200)]
+        # Chord bound: O(log2 n) = 7; allow slack but far below n.
+        assert statistics.mean(hops) < 2 * math.log2(128)
+        assert max(hops) < 32
+
+    def test_lookup_in_singleton_network(self):
+        network = _network(1)
+        result = lookup(network, hash_key("x"))
+        assert result.hops == 0
+
+    def test_lookup_in_empty_network_raises(self):
+        with pytest.raises(RuntimeError):
+            lookup(DHTNetwork(), 123)
+
+    def test_path_starts_at_start_node(self):
+        network = _network(8)
+        start = network.nodes()[3]
+        result = lookup(network, hash_key("y"), start=start)
+        assert result.path[0] == start.user_id
+        assert result.path[-1] == result.owner.user_id
+
+    def test_routing_survives_churn(self):
+        network = _network(32)
+        for index in range(10):
+            network.fail(f"node-{index:04d}")
+        for index in range(40, 50):
+            network.join(f"node-{index:04d}")
+        key = hash_key("post-churn")
+        assert lookup(network, key).owner is network.owner_of(key)

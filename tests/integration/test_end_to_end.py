@@ -1,0 +1,142 @@
+"""Cross-module integration tests: the paper's full story end to end."""
+
+import pytest
+
+from repro.baselines import ALL_MECHANISMS, MultiDimensionalMechanism
+from repro.core import (MultiDimensionalReputationSystem, ReputationConfig)
+from repro.dht import DHTNetwork, EvaluationOverlay, KeyAuthority
+from repro.simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+from repro.traces import (CoverageReplayer, MazeTraceGenerator,
+                          TraceParameters)
+
+DAY = 24 * 3600.0
+
+
+class TestTraceToReputationPipeline:
+    """Feed a synthetic Maze trace into the full reputation system."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        generated = MazeTraceGenerator(TraceParameters(
+            num_users=100, num_files=120, num_actions=2500,
+            trace_days=10.0, seed=3)).generate()
+        config = ReputationConfig(
+            retention_saturation_seconds=10.0 * DAY / 3)
+        system = MultiDimensionalReputationSystem(config, auto_refresh=False)
+        horizon = 10.0 * DAY
+        for record in generated.trace:
+            system.record_download(record.downloader_id, record.uploader_id,
+                                   record.content_hash, record.size_bytes,
+                                   record.timestamp)
+            retention = horizon - record.timestamp
+            system.record_retention(record.downloader_id, record.content_hash,
+                                    retention, horizon)
+        system.recompute()
+        return system
+
+    def test_one_step_matrix_nonempty(self, system):
+        assert system.one_step_matrix().entry_count() > 100
+
+    def test_reputations_are_pairwise(self, system):
+        matrix = system.reputation_matrix()
+        rows = matrix.row_ids()
+        assert len(rows) > 50
+
+    def test_global_projection_covers_population(self, system):
+        scores = system.global_reputation()
+        assert len(scores) > 50
+
+
+class TestSimulatorWithEveryMechanism:
+    """Every registered mechanism must survive a full simulation run."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_MECHANISMS))
+    def test_mechanism_completes_run(self, name):
+        config = SimulationConfig(
+            scenario=ScenarioSpec(honest=12, polluters=2, free_riders=2),
+            duration_seconds=0.5 * DAY, num_files=40,
+            request_rate=0.01, seed=5)
+        metrics = FileSharingSimulation(config, ALL_MECHANISMS[name]()).run()
+        assert metrics.total_requests > 0
+
+
+class TestPaperStory:
+    """The paper's headline claims, checked end to end at small scale."""
+
+    def test_multidimensional_beats_null_on_pollution(self):
+        config = SimulationConfig(
+            scenario=ScenarioSpec(honest=25, polluters=5),
+            duration_seconds=2 * DAY, num_files=80,
+            request_rate=0.02, seed=7)
+        reputation_config = ReputationConfig(
+            retention_saturation_seconds=config.duration_seconds / 3)
+        null_metrics = FileSharingSimulation(
+            config, ALL_MECHANISMS["null"]()).run()
+        md_metrics = FileSharingSimulation(
+            config, MultiDimensionalMechanism(reputation_config)).run()
+        assert (md_metrics.overall_fake_fraction
+                < null_metrics.overall_fake_fraction * 0.8)
+
+    def test_coverage_ordering_k5_k20_k100(self):
+        """Figure 1's qualitative ordering on a fresh trace."""
+        generated = MazeTraceGenerator(TraceParameters(
+            num_users=120, num_files=150, num_actions=3000,
+            trace_days=8.0, seed=13)).generate()
+        k5 = CoverageReplayer(generated, 0.05, seed=1).run().overall
+        k20 = CoverageReplayer(generated, 0.20, seed=1).run().overall
+        k100 = CoverageReplayer(generated, 1.0, seed=1).run().overall
+        assert k5 < k20 < k100
+        assert k100 > 0.7
+
+
+class TestDHTBackedReputation:
+    """The DHT overlay must agree with the in-process file-trust pipeline."""
+
+    def test_overlay_reputation_matches_core(self):
+        config = ReputationConfig(eta=0.0, rho=1.0)
+        overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                                    config=config)
+        system = MultiDimensionalReputationSystem(
+            config.replace(alpha=1.0, beta=0.0, gamma=0.0))
+
+        profiles = {
+            "alice": {"f1": 0.9, "f2": 0.8, "f3": 0.1},
+            "bob": {"f1": 0.9, "f2": 0.7, "f3": 0.2},
+            "mallory": {"f1": 0.1, "f2": 0.2, "f3": 0.9},
+        }
+        for user_id in profiles:
+            overlay.register_user(user_id)
+        for user_id, votes in profiles.items():
+            for file_id, vote in votes.items():
+                overlay.publish(user_id, file_id, vote, now=0.0)
+                system.record_vote(user_id, file_id, vote)
+
+        overlay_rm = overlay.compute_reputation_matrix(
+            "alice", ["bob", "mallory"])
+        core_rm = system.reputation_matrix()
+        # Same ordering: bob (similar tastes) above mallory (opposed).
+        assert (overlay_rm.get("alice", "bob")
+                > overlay_rm.get("alice", "mallory"))
+        assert (core_rm.get("alice", "bob")
+                > core_rm.get("alice", "mallory"))
+
+    def test_dht_survives_simulated_churn_with_republication(self):
+        overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                                    replication=3, record_ttl=100.0)
+        users = [f"u{i:02d}" for i in range(20)]
+        for user_id in users:
+            overlay.register_user(user_id)
+        overlay.publish("u00", "precious", 0.9, now=0.0)
+
+        # Churn: kill a third of the nodes, add new ones, republish.
+        now = 0.0
+        for round_number in range(3):
+            now += 50.0
+            for index in range(round_number * 3, round_number * 3 + 3):
+                overlay.network.fail(users[index + 1])
+            overlay.register_user(f"new-{round_number}")
+            overlay.republish_all("u00", now=now)
+
+        retrieved = overlay.retrieve("u00", "precious", now=now + 1.0)
+        assert retrieved.evaluations == {"u00": 0.9}

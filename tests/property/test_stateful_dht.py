@@ -1,0 +1,84 @@
+"""Stateful property test: DHT ring membership and routing consistency.
+
+Random join/leave/fail sequences must preserve the Chord invariants: the
+ring is a single cycle over alive nodes, every lookup from every start
+terminates at the true owner, and hop counts stay bounded.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.dht import DHTNetwork, hash_key, lookup
+
+USER_POOL = [f"peer-{index:02d}" for index in range(12)]
+
+
+class DHTMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.network = DHTNetwork()
+        self.alive = set()
+
+    @rule(user=st.sampled_from(USER_POOL))
+    def join(self, user):
+        self.network.join(user)
+        self.alive.add(user)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data())
+    def leave_gracefully(self, data):
+        user = data.draw(st.sampled_from(sorted(self.alive)))
+        self.network.leave(user)
+        self.alive.discard(user)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data())
+    def fail_abruptly(self, data):
+        user = data.draw(st.sampled_from(sorted(self.alive)))
+        self.network.fail(user)
+        self.alive.discard(user)
+
+    @precondition(lambda self: self.alive)
+    @rule(key_seed=st.text(min_size=1, max_size=8))
+    def lookup_from_every_node(self, key_seed):
+        key = hash_key(key_seed)
+        expected = self.network.owner_of(key)
+        for node in self.network.nodes():
+            result = lookup(self.network, key, start=node)
+            assert result.owner is expected
+            assert result.hops <= 2 * max(len(self.network), 4)
+
+    @invariant()
+    def membership_agrees(self):
+        assert len(self.network) == len(self.alive)
+        for user in self.alive:
+            assert self.network.has_node(user)
+
+    @invariant()
+    def ring_is_one_cycle(self):
+        nodes = self.network.nodes()
+        if not nodes:
+            return
+        walked = set()
+        current = nodes[0]
+        for _ in range(len(nodes)):
+            walked.add(current.user_id)
+            current = self.network.successor_of(current)
+        assert walked == {node.user_id for node in nodes}
+        assert current is nodes[0]
+
+    @invariant()
+    def ownership_is_consistent(self):
+        nodes = self.network.nodes()
+        if not nodes:
+            return
+        # A node owns its own id.
+        for node in nodes:
+            assert self.network.owner_of(node.node_id) is node
+
+
+TestDHTStateful = DHTMachine.TestCase
+TestDHTStateful.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)

@@ -1,0 +1,104 @@
+"""Stateful property test: the evaluation overlay vs. a naive model.
+
+Random publish/republish/expire/fail sequences against a live overlay; a
+dictionary model predicts which evaluations must be retrievable.  The model
+is conservative about node failures (a failure may or may not destroy a
+record depending on replica placement), so it tracks a *superset* of what
+can be visible and exact expiry times.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.dht import DHTNetwork, EvaluationOverlay, KeyAuthority
+
+USERS = [f"u{index:02d}" for index in range(8)]
+FILES = [f"f{index}" for index in range(5)]
+TTL = 100.0
+
+
+class OverlayMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
+                                         replication=2, record_ttl=TTL)
+        self.now = 0.0
+        # (owner, file) -> (value, expires_at, ring_epoch); what *may* be
+        # visible.  ring_epoch records the membership epoch at publication:
+        # any membership change afterwards may silently reassign replicas.
+        self.model = {}
+        self.ring_epoch = 0
+
+    @initialize()
+    def register_everyone(self):
+        for user in USERS:
+            self.overlay.register_user(user)
+
+    @rule(owner=st.sampled_from(USERS), file=st.sampled_from(FILES),
+          value=st.floats(min_value=0, max_value=1))
+    def publish(self, owner, file, value):
+        if not self.overlay.network.has_node(owner):
+            self.overlay.register_user(owner)  # rejoin: membership changes
+            self.ring_epoch += 1
+        self.overlay.publish(owner, file, value, now=self.now)
+        self.model[(owner, file)] = (value, self.now + TTL, self.ring_epoch)
+
+    @rule(owner=st.sampled_from(USERS))
+    def republish(self, owner):
+        if not self.overlay.network.has_node(owner):
+            return
+        count = self.overlay.republish_all(owner, now=self.now)
+        refreshed = 0
+        for (record_owner, file), (value, _, _) in list(self.model.items()):
+            if record_owner == owner:
+                self.model[(record_owner, file)] = (value, self.now + TTL,
+                                                    self.ring_epoch)
+                refreshed += 1
+        # Every modelled record of this owner is covered by the republish.
+        assert count >= refreshed
+
+    @rule(delta=st.floats(min_value=1.0, max_value=60.0))
+    def advance_time(self, delta):
+        self.now += delta
+
+    @precondition(lambda self: len(self.overlay.network) > 2)
+    @rule(victim=st.sampled_from(USERS))
+    def fail_node(self, victim):
+        if self.overlay.network.has_node(victim):
+            self.overlay.network.fail(victim)
+            self.ring_epoch += 1
+
+    @invariant()
+    def retrievals_are_sound(self):
+        """Everything retrieved must match a live model record exactly."""
+        if len(self.overlay.network) == 0:
+            return
+        requester = self.overlay.network.nodes()[0].user_id
+        for file in FILES:
+            retrieved = self.overlay.retrieve(requester, file, now=self.now)
+            assert retrieved.rejected == 0  # honest publishes only
+            for owner, value in retrieved.evaluations.items():
+                assert (owner, file) in self.model
+                model_value, expires_at, _ = self.model[(owner, file)]
+                assert value == model_value
+                assert self.now < expires_at
+
+    @invariant()
+    def current_epoch_fresh_records_are_visible(self):
+        """Records (re)published since the last membership change must be
+        retrievable until they expire."""
+        if len(self.overlay.network) == 0:
+            return
+        requester = self.overlay.network.nodes()[0].user_id
+        for (owner, file), (value, expires_at, epoch) in self.model.items():
+            if self.now >= expires_at or epoch != self.ring_epoch:
+                continue
+            retrieved = self.overlay.retrieve(requester, file, now=self.now)
+            assert retrieved.evaluations.get(owner) == value
+
+
+TestOverlayStateful = OverlayMachine.TestCase
+TestOverlayStateful.settings = settings(
+    max_examples=25, stateful_step_count=15, deadline=None)

@@ -1,0 +1,245 @@
+"""Tests for repro.simulator.behaviors via a recording stub simulation."""
+
+import random
+
+import pytest
+
+from repro.simulator import (ColluderBehavior, ForgerBehavior,
+                             FreeRiderBehavior, HonestBehavior,
+                             LazyVoterBehavior, Peer, PolluterBehavior,
+                             WhitewasherBehavior)
+
+
+class StubSimulation:
+    """Records the helper calls behaviours make."""
+
+    def __init__(self, fake_files=(), qualities=None, votes=None, seed=0):
+        self.rng = random.Random(seed)
+        self._fake = set(fake_files)
+        self._qualities = qualities or {}
+        self._votes = dict(votes or {})
+        self.voted = []
+        self.deleted = []
+        self.blacklisted = []
+        self.ranked = []
+        self.whitewashed = []
+        self._online = set()
+        self._blacklist_counts = {}
+        self.registry = self
+
+    # registry surface used by behaviours
+    def is_fake(self, file_id):
+        return file_id in self._fake
+
+    def quality(self, file_id):
+        return self._qualities.get(file_id, 0.0 if file_id in self._fake else 0.9)
+
+    def files_of(self, peer_id):
+        return set()
+
+    # simulation helper surface
+    def peer_votes(self, peer, file_id, vote):
+        self.voted.append((peer.peer_id, file_id, vote))
+
+    def peer_deletes_file(self, peer, file_id, fake_detected=False):
+        self.deleted.append((peer.peer_id, file_id))
+
+    def peer_blacklists(self, peer, target):
+        self.blacklisted.append((peer.peer_id, target))
+
+    def peer_ranks(self, peer, target, rating):
+        self.ranked.append((peer.peer_id, target, rating))
+
+    def known_vote(self, user_id, file_id):
+        return self._votes.get((user_id, file_id))
+
+    def is_online(self, peer_id):
+        return peer_id in self._online
+
+    def set_online(self, *peer_ids):
+        self._online.update(peer_ids)
+
+    def blacklist_count(self, peer_id):
+        return self._blacklist_counts.get(peer_id, 0)
+
+    def whitewash(self, peer):
+        self.whitewashed.append(peer.peer_id)
+
+
+def _peer(behavior, peer_id="p"):
+    return Peer(peer_id, behavior)
+
+
+class TestHonestBehavior:
+    def test_detects_and_deletes_fake(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = HonestBehavior(detection_probability=1.0,
+                                  vote_probability=0.0,
+                                  blacklist_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.deleted == [("p", "fake")]
+
+    def test_blacklists_fake_uploader(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = HonestBehavior(detection_probability=1.0,
+                                  blacklist_probability=1.0,
+                                  vote_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.blacklisted == [("p", "up")]
+
+    def test_keeps_real_file(self):
+        sim = StubSimulation(seed=1)
+        behavior = HonestBehavior(vote_probability=0.0, rank_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert sim.deleted == []
+
+    def test_votes_near_quality(self):
+        sim = StubSimulation(qualities={"real": 0.8}, seed=2)
+        behavior = HonestBehavior(vote_probability=1.0, vote_noise=0.0,
+                                  rank_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert len(sim.voted) == 1
+        assert sim.voted[0][2] == pytest.approx(0.8)
+
+    def test_ranks_uploader_sometimes(self):
+        sim = StubSimulation(seed=3)
+        behavior = HonestBehavior(vote_probability=0.0, rank_probability=1.0)
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert sim.ranked == [("p", "up", 0.9)]
+
+    def test_missed_detection_keeps_fake(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = HonestBehavior(detection_probability=0.0,
+                                  vote_probability=0.0, rank_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.deleted == []
+
+
+class TestLazyVoter:
+    def test_never_votes_or_ranks(self):
+        sim = StubSimulation(seed=1)
+        behavior = LazyVoterBehavior()
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert sim.voted == [] and sim.ranked == []
+
+    def test_still_deletes_fakes(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = LazyVoterBehavior(detection_probability=1.0,
+                                     blacklist_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.deleted == [("p", "fake")]
+
+
+class TestFreeRider:
+    def test_does_not_share(self):
+        assert not FreeRiderBehavior().shares()
+
+    def test_honest_peer_shares(self):
+        assert HonestBehavior().shares()
+
+
+class TestPolluter:
+    def test_keeps_fakes(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = PolluterBehavior(vote_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.deleted == []
+
+    def test_praises_fakes(self):
+        sim = StubSimulation(fake_files={"fake"}, seed=1)
+        behavior = PolluterBehavior(vote_probability=1.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.voted[0][2] == 1.0
+
+    def test_disparages_real_files(self):
+        sim = StubSimulation(seed=1)
+        behavior = PolluterBehavior(vote_probability=1.0)
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert sim.voted[0][2] <= 0.2
+
+    def test_wants_fake_copies(self):
+        assert PolluterBehavior().wants_fake_copy()
+        assert not HonestBehavior().wants_fake_copy()
+
+
+class TestColluder:
+    def test_boosts_clique_members(self):
+        sim = StubSimulation(seed=1)
+        behavior = ColluderBehavior(clique=["c1", "c2", "c3"])
+        sim.set_online("c2", "c3")
+        behavior.on_periodic(sim, _peer(behavior, "c1"))
+        assert ("c1", "c2", 1.0) in sim.ranked
+        assert ("c1", "c3", 1.0) in sim.ranked
+
+    def test_skips_self_and_offline(self):
+        sim = StubSimulation(seed=1)
+        behavior = ColluderBehavior(clique=["c1", "c2"])
+        behavior.on_periodic(sim, _peer(behavior, "c1"))  # c2 offline
+        assert sim.ranked == []
+
+    def test_no_clique_is_noop(self):
+        sim = StubSimulation(seed=1)
+        ColluderBehavior().on_periodic(sim, _peer(ColluderBehavior(), "c1"))
+        assert sim.ranked == []
+
+
+class TestForger:
+    def test_mirrors_victim_vote(self):
+        sim = StubSimulation(votes={("victim", "f"): 0.77}, seed=1)
+        behavior = ForgerBehavior(victim_id="victim")
+        behavior.on_download_complete(sim, _peer(behavior), "f", "up")
+        assert sim.voted == [("p", "f", 0.77)]
+
+    def test_silent_when_victim_has_not_voted(self):
+        sim = StubSimulation(seed=1)
+        behavior = ForgerBehavior(victim_id="victim")
+        behavior.on_download_complete(sim, _peer(behavior), "f", "up")
+        assert sim.voted == []
+
+    def test_no_victim_is_noop(self):
+        sim = StubSimulation(seed=1)
+        behavior = ForgerBehavior()
+        behavior.on_download_complete(sim, _peer(behavior), "f", "up")
+        behavior.on_periodic(sim, _peer(behavior))
+        assert sim.voted == []
+
+
+class TestWhitewasher:
+    def test_rejoins_after_enough_blacklistings(self):
+        sim = StubSimulation(seed=1)
+        sim._blacklist_counts["p"] = 3
+        behavior = WhitewasherBehavior(rejoin_threshold=3)
+        behavior.on_periodic(sim, _peer(behavior))
+        assert sim.whitewashed == ["p"]
+
+    def test_stays_below_threshold(self):
+        sim = StubSimulation(seed=1)
+        sim._blacklist_counts["p"] = 2
+        behavior = WhitewasherBehavior(rejoin_threshold=3)
+        behavior.on_periodic(sim, _peer(behavior))
+        assert sim.whitewashed == []
+
+
+class TestCamouflagedPolluter:
+    def test_votes_honestly_on_real_files(self):
+        from repro.simulator import CamouflagedPolluterBehavior
+        sim = StubSimulation(qualities={"real": 0.8}, seed=2)
+        behavior = CamouflagedPolluterBehavior(vote_probability=1.0,
+                                               vote_noise=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "real", "up")
+        assert sim.voted[0][2] == pytest.approx(0.8)
+
+    def test_still_praises_fakes(self):
+        from repro.simulator import CamouflagedPolluterBehavior
+        sim = StubSimulation(fake_files={"fake"}, seed=2)
+        behavior = CamouflagedPolluterBehavior(vote_probability=1.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.voted[0][2] == 1.0
+
+    def test_keeps_fakes_like_a_polluter(self):
+        from repro.simulator import CamouflagedPolluterBehavior
+        sim = StubSimulation(fake_files={"fake"}, seed=2)
+        behavior = CamouflagedPolluterBehavior(vote_probability=0.0)
+        behavior.on_download_complete(sim, _peer(behavior), "fake", "up")
+        assert sim.deleted == []
+        assert behavior.wants_fake_copy()

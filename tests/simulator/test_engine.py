@@ -1,0 +1,125 @@
+"""Tests for repro.simulator.engine."""
+
+import pytest
+
+from repro.simulator import EventEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, lambda e: fired.append("late"))
+        engine.schedule(1.0, lambda e: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append("first"))
+        engine.schedule(1.0, lambda e: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(2.5, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule(-1.0, lambda e: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = EventEngine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda e: None)
+
+    def test_callbacks_can_schedule_more(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(e):
+            fired.append(e.now)
+            if len(fired) < 3:
+                e.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunControl:
+    def test_until_bounds_processing(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(10.0, lambda e: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0  # clock advanced to the horizon
+
+    def test_resume_after_until(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(10.0, lambda e: fired.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        engine = EventEngine()
+        fired = []
+        for index in range(5):
+            engine.schedule(float(index + 1), lambda e, i=index: fired.append(i))
+        processed = engine.run(max_events=2)
+        assert processed == 2
+        assert fired == [0, 1]
+
+    def test_stop_halts_immediately(self):
+        engine = EventEngine()
+        fired = []
+
+        def stopper(e):
+            fired.append("stop")
+            e.stop()
+
+        engine.schedule(1.0, stopper)
+        engine.schedule(2.0, lambda e: fired.append("never"))
+        engine.run()
+        assert fired == ["stop"]
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda e: None)
+        engine.schedule(2.0, lambda e: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda e: fired.append("cancelled"))
+        engine.schedule(2.0, lambda e: fired.append("kept"))
+        engine.cancel(handle)
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_double_cancel_is_safe(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda e: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        engine.run()
+
+    def test_event_handles_order(self):
+        engine = EventEngine()
+        a = engine.schedule(1.0, lambda e: None)
+        b = engine.schedule(2.0, lambda e: None)
+        assert a < b

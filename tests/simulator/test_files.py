@@ -1,0 +1,108 @@
+"""Tests for repro.simulator.files: the file registry."""
+
+import random
+
+import pytest
+
+from repro.simulator import FileRegistry
+from repro.traces import FileCatalog
+
+
+@pytest.fixture
+def registry():
+    catalog = FileCatalog.generate(20, random.Random(1), fake_ratio=0.5)
+    return FileRegistry(catalog)
+
+
+def _some_real(registry):
+    return registry.catalog.real_ids()[0]
+
+
+def _some_fake(registry):
+    return registry.catalog.fake_ids()[0]
+
+
+class TestHoldings:
+    def test_add_copy_registers_holder(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=10.0)
+        assert registry.holds("p1", file_id)
+        assert "p1" in registry.holders(file_id)
+        assert file_id in registry.files_of("p1")
+
+    def test_unknown_file_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.add_copy("p1", "nope", now=0.0)
+
+    def test_delete_copy(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=0.0)
+        holding = registry.delete_copy("p1", file_id, now=100.0)
+        assert not registry.holds("p1", file_id)
+        assert holding.deleted_at == 100.0
+
+    def test_delete_without_holding_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.delete_copy("p1", _some_real(registry), now=0.0)
+
+    def test_double_delete_raises(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=0.0)
+        registry.delete_copy("p1", file_id, now=1.0)
+        with pytest.raises(KeyError):
+            registry.delete_copy("p1", file_id, now=2.0)
+
+    def test_reacquisition_resets_holding(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=0.0)
+        registry.delete_copy("p1", file_id, now=10.0)
+        registry.add_copy("p1", file_id, now=20.0)
+        assert registry.holds("p1", file_id)
+        assert registry.retention("p1", file_id, now=30.0) == pytest.approx(10.0)
+
+
+class TestRetention:
+    def test_retention_while_held(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=100.0)
+        assert registry.retention("p1", file_id, now=250.0) == pytest.approx(150.0)
+
+    def test_retention_frozen_after_deletion(self, registry):
+        file_id = _some_real(registry)
+        registry.add_copy("p1", file_id, now=0.0)
+        registry.delete_copy("p1", file_id, now=50.0)
+        assert registry.retention("p1", file_id, now=500.0) == pytest.approx(50.0)
+
+    def test_retention_none_when_never_held(self, registry):
+        assert registry.retention("p1", _some_real(registry), now=10.0) is None
+
+
+class TestDropPeer:
+    def test_drop_peer_releases_all_copies(self, registry):
+        real, fake = _some_real(registry), _some_fake(registry)
+        registry.add_copy("p1", real, now=0.0)
+        registry.add_copy("p1", fake, now=0.0)
+        dropped = registry.drop_peer("p1", now=5.0)
+        assert sorted(dropped) == sorted([real, fake])
+        assert registry.files_of("p1") == set()
+
+    def test_drop_unknown_peer_is_noop(self, registry):
+        assert registry.drop_peer("ghost", now=0.0) == []
+
+
+class TestGroundTruth:
+    def test_is_fake_and_quality(self, registry):
+        assert registry.is_fake(_some_fake(registry))
+        assert not registry.is_fake(_some_real(registry))
+        assert registry.quality(_some_fake(registry)) <= 0.2
+
+    def test_size_positive(self, registry):
+        assert registry.size(_some_real(registry)) > 0
+
+    def test_current_holdings_only_live(self, registry):
+        real = _some_real(registry)
+        registry.add_copy("p1", real, now=0.0)
+        registry.add_copy("p2", real, now=0.0)
+        registry.delete_copy("p1", real, now=1.0)
+        holders = [h.peer_id for h in registry.current_holdings()]
+        assert holders == ["p2"]

@@ -1,0 +1,101 @@
+"""Tests for repro.simulator.metrics and peers."""
+
+import pytest
+
+from repro.simulator import (HonestBehavior, Peer, SimulationMetrics,
+                             UploadRequest)
+
+
+class TestClassStats:
+    def test_download_accounting(self):
+        metrics = SimulationMetrics()
+        metrics.record_download("honest", is_fake=False, size_bytes=100.0,
+                                wait_time=2.0, bandwidth=50.0)
+        metrics.record_download("honest", is_fake=True, size_bytes=10.0,
+                                wait_time=4.0, bandwidth=25.0)
+        stats = metrics.stats_for("honest")
+        assert stats.total_downloads == 2
+        assert stats.fake_fraction == pytest.approx(0.5)
+        assert stats.mean_wait == pytest.approx(3.0)
+        assert stats.mean_bandwidth == pytest.approx(37.5)
+        assert stats.bytes_received == pytest.approx(110.0)
+
+    def test_empty_stats_are_zero(self):
+        stats = SimulationMetrics().stats_for("ghost")
+        assert stats.fake_fraction == 0.0
+        assert stats.mean_wait == 0.0
+
+    def test_blocked_and_rejected(self):
+        metrics = SimulationMetrics()
+        metrics.record_blocked_fake("honest")
+        metrics.record_rejected_request("honest")
+        stats = metrics.stats_for("honest")
+        assert stats.fakes_blocked == 1
+        assert stats.requests_rejected == 1
+
+
+class TestFakeRemovalLatency:
+    def test_latency_measured_from_copy_creation(self):
+        metrics = SimulationMetrics()
+        metrics.record_fake_copy("f", "p", now=100.0)
+        metrics.record_fake_removal("f", "p", now=400.0)
+        assert metrics.mean_fake_removal_latency == pytest.approx(300.0)
+
+    def test_removal_without_creation_ignored(self):
+        metrics = SimulationMetrics()
+        metrics.record_fake_removal("f", "p", now=400.0)
+        assert metrics.fake_removal_latencies == []
+
+    def test_outstanding_copies_counted(self):
+        metrics = SimulationMetrics()
+        metrics.record_fake_copy("f", "p1", now=0.0)
+        metrics.record_fake_copy("f", "p2", now=0.0)
+        metrics.record_fake_removal("f", "p1", now=10.0)
+        assert metrics.outstanding_fake_copies == 1
+
+
+class TestAggregates:
+    def test_overall_fake_fraction_across_classes(self):
+        metrics = SimulationMetrics()
+        metrics.record_download("a", True, 1.0, 0.0, 1.0)
+        metrics.record_download("b", False, 1.0, 0.0, 1.0)
+        metrics.record_download("b", False, 1.0, 0.0, 1.0)
+        assert metrics.overall_fake_fraction == pytest.approx(1 / 3)
+
+    def test_judgement_counters(self):
+        metrics = SimulationMetrics()
+        metrics.record_judgement(blind=True)
+        metrics.record_judgement(blind=False)
+        metrics.record_judgement(blind=False)
+        assert metrics.blind_judgements == 1
+        assert metrics.informed_judgements == 2
+
+    def test_class_labels_sorted(self):
+        metrics = SimulationMetrics()
+        metrics.record_download("z", False, 1.0, 0.0, 1.0)
+        metrics.record_download("a", False, 1.0, 0.0, 1.0)
+        assert metrics.class_labels() == ["a", "z"]
+
+
+class TestPeer:
+    def test_slot_accounting(self):
+        peer = Peer("p", HonestBehavior(), upload_slots=2)
+        assert peer.has_free_slot
+        peer.active_uploads = 2
+        assert not peer.has_free_slot
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Peer("p", HonestBehavior(), upload_capacity=0.0)
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Peer("p", HonestBehavior(), upload_slots=0)
+
+    def test_label_comes_from_behavior(self):
+        assert Peer("p", HonestBehavior()).label == "honest"
+
+    def test_upload_request_fields(self):
+        request = UploadRequest("r", "f", arrival_time=10.0,
+                                effective_time=5.0)
+        assert request.effective_time < request.arrival_time

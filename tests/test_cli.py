@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import read_csv, read_jsonl
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--mechanism", "magic"])
+
+
+class TestGenTrace:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        output = tmp_path / "trace.jsonl"
+        code = main(["gen-trace", str(output), "--users", "60",
+                     "--files", "80", "--actions", "400", "--days", "5",
+                     "--library", "5", "--seed", "3"])
+        assert code == 0
+        trace = read_jsonl(output)
+        assert len(trace) > 300
+        assert "download records" in capsys.readouterr().out
+
+    def test_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        code = main(["gen-trace", str(output), "--users", "60",
+                     "--files", "80", "--actions", "200", "--days", "5"])
+        assert code == 0
+        assert len(read_csv(output)) > 100
+
+    def test_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        argv = ["gen-trace", None, "--users", "50", "--files", "60",
+                "--actions", "200", "--days", "5", "--seed", "9"]
+        argv[1] = str(a)
+        main(list(argv))
+        argv[1] = str(b)
+        main(list(argv))
+        assert a.read_text() == b.read_text()
+
+
+class TestTraceStats:
+    def test_stats_on_generated_trace(self, tmp_path, capsys):
+        output = tmp_path / "trace.jsonl"
+        main(["gen-trace", str(output), "--users", "60", "--files", "80",
+              "--actions", "400", "--days", "5"])
+        capsys.readouterr()
+        code = main(["trace-stats", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Zipf" in out
+        assert "records" in out
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace-stats", str(path)]) == 1
+
+
+class TestCoverage:
+    def test_coverage_sweep_prints_rows(self, capsys):
+        code = main(["coverage", "--users", "80", "--files", "100",
+                     "--actions", "500", "--days", "5", "--library", "10",
+                     "--k", "0.1", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10%" in out and "100%" in out
+
+    def test_invalid_k_rejected(self, capsys):
+        assert main(["coverage", "--k", "1.5"]) == 1
+
+
+class TestSimulate:
+    def test_null_simulation(self, capsys):
+        code = main(["simulate", "--mechanism", "null", "--honest", "12",
+                     "--polluters", "2", "--free-riders", "2",
+                     "--catalog", "40", "--days", "0.5",
+                     "--request-rate", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall fake fraction" in out
+        assert "honest" in out
+
+    def test_multidimensional_simulation(self, capsys):
+        code = main(["simulate", "--honest", "12", "--polluters", "2",
+                     "--catalog", "40", "--days", "0.5",
+                     "--request-rate", "0.01"])
+        assert code == 0
+        assert "multidimensional" in capsys.readouterr().out
+
+    def test_toggles_accepted(self, capsys):
+        code = main(["simulate", "--mechanism", "tit-for-tat",
+                     "--honest", "10", "--catalog", "30", "--days", "0.25",
+                     "--request-rate", "0.01", "--no-filtering",
+                     "--no-differentiation"])
+        assert code == 0

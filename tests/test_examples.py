@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "REJECT AS FAKE" in result.stdout
+        assert "upload queue" in result.stdout
+
+    def test_pollution_defense(self):
+        result = _run("pollution_defense.py")
+        assert result.returncode == 0, result.stderr
+        assert "multidimensional" in result.stdout
+        assert "cut the fake-download rate" in result.stdout
+
+    def test_dht_deployment(self):
+        result = _run("dht_deployment.py")
+        assert result.returncode == 0, result.stderr
+        assert "step 6" in result.stdout
+        assert "forged evaluation accepted? False" in result.stdout
+        assert "flagged=True" in result.stdout
+
+    def test_coverage_study_small(self):
+        result = _run("coverage_study.py", "--small")
+        assert result.returncode == 0, result.stderr
+        assert "k=100%" in result.stdout
+        assert "Tit-for-Tat" in result.stdout
+
+    def test_incentive_lab(self):
+        result = _run("incentive_lab.py")
+        assert result.returncode == 0, result.stderr
+        assert "free-rider" in result.stdout
+        assert "mean credit" in result.stdout
+
+    def test_tune_weights(self):
+        result = _run("tune_weights.py")
+        assert result.returncode == 0, result.stderr
+        assert "best eta" in result.stdout
+        assert "best weights" in result.stdout
+
+    def test_scenario_tour_quick(self):
+        result = _run("scenario_tour.py", "--quick")
+        assert result.returncode == 0, result.stderr
+        assert "kazaa-pollution" in result.stdout
+        assert "multidimensional" in result.stdout
+
+    def test_client_restart(self):
+        result = _run("client_restart.py")
+        assert result.returncode == 0, result.stderr
+        assert "after restart" in result.stdout
+        assert "REJECT" in result.stdout
+        assert "spammer still blacklisted: True" in result.stdout

@@ -1,0 +1,34 @@
+"""Smoke tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+def _run_module(*args):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=120)
+
+
+class TestMainModule:
+    def test_help_exits_zero(self):
+        result = _run_module("--help")
+        assert result.returncode == 0
+        assert "gen-trace" in result.stdout
+        assert "simulate" in result.stdout
+
+    def test_no_command_exits_nonzero(self):
+        result = _run_module()
+        assert result.returncode != 0
+
+    def test_subcommand_help(self):
+        result = _run_module("simulate", "--help")
+        assert result.returncode == 0
+        assert "--scenario" in result.stdout
+        assert "--mechanism" in result.stdout
+
+    def test_small_simulation_via_module(self):
+        result = _run_module("simulate", "--mechanism", "null",
+                             "--honest", "6", "--catalog", "15",
+                             "--days", "0.1", "--request-rate", "0.005")
+        assert result.returncode == 0, result.stderr
+        assert "overall fake fraction" in result.stdout

@@ -1,0 +1,93 @@
+"""Tests for repro.traces.records."""
+
+import pytest
+
+from repro.traces import DownloadRecord, DownloadTrace
+
+DAY = 24 * 3600.0
+
+
+def _record(uploader="u1", downloader="u2", timestamp=0.0, content="f1",
+            is_fake=False, size=100.0):
+    return DownloadRecord(uploader_id=uploader, downloader_id=downloader,
+                          timestamp=timestamp, content_hash=content,
+                          filename=f"{content}.dat", size_bytes=size,
+                          is_fake=is_fake)
+
+
+class TestDownloadRecord:
+    def test_schema_fields_match_maze_log(self):
+        """Section 3.2: uploader, downloader, time, content hash, filename."""
+        record = _record()
+        assert record.uploader_id == "u1"
+        assert record.downloader_id == "u2"
+        assert record.timestamp == 0.0
+        assert record.content_hash == "f1"
+        assert record.filename == "f1.dat"
+
+    def test_self_download_rejected(self):
+        with pytest.raises(ValueError):
+            _record(uploader="u1", downloader="u1")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            _record(timestamp=-1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            _record(size=-5.0)
+
+    def test_records_are_immutable(self):
+        record = _record()
+        with pytest.raises(AttributeError):
+            record.timestamp = 5.0  # type: ignore[misc]
+
+
+class TestDownloadTrace:
+    @pytest.fixture
+    def trace(self):
+        trace = DownloadTrace()
+        trace.append(_record("a", "b", 0.0, "f1"))
+        trace.append(_record("b", "c", DAY, "f2", is_fake=True))
+        trace.append(_record("a", "c", 2 * DAY, "f1"))
+        return trace
+
+    def test_users_sorted_union(self, trace):
+        assert trace.users() == ["a", "b", "c"]
+
+    def test_files_sorted(self, trace):
+        assert trace.files() == ["f1", "f2"]
+
+    def test_duration(self, trace):
+        assert trace.duration() == pytest.approx(2 * DAY)
+
+    def test_duration_of_empty_trace_is_zero(self):
+        assert DownloadTrace().duration() == 0.0
+
+    def test_downloads_and_uploads_of(self, trace):
+        assert len(trace.downloads_of("c")) == 2
+        assert len(trace.uploads_of("a")) == 2
+
+    def test_fake_fraction(self, trace):
+        assert trace.fake_fraction() == pytest.approx(1 / 3)
+
+    def test_fake_fraction_empty_trace(self):
+        assert DownloadTrace().fake_fraction() == 0.0
+
+    def test_window_slices_half_open(self, trace):
+        window = trace.window(0.0, DAY)
+        assert len(window) == 1
+        assert window[0].content_hash == "f1"
+
+    def test_sort_by_time(self):
+        trace = DownloadTrace()
+        trace.append(_record("a", "b", 10.0))
+        trace.append(_record("a", "b", 5.0, content="f2"))
+        trace.sort_by_time()
+        assert trace[0].timestamp == 5.0
+
+    def test_extend_and_iter(self, trace):
+        other = DownloadTrace()
+        other.extend(trace)
+        assert len(other) == len(trace)
+        assert [r.content_hash for r in other] == ["f1", "f2", "f1"]

@@ -1,0 +1,96 @@
+"""Tests for repro.traces.replay: the Figure 1 coverage machinery."""
+
+import pytest
+
+from repro.traces import CoverageReplayer, MazeTraceGenerator, TraceParameters
+from repro.traces.replay import CoveragePoint, CoverageSeries, run_coverage_sweep
+
+
+@pytest.fixture(scope="module")
+def generated():
+    parameters = TraceParameters(num_users=150, num_files=200,
+                                 num_actions=4000, trace_days=10.0, seed=5)
+    return MazeTraceGenerator(parameters).generate()
+
+
+class TestCoveragePoint:
+    def test_fraction(self):
+        assert CoveragePoint(day=0, covered=5, total=10).fraction == 0.5
+
+    def test_fraction_of_empty_day(self):
+        assert CoveragePoint(day=0, covered=0, total=0).fraction == 0.0
+
+
+class TestCoverageSeries:
+    def test_overall_aggregates_days(self):
+        series = CoverageSeries(evaluation_coverage=1.0, points=[
+            CoveragePoint(0, 5, 10), CoveragePoint(1, 15, 20)])
+        assert series.overall == pytest.approx(20 / 30)
+
+    def test_steady_state_skips_warmup(self):
+        series = CoverageSeries(evaluation_coverage=1.0, points=[
+            CoveragePoint(day, day, 10) for day in range(10)])
+        assert series.steady_state(skip_days=5) > series.overall
+
+    def test_steady_state_of_short_series_falls_back(self):
+        series = CoverageSeries(evaluation_coverage=1.0,
+                                points=[CoveragePoint(0, 5, 10)])
+        assert series.steady_state(skip_days=5) == pytest.approx(0.5)
+
+
+class TestReplayer:
+    def test_invalid_coverage_rejected(self, generated):
+        with pytest.raises(ValueError):
+            CoverageReplayer(generated, 1.5)
+
+    def test_invalid_rank_probability_rejected(self, generated):
+        with pytest.raises(ValueError):
+            CoverageReplayer(generated, 0.5, rank_probability=2.0)
+
+    def test_zero_coverage_covers_nothing(self, generated):
+        series = CoverageReplayer(generated, 0.0).run()
+        assert series.overall == 0.0
+
+    def test_coverage_monotone_in_evaluation_coverage(self, generated):
+        """The heart of Figure 1: more evaluation -> more request coverage."""
+        results = [CoverageReplayer(generated, k, seed=4).run().overall
+                   for k in (0.05, 0.2, 1.0)]
+        assert results[0] < results[1] < results[2]
+
+    def test_full_coverage_is_high(self, generated):
+        """Paper: implicit evaluation (k=100%) yields coverage above 80%."""
+        series = CoverageReplayer(generated, 1.0).run()
+        assert series.steady_state() > 0.7
+
+    def test_low_coverage_is_small(self, generated):
+        """Paper: at k=5% the request coverage is small."""
+        series = CoverageReplayer(generated, 0.05).run()
+        assert series.overall < 0.15
+
+    def test_per_day_totals_match_trace(self, generated):
+        series = CoverageReplayer(generated, 0.5).run()
+        assert sum(point.total for point in series.points) == len(generated.trace)
+
+    def test_deterministic_for_seed(self, generated):
+        first = CoverageReplayer(generated, 0.2, seed=7).run()
+        second = CoverageReplayer(generated, 0.2, seed=7).run()
+        assert first.fractions() == second.fractions()
+
+    def test_volume_edges_increase_coverage(self, generated):
+        """Paper: download-volume relationships also increase coverage."""
+        without = CoverageReplayer(generated, 0.1, seed=3).run().overall
+        with_volume = CoverageReplayer(generated, 0.1, include_volume=True,
+                                       seed=3).run().overall
+        assert with_volume > without
+
+    def test_user_edges_increase_coverage(self, generated):
+        without = CoverageReplayer(generated, 0.1, seed=3).run().overall
+        with_user = CoverageReplayer(generated, 0.1, include_user=True,
+                                     rank_probability=0.3, seed=3).run().overall
+        assert with_user > without
+
+
+class TestSweep:
+    def test_sweep_returns_one_series_per_coverage(self, generated):
+        sweep = run_coverage_sweep(generated, [0.05, 0.2])
+        assert [series.evaluation_coverage for series in sweep] == [0.05, 0.2]

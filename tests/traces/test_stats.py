@@ -1,0 +1,81 @@
+"""Tests for repro.traces.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import (DownloadRecord, DownloadTrace, compute_statistics,
+                          gini_coefficient, zipf_exponent_fit)
+
+DAY = 24 * 3600.0
+
+
+class TestZipfFit:
+    def test_perfect_zipf_recovered(self):
+        counts = [round(1000 / rank) for rank in range(1, 50)]
+        assert zipf_exponent_fit(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_uniform_counts_give_zero_exponent(self):
+        assert zipf_exponent_fit([10] * 20) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_two_positive_counts(self):
+        with pytest.raises(ValueError):
+            zipf_exponent_fit([5])
+        with pytest.raises(ValueError):
+            zipf_exponent_fit([0, 0])
+
+    def test_ignores_zero_counts(self):
+        counts = [100, 50, 0, 25, 0]
+        assert zipf_exponent_fit(counts) > 0
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini_coefficient([5.0] * 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_concentration_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_and_zero_inputs(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6),
+                           min_size=1, max_size=50))
+    def test_range(self, values):
+        assert 0.0 <= gini_coefficient(values) <= 1.0
+
+
+class TestComputeStatistics:
+    @pytest.fixture
+    def trace(self):
+        trace = DownloadTrace()
+        for index in range(20):
+            trace.append(DownloadRecord(
+                uploader_id="seed", downloader_id=f"u{index % 5}",
+                timestamp=index * 3600.0, content_hash=f"f{index % 3}",
+                filename="x", size_bytes=10.0, is_fake=(index % 4 == 0)))
+        return trace
+
+    def test_counts(self, trace):
+        statistics = compute_statistics(trace)
+        assert statistics.num_records == 20
+        assert statistics.num_users == 6  # 5 downloaders + seed
+        assert statistics.num_files == 3
+
+    def test_fake_fraction(self, trace):
+        statistics = compute_statistics(trace)
+        assert statistics.fake_download_fraction == pytest.approx(0.25)
+
+    def test_downloads_per_day(self, trace):
+        statistics = compute_statistics(trace)
+        assert sum(statistics.downloads_per_day.values()) == 20
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            compute_statistics(DownloadTrace())
+
+    def test_median_file_distinct_days_positive(self, trace):
+        statistics = compute_statistics(trace)
+        assert statistics.median_file_distinct_days >= 1.0
