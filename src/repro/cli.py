@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a downstream user actually runs:
+Five commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
 * ``coverage``    — regenerate the Figure 1 sweep for chosen k values;
 * ``simulate``    — run the file-sharing simulator under any mechanism and
-  print the per-class outcome table.
+  print the per-class outcome table;
+* ``chaos``       — sweep message-loss × churn over the DHT evaluation
+  overlay and report availability, hop inflation and ranking stability
+  (the Section 4.3 resilience claim under an actually hostile network).
 
 All commands are seeded and print fixed-width tables to stdout.
 """
@@ -21,7 +24,7 @@ from .analysis import render_table
 from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
 from .core import ReputationConfig
 from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
-                        SimulationConfig, get_scenario)
+                        SimulationConfig, get_scenario, run_chaos_sweep)
 from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
                      compute_statistics, read_csv, read_jsonl, write_csv,
                      write_jsonl)
@@ -88,6 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable Eq. 9 pre-download filtering")
     simulate.add_argument("--no-differentiation", action="store_true",
                           help="disable Section 3.4 service differentiation")
+
+    chaos = commands.add_parser(
+        "chaos", help="fault-injection sweep: message loss x churn over "
+                      "the DHT evaluation overlay")
+    chaos.add_argument("--loss", type=float, nargs="+",
+                       default=[0.0, 0.05, 0.1],
+                       help="message-loss probabilities to sweep")
+    chaos.add_argument("--churn", type=float, nargs="+",
+                       default=[0.0, 0.3],
+                       help="per-round churn probabilities to sweep")
+    chaos.add_argument("--peers", type=int, default=24)
+    chaos.add_argument("--files", type=int, default=40)
+    chaos.add_argument("--rounds", type=int, default=30)
+    chaos.add_argument("--replication", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=11)
     return parser
 
 
@@ -215,11 +233,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    for rate in args.loss:
+        if not 0.0 <= rate < 1.0:
+            print(f"loss rate {rate} outside [0, 1)", file=sys.stderr)
+            return 1
+    for rate in args.churn:
+        if not 0.0 <= rate <= 1.0:
+            print(f"churn rate {rate} outside [0, 1]", file=sys.stderr)
+            return 1
+    results = run_chaos_sweep(
+        list(args.loss), list(args.churn), peers=args.peers,
+        files=args.files, rounds=args.rounds, seed=args.seed,
+        replication=args.replication)
+    rows = []
+    for result in results:
+        rows.append([
+            f"{result.loss_rate:.0%}",
+            f"{result.churn_rate:.0%}",
+            round(result.availability, 3),
+            round(result.mean_hops, 2),
+            round(result.hop_ratio_vs_baseline, 2),
+            round(result.kendall_tau_vs_baseline, 3),
+            result.drops,
+            result.retries,
+            result.repairs,
+        ])
+    print(render_table(
+        ["loss", "churn", "availability", "mean hops", "hop ratio",
+         "kendall tau", "drops", "retries", "repairs"], rows,
+        title=(f"Chaos sweep: {args.peers} peers, {args.files} files, "
+               f"{args.rounds} rounds, r={args.replication}, "
+               f"seed={args.seed}")))
+    worst = min(result.availability for result in results)
+    print(f"\nworst-cell availability: {worst:.3f}")
+    return 0
+
+
 _COMMANDS = {
     "gen-trace": _cmd_gen_trace,
     "trace-stats": _cmd_trace_stats,
     "coverage": _cmd_coverage,
     "simulate": _cmd_simulate,
+    "chaos": _cmd_chaos,
 }
 
 

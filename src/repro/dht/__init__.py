@@ -2,7 +2,11 @@
 
 from .crypto import KeyAuthority, SignatureError
 from .deployment import DHTBackedMechanism
+from .faults import FaultPlan, RPCOutcome
 from .id_space import ID_BITS, ID_SPACE, distance, hash_key, in_interval
+from .retry import (DEFAULT_RETRY_POLICY, DHTError, EmptyNetworkError,
+                    NetworkPartitionError, RetryBudget, RetryBudgetExhausted,
+                    RetryPolicy, RoutingError)
 from .messages import EvaluationInfo, IndexRecord, MessageKind, MessageTally
 from .node import DHTNode
 from .overlay_service import EvaluationOverlay, RetrievedEvaluations
@@ -17,6 +21,16 @@ __all__ = [
     "KeyAuthority",
     "SignatureError",
     "DHTBackedMechanism",
+    "FaultPlan",
+    "RPCOutcome",
+    "DEFAULT_RETRY_POLICY",
+    "DHTError",
+    "EmptyNetworkError",
+    "NetworkPartitionError",
+    "RetryBudget",
+    "RetryBudgetExhausted",
+    "RetryPolicy",
+    "RoutingError",
     "ID_BITS",
     "ID_SPACE",
     "distance",

@@ -28,7 +28,9 @@ from ..baselines.multidimensional import MultiDimensionalMechanism
 from ..core.config import DEFAULT_CONFIG, ReputationConfig
 from ..core.file_reputation import file_reputation
 from .crypto import KeyAuthority
+from .faults import FaultPlan
 from .overlay_service import EvaluationOverlay
+from .retry import RetryPolicy
 from .ring import DHTNetwork
 
 __all__ = ["DHTBackedMechanism"]
@@ -42,11 +44,14 @@ class DHTBackedMechanism(MultiDimensionalMechanism):
     def __init__(self, config: ReputationConfig = DEFAULT_CONFIG,
                  overlay: Optional[EvaluationOverlay] = None,
                  replication: int = 2,
-                 record_ttl: float = 24 * 3600.0):
+                 record_ttl: float = 24 * 3600.0,
+                 faults: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(config)
         self.overlay = overlay if overlay is not None else EvaluationOverlay(
             DHTNetwork(), KeyAuthority(), config=config,
-            replication=replication, record_ttl=record_ttl)
+            replication=replication, record_ttl=record_ttl,
+            faults=faults, retry_policy=retry_policy)
         self._known_users: Set[str] = set()
         self._now = 0.0
 
@@ -131,11 +136,25 @@ class DHTBackedMechanism(MultiDimensionalMechanism):
     # ------------------------------------------------------------------ #
 
     def refresh(self) -> None:
-        """Republication tick + trust-matrix recomputation."""
+        """Republication tick + trust-matrix recomputation.
+
+        Under fault injection the tick also runs the replica-repair sweep:
+        writes lost to drops and records lost to crashes get re-replicated.
+        The sweep is skipped on the fault-free path so seed runs stay
+        byte-identical.
+        """
         for user_id in sorted(self._known_users):
             self.overlay.republish_all(user_id, self._now)
         self.overlay.expire_all(self._now)
+        faults = self.overlay.faults
+        if faults is not None and faults.active:
+            self.overlay.repair_replicas(self._now)
         super().refresh()
+
+    @property
+    def availability(self) -> float:
+        """Fraction of DHT retrievals that met their read quorum."""
+        return self.overlay.availability
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #

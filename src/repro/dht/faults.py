@@ -1,0 +1,142 @@
+"""Seeded fault injection for the DHT overlay: the network gets hostile.
+
+The seed reproduction ran every DHT benchmark over a perfect transport —
+messages always arrived, instantly, and nodes only died when the churn
+model said so.  :class:`FaultPlan` injects the failure modes a deployed
+overlay actually sees, deterministically (one private seeded RNG, never the
+global ``random`` module):
+
+* **message loss** — each RPC drops with ``drop_probability``;
+* **latency** — delivered RPCs take ``base_latency_seconds`` plus an
+  exponential tail, so retries and timeouts have realistic cost;
+* **crash-mid-RPC** — with ``crash_probability`` the *contacted* node dies
+  while serving the call (the caller sees a timeout, the node's records are
+  gone);
+* **partitions** — nodes mapped to different partition groups cannot
+  exchange messages at all; retries cannot save a partitioned RPC.
+
+``FaultPlan.none()`` is the zero-cost default: ``active`` is ``False`` and
+every fault-aware code path short-circuits to the seed behaviour, so
+fault-free runs stay byte-identical to the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RPCOutcome", "FaultPlan"]
+
+
+class RPCOutcome(Enum):
+    """What the fault plan decided for one RPC."""
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+    PARTITIONED = "partitioned"
+    CRASHED = "crashed"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of network faults for one run."""
+
+    drop_probability: float = 0.0
+    crash_probability: float = 0.0
+    base_latency_seconds: float = 0.0
+    mean_latency_jitter_seconds: float = 0.0
+    #: user_id -> partition group; nodes in different groups are mutually
+    #: unreachable.  Unlisted nodes share the implicit default group.
+    partitions: Dict[str, int] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if not 0.0 <= self.crash_probability < 1.0:
+            raise ValueError("crash_probability must be in [0, 1)")
+        if self.base_latency_seconds < 0:
+            raise ValueError("base_latency_seconds must be >= 0")
+        if self.mean_latency_jitter_seconds < 0:
+            raise ValueError("mean_latency_jitter_seconds must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Constructors / queries                                             #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan: ``active`` is False, nothing is injected."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault dimension is configured."""
+        return bool(self.drop_probability > 0.0
+                    or self.crash_probability > 0.0
+                    or self.base_latency_seconds > 0.0
+                    or self.mean_latency_jitter_seconds > 0.0
+                    or self.partitions)
+
+    @property
+    def rng(self) -> random.Random:
+        """The plan's private RNG (shared with retry jitter for determinism)."""
+        return self._rng
+
+    def partition_of(self, user_id: str) -> int:
+        return self.partitions.get(user_id, 0)
+
+    def reachable(self, src_user: str, dst_user: str) -> bool:
+        """Whether the two nodes sit in the same partition group."""
+        if not self.partitions:
+            return True
+        return self.partition_of(src_user) == self.partition_of(dst_user)
+
+    # ------------------------------------------------------------------ #
+    # The fault oracle                                                   #
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, src_user: str, dst_user: str
+                 ) -> Tuple[RPCOutcome, float]:
+        """Decide the fate of one RPC; returns ``(outcome, latency)``.
+
+        Latency is the simulated wall time the caller observed: delivery
+        latency for successes, the timeout-equivalent latency for drops and
+        crashes (the caller waited the full window before giving up).
+        """
+        if not self.reachable(src_user, dst_user):
+            return RPCOutcome.PARTITIONED, 0.0
+        if self.drop_probability > 0.0 \
+                and self._rng.random() < self.drop_probability:
+            return RPCOutcome.DROPPED, self.sample_latency()
+        if self.crash_probability > 0.0 \
+                and self._rng.random() < self.crash_probability:
+            return RPCOutcome.CRASHED, self.sample_latency()
+        return RPCOutcome.DELIVERED, self.sample_latency()
+
+    def sample_latency(self) -> float:
+        """One latency draw: base plus an exponential jitter tail."""
+        latency = self.base_latency_seconds
+        if self.mean_latency_jitter_seconds > 0.0:
+            latency += self._rng.expovariate(
+                1.0 / self.mean_latency_jitter_seconds)
+        return latency
+
+    # ------------------------------------------------------------------ #
+    # Partition helpers                                                  #
+    # ------------------------------------------------------------------ #
+
+    def partition(self, group_a: Optional[set] = None,
+                  group_b: Optional[set] = None) -> None:
+        """Split the network: ``group_b`` users move to partition 1."""
+        for user in group_a or ():
+            self.partitions[user] = 0
+        for user in group_b or ():
+            self.partitions[user] = 1
+
+    def heal_partitions(self) -> None:
+        """Dissolve all partitions (every node reachable again)."""
+        self.partitions.clear()

@@ -73,6 +73,11 @@ class MessageKind(Enum):
     RETRIEVE = "retrieve"
     REPUBLISH = "republish"
     EVALUATION_LIST = "evaluation_list"
+    #: Fault-injection observability (see :mod:`repro.dht.faults`).
+    DROP = "drop"
+    TIMEOUT = "timeout"
+    RETRY = "retry"
+    REPAIR = "repair"
 
 
 @dataclass
@@ -88,6 +93,26 @@ class MessageTally:
 
     def count(self, kind: MessageKind) -> int:
         return self.counts.get(kind, 0)
+
+    @property
+    def drops(self) -> int:
+        """Messages lost to injected faults (drops + partition refusals)."""
+        return self.count(MessageKind.DROP)
+
+    @property
+    def timeouts(self) -> int:
+        """RPCs that timed out (dead targets, crash-mid-RPC)."""
+        return self.count(MessageKind.TIMEOUT)
+
+    @property
+    def retries(self) -> int:
+        """Retries spent recovering from drops/timeouts."""
+        return self.count(MessageKind.RETRY)
+
+    @property
+    def repairs(self) -> int:
+        """Replica copies re-created by the repair sweep."""
+        return self.count(MessageKind.REPAIR)
 
     def total_messages(self) -> int:
         return sum(self.counts.values())

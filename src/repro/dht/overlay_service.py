@@ -19,6 +19,18 @@ Implements the six steps of Figure 2:
 All message costs flow into a :class:`~repro.dht.messages.MessageTally`, so
 benchmark F2 can check the paper's cost claim: piggybacking evaluations adds
 *no* extra lookups, only bytes.
+
+**Resilience.**  When constructed with an active
+:class:`~repro.dht.faults.FaultPlan`, every publication write and retrieval
+read becomes a fault-subjected RPC with retries
+(:class:`~repro.dht.retry.RetryPolicy`).  Retrieval degrades gracefully: it
+reads from the key's whole replica set, merges the freshest record per
+owner, and returns a *partial* :class:`RetrievedEvaluations` whose
+``complete`` flag says whether the read quorum was met — callers keep
+working with whatever survived.  :meth:`EvaluationOverlay.repair_replicas`
+re-replicates under-replicated records after node failures.  With the
+default ``faults=None`` all of this is dormant and the overlay behaves
+exactly like the fault-free seed.
 """
 
 from __future__ import annotations
@@ -34,11 +46,14 @@ from ..core.incentive import ServiceDifferentiator, ServiceLevel
 from ..core.matrix import TrustMatrix
 from ..core.multitrust import compute_reputation_matrix
 from .crypto import KeyAuthority
+from .faults import FaultPlan, RPCOutcome
 from .id_space import hash_key
 from .messages import EvaluationInfo, IndexRecord, MessageKind, MessageTally
 from .node import DHTNode
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .ring import DHTNetwork
-from .routing import lookup
+from .routing import LookupResult, lookup
+from .storage import StoredRecord
 
 __all__ = ["EvaluationOverlay", "RetrievedEvaluations"]
 
@@ -49,7 +64,13 @@ ListResponder = Callable[[str], Dict[str, float]]
 
 @dataclass
 class RetrievedEvaluations:
-    """Step 3 result: owners plus verified evaluations for one file."""
+    """Step 3 result: owners plus verified evaluations for one file.
+
+    Under fault injection the result may be *partial*: ``complete`` says
+    whether at least ``quorum`` of the key's replicas answered.  The
+    fault-free path always reports a complete single-replica read, so the
+    defaults keep seed behaviour bit-for-bit.
+    """
 
     file_id: str
     owners: List[str]
@@ -57,6 +78,12 @@ class RetrievedEvaluations:
     #: Records whose signature failed verification (dropped).
     rejected: int
     lookup_hops: int
+    #: Whether the read met its replica quorum (always True without faults).
+    complete: bool = True
+    #: Replicas that actually answered the read.
+    replicas_contacted: int = 1
+    #: Replicas that had to answer for the read to count as complete.
+    quorum: int = 1
 
 
 class EvaluationOverlay:
@@ -65,15 +92,30 @@ class EvaluationOverlay:
     def __init__(self, network: DHTNetwork, authority: KeyAuthority,
                  config: ReputationConfig = DEFAULT_CONFIG,
                  replication: int = 2,
-                 record_ttl: float = 24 * 3600.0):
+                 record_ttl: float = 24 * 3600.0,
+                 faults: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 read_quorum: Optional[int] = None):
         if replication < 1:
             raise ValueError("replication must be >= 1")
+        if read_quorum is not None and not 1 <= read_quorum <= replication:
+            raise ValueError("read_quorum must be in [1, replication]")
         self.network = network
         self.authority = authority
         self.config = config
         self.replication = replication
         self.record_ttl = record_ttl
+        self.faults = faults
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else DEFAULT_RETRY_POLICY)
+        #: Replicas that must answer a fault-injected read (default:
+        #: majority of the replica set).
+        self.read_quorum = (read_quorum if read_quorum is not None
+                            else replication // 2 + 1)
         self.tally = MessageTally()
+        #: Availability accounting: retrievals attempted / met quorum.
+        self.retrievals_total = 0
+        self.retrievals_complete = 0
         # Each user's true local evaluation list (their own store).
         self._local_lists: Dict[str, Dict[str, float]] = {}
         # Pluggable responders for attack modelling; default: honest.
@@ -134,17 +176,56 @@ class EvaluationOverlay:
             self._store(record, user_id, now, MessageKind.REPUBLISH)
         return len(records)
 
+    @property
+    def _injecting(self) -> bool:
+        return self.faults is not None and self.faults.active
+
+    def _lookup_from(self, user_id: str, key: int) -> LookupResult:
+        start = (self.network.node(user_id)
+                 if self.network.has_node(user_id) else None)
+        if not self._injecting:
+            return lookup(self.network, key, start=start)
+        return lookup(self.network, key, start=start, faults=self.faults,
+                      retry_policy=self.retry_policy, tally=self.tally)
+
+    def _rpc(self, src_user: str, dst: DHTNode) -> bool:
+        """One fault-subjected overlay RPC with per-target retries."""
+        if not dst.alive:
+            self.tally.record(MessageKind.TIMEOUT, 0)
+            return False
+        for attempt in range(self.retry_policy.max_attempts):
+            outcome, _ = self.faults.transmit(src_user, dst.user_id)
+            if outcome is RPCOutcome.DELIVERED:
+                return True
+            if outcome is RPCOutcome.PARTITIONED:
+                self.tally.record(MessageKind.DROP, 0)
+                return False
+            if outcome is RPCOutcome.CRASHED:
+                if dst.alive:
+                    self.network.fail(dst.user_id)
+                self.tally.record(MessageKind.TIMEOUT, 0)
+                return False
+            self.tally.record(MessageKind.DROP, 0)
+            if attempt + 1 < self.retry_policy.max_attempts:
+                self.tally.record(MessageKind.RETRY, 0)
+        return False
+
     def _store(self, record: IndexRecord, user_id: str, now: float,
                kind: MessageKind) -> int:
         key = hash_key(f"file:{record.file_id}")
-        start = (self.network.node(user_id)
-                 if self.network.has_node(user_id) else None)
-        result = lookup(self.network, key, start=start)
+        result = self._lookup_from(user_id, key)
         self.tally.record(MessageKind.LOOKUP, 0)
         self.tally.record(MessageKind.LOOKUP_HOP, 0)
         for _ in range(result.hops):
             self.tally.record(MessageKind.LOOKUP_HOP, 0)
+        if result.error is not None:
+            # Routing never reached the index peers; the record stays in
+            # ``_published`` and the next republication/repair retries it.
+            return result.hops
         for replica in self.network.replica_nodes(key, self.replication):
+            if self._injecting and replica is not result.owner \
+                    and not self._rpc(user_id, replica):
+                continue  # write lost; repair/republication will catch up
             replica.storage.put(key, record.owner_id, record, now,
                                 self.record_ttl)
             self.tally.record(kind, record.wire_size())
@@ -156,18 +237,41 @@ class EvaluationOverlay:
 
     def retrieve(self, requester_id: str, file_id: str,
                  now: float) -> RetrievedEvaluations:
-        """Fetch the owner list + verified evaluation array for a file."""
+        """Fetch the owner list + verified evaluation array for a file.
+
+        Fault-free: a single read from the key's owner, as in the seed.
+        Under an active fault plan the read fans out over the whole replica
+        set, merges the freshest record per owner, and reports a partial
+        result (``complete=False``) when fewer than ``read_quorum``
+        replicas answered — graceful degradation instead of an exception.
+        """
         key = hash_key(f"file:{file_id}")
-        start = (self.network.node(requester_id)
-                 if self.network.has_node(requester_id) else None)
-        result = lookup(self.network, key, start=start)
+        result = self._lookup_from(requester_id, key)
         self.tally.record(MessageKind.LOOKUP, 0)
         self.tally.record(MessageKind.RETRIEVE, 0)
+        self.retrievals_total += 1
 
+        if result.error is not None:
+            return RetrievedEvaluations(
+                file_id=file_id, owners=[], evaluations={}, rejected=0,
+                lookup_hops=result.hops, complete=False,
+                replicas_contacted=0, quorum=self.read_quorum)
+
+        if not self._injecting:
+            stored_records = list(result.owner.storage.get(key, now))
+            contacted, quorum, complete = 1, 1, True
+        else:
+            stored_records, contacted = self._quorum_read(
+                requester_id, key, result, now)
+            quorum = self.read_quorum
+            complete = contacted >= quorum
+
+        if complete:
+            self.retrievals_complete += 1
         owners: List[str] = []
         evaluations: Dict[str, float] = {}
         rejected = 0
-        for stored in result.owner.storage.get(key, now):
+        for stored in stored_records:
             record = stored.value
             owners.append(record.owner_id)
             info = record.evaluation
@@ -181,7 +285,27 @@ class EvaluationOverlay:
         return RetrievedEvaluations(file_id=file_id, owners=sorted(set(owners)),
                                     evaluations=evaluations,
                                     rejected=rejected,
-                                    lookup_hops=result.hops)
+                                    lookup_hops=result.hops,
+                                    complete=complete,
+                                    replicas_contacted=contacted,
+                                    quorum=quorum)
+
+    def _quorum_read(self, requester_id: str, key: int, result: LookupResult,
+                     now: float) -> Tuple[List[StoredRecord], int]:
+        """Read the replica set under faults; freshest record per owner."""
+        freshest: Dict[str, StoredRecord] = {}
+        contacted = 0
+        for replica in self.network.replica_nodes(key, self.replication):
+            if replica is not result.owner \
+                    and not self._rpc(requester_id, replica):
+                continue
+            contacted += 1
+            for stored in replica.storage.get(key, now):
+                best = freshest.get(stored.owner_id)
+                if best is None or stored.stored_at > best.stored_at:
+                    freshest[stored.owner_id] = stored
+        records = sorted(freshest.values(), key=lambda r: r.owner_id)
+        return records, contacted
 
     # ------------------------------------------------------------------ #
     # Step 4: user reputation                                            #
@@ -264,3 +388,23 @@ class EvaluationOverlay:
         """Expire stale records on every node (maintenance sweep)."""
         return sum(node.storage.expire_all(now)
                    for node in self.network.nodes())
+
+    def repair_replicas(self, now: float) -> int:
+        """Re-replicate under-replicated records after node failures.
+
+        Every live record is pushed back out to the key's current replica
+        set (preserving ``stored_at``, so repair never outlives the
+        publisher's TTL).  Returns the number of replica copies created;
+        each one is tallied as a :attr:`MessageKind.REPAIR` message.
+        """
+        repaired = self.network.repair_replicas(self.replication, now)
+        for _ in range(repaired):
+            self.tally.record(MessageKind.REPAIR, 0)
+        return repaired
+
+    @property
+    def availability(self) -> float:
+        """Fraction of retrievals that met their read quorum."""
+        if self.retrievals_total == 0:
+            return 1.0
+        return self.retrievals_complete / self.retrievals_total

@@ -11,10 +11,11 @@ pointers, so hop counts match a real ring (O(log n)).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .id_space import ID_BITS, ID_SPACE
 from .node import DHTNode
+from .storage import StoredRecord
 
 __all__ = ["DHTNetwork"]
 
@@ -35,13 +36,24 @@ class DHTNetwork:
     # ------------------------------------------------------------------ #
 
     def join(self, user_id: str) -> DHTNode:
-        """Add a node for ``user_id`` (idempotent for alive nodes)."""
+        """Add a node for ``user_id`` (idempotent for alive nodes).
+
+        Rejoining after a death is a *fresh* incarnation: any stale entry
+        left by an unclean crash (dead node still registered) is purged so
+        the new node starts with empty storage and clean pointers instead
+        of resurrecting pre-crash state.
+        """
         existing = self._nodes.get(user_id)
-        if existing is not None and existing.alive:
-            return existing
+        if existing is not None:
+            if existing.alive:
+                return existing
+            self._purge_stale(existing)
         node = DHTNode(user_id=user_id)
-        if node.node_id in self._by_id and self._by_id[node.node_id].alive:
-            raise ValueError(f"node id collision for {user_id!r}")
+        stale = self._by_id.get(node.node_id)
+        if stale is not None:
+            if stale.alive:
+                raise ValueError(f"node id collision for {user_id!r}")
+            self._purge_stale(stale)
         self._nodes[user_id] = node
         self._by_id[node.node_id] = node
         bisect.insort(self._sorted_ids, node.node_id)
@@ -54,15 +66,23 @@ class DHTNetwork:
         successor = self.successor_of(node)
         if successor is not None and successor is not node:
             for record in list(node.storage.records()):
-                successor.storage.put(record.key, record.owner_id,
-                                      record.value, record.stored_at,
-                                      record.ttl)
+                successor.storage.put_record(record)
         self._remove(node)
 
     def fail(self, user_id: str) -> None:
         """Abrupt failure: stored records are lost."""
         node = self._require(user_id)
         self._remove(node)
+
+    def _purge_stale(self, node: DHTNode) -> None:
+        """Drop every trace of a dead-but-registered node (unclean crash)."""
+        self._nodes.pop(node.user_id, None)
+        if self._by_id.get(node.node_id) is node:
+            self._by_id.pop(node.node_id, None)
+            index = bisect.bisect_left(self._sorted_ids, node.node_id)
+            if (index < len(self._sorted_ids)
+                    and self._sorted_ids[index] == node.node_id):
+                self._sorted_ids.pop(index)
 
     def _remove(self, node: DHTNode) -> None:
         node.alive = False
@@ -131,6 +151,36 @@ class DHTNetwork:
             seen.add(node.node_id)
             node = self.successor_of(node)
         return replicas
+
+    def repair_replicas(self, replication: int, now: float) -> int:
+        """Re-replicate under-replicated records (post-failure repair).
+
+        For every live record anywhere in the network, ensure each of the
+        key's current ``replication`` replica nodes holds a copy.  Copies
+        preserve the original ``stored_at``/``ttl`` (repair is not
+        republication: it cannot extend a record's life).  Returns the
+        number of replica copies created.
+        """
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        repaired = 0
+        #: freshest record per (key, owner) across all holders.
+        freshest: Dict[Tuple[int, str], StoredRecord] = {}
+        for node in self.nodes():
+            for record in node.storage.records():
+                if record.expired(now):
+                    continue
+                slot = (record.key, record.owner_id)
+                best = freshest.get(slot)
+                if best is None or record.stored_at > best.stored_at:
+                    freshest[slot] = record
+        for (key, owner_id), record in sorted(
+                freshest.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+            for replica in self.replica_nodes(key, replication):
+                if not replica.storage.contains(key, owner_id, now):
+                    replica.storage.put_record(record)
+                    repaired += 1
+        return repaired
 
     def successor_of(self, node: DHTNode) -> Optional[DHTNode]:
         if not self._sorted_ids:

@@ -1,19 +1,38 @@
-"""Iterative finger-table routing with hop accounting.
+"""Iterative finger-table routing with hop accounting and fault tolerance.
 
 ``Lookup(key, ...)`` — the "basic operation" of Section 4 — walks the ring
 greedily: from the current node, take the farthest finger that does not
 overshoot the key, until the key's owner (the first node at or past the key)
 is reached.  Hop counts are returned so benchmarks can verify the O(log n)
 routing cost and measure the message overhead of the evaluation layer.
+
+Routing is *iterative and oracle-free*: termination is decided purely from
+the pointers of the nodes on the route (a node owns the key when the key
+falls in ``(predecessor, node]``; a successor owns it when the key falls in
+``(node, successor]``), never by consulting global ring state.  Stale
+fingers are tolerated via successor fallback.
+
+When a :class:`~repro.dht.faults.FaultPlan` is supplied every hop becomes a
+real RPC that can drop, crash the contacted node, or be partitioned away.
+Drops are retried under a :class:`~repro.dht.retry.RetryPolicy` (capped
+exponential backoff with jitter, a shared per-lookup retry budget); nodes
+that stay unreachable are routed around.  When the budget drains, the
+lookup returns a *typed failure* (``result.error``) instead of raising, so
+degraded callers can serve partial results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
 
+from .faults import FaultPlan, RPCOutcome
 from .id_space import ID_SPACE, in_interval
+from .messages import MessageKind, MessageTally
 from .node import DHTNode
+from .retry import (DEFAULT_RETRY_POLICY, DHTError, EmptyNetworkError,
+                    NetworkPartitionError, RetryBudget, RetryBudgetExhausted,
+                    RetryPolicy, RoutingError)
 from .ring import DHTNetwork
 
 __all__ = ["LookupResult", "lookup"]
@@ -24,57 +43,185 @@ _MAX_HOPS_FACTOR = 2
 
 @dataclass(frozen=True)
 class LookupResult:
-    """Outcome of a lookup: the owner node and the route taken."""
+    """Outcome of a lookup: the owner node and the route taken.
+
+    ``owner`` is ``None`` exactly when ``error`` is set — a typed failure
+    (retry budget exhausted, partition, divergence) under fault injection.
+    """
 
     key: int
-    owner: DHTNode
+    owner: Optional[DHTNode]
     hops: int
     path: List[str]
+    error: Optional[DHTError] = None
+    #: RPCs that timed out (dropped or crashed mid-RPC).
+    timeouts: int = 0
+    #: Retries spent recovering from those timeouts.
+    retries: int = 0
+    #: Simulated wall-clock latency accumulated over the route.
+    latency: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def lookup(network: DHTNetwork, key: int,
-           start: Optional[DHTNode] = None) -> LookupResult:
-    """Route from ``start`` (default: an arbitrary node) to ``key``'s owner."""
+           start: Optional[DHTNode] = None,
+           faults: Optional[FaultPlan] = None,
+           retry_policy: Optional[RetryPolicy] = None,
+           tally: Optional[MessageTally] = None) -> LookupResult:
+    """Route from ``start`` (default: an arbitrary node) to ``key``'s owner.
+
+    Raises :class:`EmptyNetworkError` on an empty network and
+    :class:`RoutingError` on divergence when no fault plan is active; with
+    an active plan, routing failures come back as ``result.error`` instead
+    so chaos runs degrade rather than crash.
+    """
     if len(network) == 0:
-        raise RuntimeError("cannot look up in an empty network")
+        raise EmptyNetworkError("cannot look up in an empty network")
     key %= ID_SPACE
     current = start if start is not None else network.any_node()
-    assert current is not None
-    expected_owner = network.owner_of(key)
-    assert expected_owner is not None
+    if current is None:
+        raise EmptyNetworkError("network has no alive start node")
 
+    injecting = faults is not None and faults.active
+    policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+    budget = RetryBudget(policy)
     path = [current.user_id]
     hops = 0
+    timeouts = 0
+    retries = 0
+    latency = 0.0
     max_hops = max(len(network) * _MAX_HOPS_FACTOR, 8)
-    while current.node_id != expected_owner.node_id:
-        next_node = _closest_preceding(current, key)
+    #: Nodes that proved unreachable this lookup; fingers to them are skipped.
+    unreachable: Set[int] = set()
+
+    def _fail(error: DHTError) -> LookupResult:
+        if not injecting:
+            raise error
+        return LookupResult(key=key, owner=None, hops=hops, path=path,
+                            error=error, timeouts=timeouts, retries=retries,
+                            latency=latency)
+
+    while True:
+        if _owns_key(current, key):
+            return LookupResult(key=key, owner=current, hops=hops, path=path,
+                                timeouts=timeouts, retries=retries,
+                                latency=latency)
+        next_node = _closest_preceding(current, key, frozenset(unreachable))
         if next_node is None or next_node.node_id == current.node_id:
             # No finger makes progress: fall through to the successor.
             next_node = current.successor
         if next_node is None:
-            raise RuntimeError("routing failed: node has no successor")
+            return _fail(RoutingError("routing failed: node has no successor"))
+        if next_node.node_id in unreachable:
+            return _fail(RoutingError(
+                f"no reachable route past {current.user_id} "
+                f"toward key {key:#x}"))
+
+        if injecting:
+            delivered, cost = _contact(network, faults, policy, budget,
+                                       current, next_node, tally)
+            latency += cost.latency
+            timeouts += cost.timeouts
+            retries += cost.retries
+            if not delivered:
+                if cost.partitioned:
+                    return _fail(NetworkPartitionError(
+                        f"{next_node.user_id} unreachable across partition"))
+                if budget.exhausted:
+                    return _fail(RetryBudgetExhausted(
+                        f"retry budget drained after {budget.spent} retries "
+                        f"en route to key {key:#x}"))
+                # Target stayed dark: route around it from where we stand.
+                unreachable.add(next_node.node_id)
+                continue
+
         current = next_node
         hops += 1
         path.append(current.user_id)
         if hops > max_hops:
-            raise RuntimeError(
+            return _fail(RoutingError(
                 f"routing did not converge after {hops} hops "
-                "(stale finger tables? call stabilize())")
-    return LookupResult(key=key, owner=current, hops=hops, path=path)
+                "(stale finger tables? call stabilize())"))
 
 
-def _closest_preceding(node: DHTNode, key: int) -> Optional[DHTNode]:
+def _owns_key(node: DHTNode, key: int) -> bool:
+    """Oracle-free ownership: the key falls in ``(predecessor, node]``.
+
+    Requires an alive predecessor pointer; when it is missing or dead the
+    route keeps walking and terminates via the successor interval instead.
+    """
+    predecessor = node.predecessor
+    return (predecessor is not None and predecessor.alive
+            and in_interval(key, predecessor.node_id, node.node_id,
+                            inclusive_end=True))
+
+
+@dataclass
+class _ContactCost:
+    latency: float = 0.0
+    timeouts: int = 0
+    retries: int = 0
+    partitioned: bool = False
+
+
+def _contact(network: DHTNetwork, faults: FaultPlan, policy: RetryPolicy,
+             budget: RetryBudget, src: DHTNode, dst: DHTNode,
+             tally: Optional[MessageTally]) -> "tuple[bool, _ContactCost]":
+    """One fault-subjected RPC with per-target retries under a shared budget."""
+    cost = _ContactCost()
+    if not dst.alive:
+        # A finger to an already-dead node: instant timeout, no wire time.
+        cost.timeouts += 1
+        if tally is not None:
+            tally.record(MessageKind.TIMEOUT, 0)
+        return False, cost
+    for attempt in range(policy.max_attempts):
+        outcome, wire_latency = faults.transmit(src.user_id, dst.user_id)
+        cost.latency += wire_latency
+        if outcome is RPCOutcome.DELIVERED:
+            return True, cost
+        if outcome is RPCOutcome.PARTITIONED:
+            cost.partitioned = True
+            if tally is not None:
+                tally.record(MessageKind.DROP, 0)
+            return False, cost
+        if outcome is RPCOutcome.CRASHED and dst.alive:
+            # The contacted node dies mid-RPC; its records go with it.
+            network.fail(dst.user_id)
+        cost.timeouts += 1
+        if tally is not None:
+            tally.record(MessageKind.DROP if outcome is RPCOutcome.DROPPED
+                         else MessageKind.TIMEOUT, 0)
+        if outcome is RPCOutcome.CRASHED:
+            return False, cost
+        if attempt + 1 >= policy.max_attempts or not budget.try_consume():
+            return False, cost
+        cost.retries += 1
+        cost.latency += policy.backoff_delay(attempt, faults.rng)
+        if tally is not None:
+            tally.record(MessageKind.RETRY, 0)
+    return False, cost
+
+
+def _closest_preceding(node: DHTNode, key: int,
+                       avoid: FrozenSet[int] = frozenset()
+                       ) -> Optional[DHTNode]:
     """The farthest finger strictly between ``node`` and ``key`` (Chord).
 
     Additionally, if the node's direct successor already owns the key,
-    route straight to it.
+    route straight to it.  Fingers in ``avoid`` (proven unreachable this
+    lookup) are skipped — stale-finger tolerance.
     """
     successor = node.successor
-    if successor is not None and in_interval(
-            key, node.node_id, successor.node_id, inclusive_end=True):
+    if successor is not None and successor.node_id not in avoid \
+            and in_interval(key, node.node_id, successor.node_id,
+                            inclusive_end=True):
         return successor
     for finger in reversed(node.fingers):
-        if finger is None or not finger.alive:
+        if finger is None or not finger.alive or finger.node_id in avoid:
             continue
         if in_interval(finger.node_id, node.node_id, key):
             return finger

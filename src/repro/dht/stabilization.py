@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from .id_space import in_interval
 from .node import DHTNode
+from .retry import RoutingError
 from .ring import DHTNetwork
 
 __all__ = ["StabilizingDHTNetwork"]
@@ -50,13 +51,22 @@ class StabilizingDHTNetwork(DHTNetwork):
     # ------------------------------------------------------------------ #
 
     def join(self, user_id: str) -> DHTNode:
-        """Join via an existing node's lookup; no global repair."""
+        """Join via an existing node's lookup; no global repair.
+
+        As in the base ring, rejoining after a death is a fresh incarnation:
+        stale dead-node bookkeeping is purged, never resurrected.
+        """
         existing = self._nodes.get(user_id)
-        if existing is not None and existing.alive:
-            return existing
+        if existing is not None:
+            if existing.alive:
+                return existing
+            self._purge_stale(existing)
         node = DHTNode(user_id=user_id)
-        if node.node_id in self._by_id and self._by_id[node.node_id].alive:
-            raise ValueError(f"node id collision for {user_id!r}")
+        stale = self._by_id.get(node.node_id)
+        if stale is not None:
+            if stale.alive:
+                raise ValueError(f"node id collision for {user_id!r}")
+            self._purge_stale(stale)
 
         bootstrap = self.any_node()
         self._register(node)
@@ -103,14 +113,32 @@ class StabilizingDHTNetwork(DHTNetwork):
         successor = self._first_alive(self._successor_chain(node))
         if successor is not None and successor is not node:
             for record in list(node.storage.records()):
-                successor.storage.put(record.key, record.owner_id,
-                                      record.value, record.stored_at,
-                                      record.ttl)
+                successor.storage.put_record(record)
         self.fail(user_id)
 
     def stabilize(self) -> None:
         """Override the oracle: one incremental round instead."""
         self.stabilize_round()
+
+    def _purge_stale(self, node: DHTNode) -> None:
+        super()._purge_stale(node)
+        self._successor_lists.pop(node.node_id, None)
+        self._next_finger.pop(node.node_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Churn recovery                                                     #
+    # ------------------------------------------------------------------ #
+
+    def recover_from_churn(self, replication: int, now: float,
+                           max_rounds: int = 64) -> int:
+        """Full resilience sweep: converge pointers, then repair replicas.
+
+        The order matters — replica placement consults ring ownership, so
+        repairing against stale pointers would replicate to the wrong
+        successors.  Returns the number of replica copies re-created.
+        """
+        self.stabilize_until_consistent(max_rounds=max_rounds)
+        return self.repair_replicas(replication, now)
 
     # ------------------------------------------------------------------ #
     # Incremental repair                                                 #
@@ -129,7 +157,7 @@ class StabilizingDHTNetwork(DHTNetwork):
             self.stabilize_round()
             if self._is_consistent():
                 return round_number
-        raise RuntimeError(
+        raise RoutingError(
             f"stabilisation did not converge in {max_rounds} rounds")
 
     def _is_consistent(self) -> bool:

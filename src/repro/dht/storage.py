@@ -52,6 +52,28 @@ class NodeStorage(Generic[T]):
         self._records.setdefault(key, {})[owner_id] = record
         return record
 
+    def put_record(self, record: StoredRecord[T]) -> StoredRecord[T]:
+        """Adopt an existing record verbatim, preserving its freshness.
+
+        Used by graceful-leave hand-off and replica repair: the copy must
+        keep the original ``stored_at``/``ttl`` so repair never extends a
+        record's life beyond what its publisher paid for.  An existing
+        *fresher* record for the same (key, owner) is never overwritten.
+        """
+        per_owner = self._records.setdefault(record.key, {})
+        current = per_owner.get(record.owner_id)
+        if current is not None and current.stored_at >= record.stored_at:
+            return current
+        copied = StoredRecord(key=record.key, owner_id=record.owner_id,
+                              value=record.value, stored_at=record.stored_at,
+                              ttl=record.ttl)
+        per_owner[record.owner_id] = copied
+        return copied
+
+    def contains(self, key: int, owner_id: str, now: float) -> bool:
+        """Whether a live record for ``(key, owner_id)`` is held here."""
+        return self.get_owner(key, owner_id, now) is not None
+
     def get(self, key: int, now: float) -> List[StoredRecord[T]]:
         """All live records under ``key`` (expired ones are dropped)."""
         self._expire_key(key, now)

@@ -4,12 +4,14 @@ from .behaviors import (CamouflagedPolluterBehavior, ColluderBehavior,
                         ForgerBehavior, FreeRiderBehavior, HonestBehavior,
                         LazyVoterBehavior, PeerBehavior, PolluterBehavior,
                         WhitewasherBehavior)
+from .chaos import (ChaosConfig, ChaosResult, run_chaos_point,
+                    run_chaos_sweep)
 from .churn import ChurnModel
 from .engine import EventEngine, ScheduledEvent
 from .files import FileRegistry, Holding
 from .metrics import ClassStats, SimulationMetrics
 from .peers import Peer, UploadRequest
-from .scenarios import (SCENARIOS, balanced_mix, churn_heavy,
+from .scenarios import (SCENARIOS, balanced_mix, chaos_storm, churn_heavy,
                         collusion_stress, get_scenario, kazaa_pollution,
                         maze_incentive)
 from .simulation import FileSharingSimulation, ScenarioSpec, SimulationConfig
@@ -40,8 +42,13 @@ __all__ = [
     "SimulationConfig",
     "TraceRecorder",
     "WorkloadModel",
+    "ChaosConfig",
+    "ChaosResult",
+    "run_chaos_point",
+    "run_chaos_sweep",
     "SCENARIOS",
     "balanced_mix",
+    "chaos_storm",
     "churn_heavy",
     "collusion_stress",
     "get_scenario",

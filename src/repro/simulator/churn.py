@@ -47,3 +47,19 @@ class ChurnModel:
     def offline_duration(self) -> float:
         """How long the peer stays offline before rejoining."""
         return self._rng.expovariate(1.0 / self.mean_offline_seconds)
+
+    def scaled(self, factor: float) -> "ChurnModel":
+        """A copy churning ``factor`` times as fast (sweep helper).
+
+        Session and offline means shrink by ``factor`` so the ratio of
+        online to offline time is preserved; the RNG seed carries over so a
+        sweep cell differs from its neighbours only in rate.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ChurnModel(
+            enabled=self.enabled,
+            mean_session_seconds=self.mean_session_seconds / factor,
+            mean_offline_seconds=self.mean_offline_seconds / factor,
+            join_spread_seconds=self.join_spread_seconds,
+            seed=self.seed)

@@ -12,7 +12,7 @@ system vs. baselines) on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["ClassStats", "SimulationMetrics"]
 
@@ -63,6 +63,11 @@ class SimulationMetrics:
     total_requests: int = 0
     blind_judgements: int = 0
     informed_judgements: int = 0
+    #: DHT retrieval availability: attempts vs reads that met their quorum.
+    retrieval_attempts: int = 0
+    retrievals_complete: int = 0
+    #: Lookup hop counts observed (for O(log n) checks under faults).
+    lookup_hops: List[int] = field(default_factory=list)
 
     def stats_for(self, label: str) -> ClassStats:
         return self.per_class.setdefault(label, ClassStats())
@@ -108,6 +113,15 @@ class SimulationMetrics:
         if created is not None:
             self.fake_removal_latencies.append(max(now - created, 0.0))
 
+    def record_retrieval(self, complete: bool,
+                         lookup_hops: Optional[int] = None) -> None:
+        """One DHT retrieval attempt; ``complete`` = met its read quorum."""
+        self.retrieval_attempts += 1
+        if complete:
+            self.retrievals_complete += 1
+        if lookup_hops is not None:
+            self.lookup_hops.append(lookup_hops)
+
     # ------------------------------------------------------------------ #
     # Aggregates                                                         #
     # ------------------------------------------------------------------ #
@@ -121,6 +135,17 @@ class SimulationMetrics:
     @property
     def mean_fake_removal_latency(self) -> float:
         return _mean(self.fake_removal_latencies)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of DHT retrievals that met quorum (1.0 when untracked)."""
+        if self.retrieval_attempts == 0:
+            return 1.0
+        return self.retrievals_complete / self.retrieval_attempts
+
+    @property
+    def mean_lookup_hops(self) -> float:
+        return _mean([float(h) for h in self.lookup_hops])
 
     @property
     def outstanding_fake_copies(self) -> int:

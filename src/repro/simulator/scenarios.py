@@ -12,6 +12,9 @@ sized) modelling one of the situations the paper argues about:
   (the Lian et al. study the paper builds on);
 * ``churn_heavy``       — short sessions and long offline gaps stressing
   evaluation availability (Section 4.3);
+* ``chaos_storm``       — churn_heavy turned hostile: very short sessions,
+  a polluter-heavy population, the regime the fault-injection benchmarks
+  (``repro chaos``, the C7 chaos extension) put the DHT deployment under;
 * ``balanced_mix``      — a bit of everything, the default demo world.
 
 Use :func:`get_scenario` / ``SCENARIOS`` for CLI-style lookup by name.
@@ -25,7 +28,7 @@ from .churn import ChurnModel
 from .simulation import ScenarioSpec, SimulationConfig
 
 __all__ = ["SCENARIOS", "get_scenario", "kazaa_pollution", "maze_incentive",
-           "collusion_stress", "churn_heavy", "balanced_mix"]
+           "collusion_stress", "churn_heavy", "chaos_storm", "balanced_mix"]
 
 _DAY = 24 * 3600.0
 
@@ -86,6 +89,28 @@ def churn_heavy(seed: int = 42) -> SimulationConfig:
     )
 
 
+def chaos_storm(seed: int = 42) -> SimulationConfig:
+    """Hostile churn: sessions measured in minutes, not hours.
+
+    ``churn_heavy`` scaled 4x faster via :meth:`ChurnModel.scaled`; pair it
+    with a :class:`~repro.dht.faults.FaultPlan` on a DHT-backed mechanism
+    for the full chaos treatment (``repro chaos`` sweeps that grid).
+    """
+    return SimulationConfig(
+        scenario=ScenarioSpec(honest=24, polluters=8, free_riders=4,
+                              honest_vote_probability=0.4),
+        duration_seconds=1 * _DAY,
+        num_files=80,
+        fake_ratio=0.3,
+        request_rate=0.03,
+        seed=seed,
+        maintenance_interval_seconds=2 * 3600.0,
+        churn=ChurnModel(mean_session_seconds=2 * 3600.0,
+                         mean_offline_seconds=10 * 3600.0,
+                         seed=seed + 1).scaled(4.0),
+    )
+
+
 def balanced_mix(seed: int = 42) -> SimulationConfig:
     """A bit of every behaviour; the default demo world."""
     return SimulationConfig(
@@ -105,6 +130,7 @@ SCENARIOS: Dict[str, Callable[[int], SimulationConfig]] = {
     "maze-incentive": maze_incentive,
     "collusion-stress": collusion_stress,
     "churn-heavy": churn_heavy,
+    "chaos-storm": chaos_storm,
     "balanced-mix": balanced_mix,
 }
 

@@ -1,0 +1,56 @@
+"""Regression tests: rejoining a dead node must not resurrect stale state."""
+
+import pytest
+
+from repro.dht import DHTNetwork, StabilizingDHTNetwork, hash_key, lookup
+
+
+def _network(cls, n):
+    network = cls()
+    for index in range(n):
+        network.join(f"node-{index:04d}")
+    return network
+
+
+@pytest.mark.parametrize("cls", [DHTNetwork, StabilizingDHTNetwork])
+class TestRejoinIsFresh:
+    def test_rejoin_after_fail_resets_storage(self, cls):
+        network = _network(cls, 6)
+        node = network.node("node-0002")
+        node.storage.put(hash_key("k"), "owner", "value", now=0.0)
+        network.fail("node-0002")
+        fresh = network.join("node-0002")
+        assert fresh is not node
+        assert len(fresh.storage) == 0
+        assert fresh.alive
+
+    def test_rejoin_after_unclean_crash_purges_stale_entry(self, cls):
+        """A node marked dead without bookkeeping cleanup (crash-mid-RPC
+        style) must be fully purged on rejoin, not resurrected."""
+        network = _network(cls, 6)
+        node = network.node("node-0003")
+        node.storage.put(hash_key("k"), "owner", "precious", now=0.0)
+        node.alive = False  # unclean: still registered everywhere
+        fresh = network.join("node-0003")
+        assert fresh is not node
+        assert fresh.alive
+        assert len(fresh.storage) == 0
+        # No duplicate ids in the ring ordering.
+        ids = network._sorted_ids
+        assert len(ids) == len(set(ids))
+        assert len(ids) == 6
+
+    def test_rejoin_keeps_ring_routable(self, cls):
+        network = _network(cls, 8)
+        network.fail("node-0004")
+        network.join("node-0004")
+        if isinstance(network, StabilizingDHTNetwork):
+            network.stabilize_until_consistent()
+        key = hash_key("after-rejoin")
+        assert lookup(network, key).owner is network.owner_of(key)
+
+    def test_alive_join_stays_idempotent(self, cls):
+        network = _network(cls, 4)
+        first = network.node("node-0001")
+        assert network.join("node-0001") is first
+        assert len(network) == 4

@@ -1,0 +1,87 @@
+"""Property tests for NodeStorage TTL boundary semantics.
+
+The contract under test:
+
+* expiry is *inclusive* at the boundary — a record whose ``expires_at``
+  equals ``now`` is already expired (``get`` must not return it);
+* strictly before the boundary the record is alive;
+* republication (``put`` again) refreshes ``stored_at`` and therefore the
+  expiry horizon;
+* ``put_record`` (repair/hand-off adoption) preserves freshness and never
+  replaces a fresher record with a staler one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.storage import NodeStorage, StoredRecord
+
+_times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                   allow_infinity=False)
+_ttls = st.floats(min_value=1e-6, max_value=1e8, allow_nan=False,
+                  allow_infinity=False)
+
+
+@given(stored_at=_times, ttl=_ttls)
+def test_expiry_boundary_is_inclusive(stored_at, ttl):
+    storage = NodeStorage()
+    record = storage.put(1, "owner", "value", now=stored_at, ttl=ttl)
+    boundary = record.expires_at()
+    assert record.expired(boundary)
+    assert storage.get(1, boundary) == []
+
+
+@given(stored_at=_times, ttl=_ttls)
+def test_alive_strictly_before_boundary(stored_at, ttl):
+    storage = NodeStorage()
+    record = storage.put(1, "owner", "value", now=stored_at, ttl=ttl)
+    boundary = record.expires_at()
+    just_before = boundary - min(ttl / 2, 1e-3)
+    if just_before >= boundary:  # float underflow: boundary == stored_at + 0
+        return
+    assert not record.expired(just_before)
+    assert storage.get(1, just_before) != []
+
+
+@given(stored_at=_times, ttl=_ttls,
+       refresh_delta=st.floats(min_value=0.0, max_value=1e6,
+                               allow_nan=False, allow_infinity=False))
+def test_republication_refreshes_stored_at(stored_at, ttl, refresh_delta):
+    storage = NodeStorage()
+    storage.put(1, "owner", "v1", now=stored_at, ttl=ttl)
+    refreshed = storage.put(1, "owner", "v2", now=stored_at + refresh_delta,
+                            ttl=ttl)
+    assert refreshed.stored_at == stored_at + refresh_delta
+    assert refreshed.expires_at() == stored_at + refresh_delta + ttl
+    # The refreshed record is the only one served for this (key, owner).
+    live = storage.get_owner(1, "owner", now=stored_at + refresh_delta)
+    assert live is not None and live.value == "v2"
+
+
+@given(stored_at=_times, ttl=_ttls, gap=st.floats(min_value=1e-3,
+                                                  max_value=1e6,
+                                                  allow_nan=False,
+                                                  allow_infinity=False))
+@settings(max_examples=50)
+def test_put_record_never_downgrades_freshness(stored_at, ttl, gap):
+    storage = NodeStorage()
+    fresh = StoredRecord(key=1, owner_id="owner", value="fresh",
+                         stored_at=stored_at + gap, ttl=ttl)
+    stale = StoredRecord(key=1, owner_id="owner", value="stale",
+                         stored_at=stored_at, ttl=ttl)
+    storage.put_record(fresh)
+    kept = storage.put_record(stale)
+    assert kept.value == "fresh"
+    assert kept.stored_at == stored_at + gap
+
+
+@given(stored_at=_times, ttl=_ttls)
+def test_put_record_preserves_metadata(stored_at, ttl):
+    storage = NodeStorage()
+    original = StoredRecord(key=7, owner_id="owner", value="value",
+                            stored_at=stored_at, ttl=ttl)
+    adopted = storage.put_record(original)
+    assert adopted is not original  # a copy, not shared mutable state
+    assert adopted.stored_at == original.stored_at
+    assert adopted.ttl == original.ttl
+    assert adopted.expires_at() == original.expires_at()

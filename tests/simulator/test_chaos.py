@@ -1,0 +1,80 @@
+"""Tests for the chaos harness (repro.simulator.chaos)."""
+
+import pytest
+
+from repro.simulator import ChaosConfig, run_chaos_point, run_chaos_sweep
+
+_SMALL = dict(peers=12, files=15, rounds=8, seed=5)
+
+
+class TestChaosConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(peers=2)
+        with pytest.raises(ValueError):
+            ChaosConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(churn_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(rounds=0)
+
+
+class TestChaosPoint:
+    def test_fault_free_cell_is_perfect(self):
+        result = run_chaos_point(ChaosConfig(**_SMALL))
+        assert result.availability == 1.0
+        assert result.drops == 0
+        assert result.retries == 0
+        assert result.failed_lookups == 0
+
+    def test_deterministic_for_seed(self):
+        config = ChaosConfig(loss_rate=0.1, churn_rate=0.3, **_SMALL)
+        a = run_chaos_point(config)
+        b = run_chaos_point(config)
+        assert a.availability == b.availability
+        assert a.mean_hops == b.mean_hops
+        assert a.drops == b.drops
+        assert a.scores == b.scores
+
+    def test_loss_produces_drops_and_retries(self):
+        result = run_chaos_point(
+            ChaosConfig(loss_rate=0.15, **_SMALL))
+        assert result.drops > 0
+        assert result.retries > 0
+
+    def test_churn_triggers_repair(self):
+        result = run_chaos_point(
+            ChaosConfig(churn_rate=0.6, **_SMALL))
+        assert result.repairs > 0
+
+    def test_scores_recover_quality_ordering(self):
+        """Fault-free, the DHT-served scores must rank peers by quality."""
+        result = run_chaos_point(ChaosConfig(**_SMALL))
+        peers = sorted(result.scores)
+        scored = [pid for pid in peers if result.scores[pid] > 0.0]
+        values = [result.scores[pid] for pid in scored]
+        assert values == sorted(values)  # peer index == quality order
+
+
+class TestChaosSweep:
+    def test_sweep_annotates_against_baseline(self):
+        results = run_chaos_sweep([0.1], [0.0], peers=12, files=15,
+                                  rounds=8, seed=5)
+        assert len(results) == 2  # (0,0) baseline injected
+        baseline = results[0]
+        assert baseline.loss_rate == 0.0 and baseline.churn_rate == 0.0
+        for result in results:
+            assert result.kendall_tau_vs_baseline is not None
+            assert result.hop_ratio_vs_baseline is not None
+        assert baseline.kendall_tau_vs_baseline == 1.0
+
+    def test_acceptance_thresholds_small_grid(self):
+        """The ISSUE acceptance bar at test scale: 10% loss + churn keeps
+        availability >= 95% and hop counts within 2x of fault-free."""
+        results = run_chaos_sweep([0.1], [0.3], peers=16, files=20,
+                                  rounds=12, seed=7)
+        worst = [r for r in results if r.loss_rate == 0.1
+                 and r.churn_rate == 0.3][0]
+        assert worst.availability >= 0.95
+        assert worst.hop_ratio_vs_baseline <= 2.0
+        assert worst.kendall_tau_vs_baseline >= 0.6

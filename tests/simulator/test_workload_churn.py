@@ -72,6 +72,8 @@ class TestChurnModel:
         with pytest.raises(ValueError):
             ChurnModel(mean_offline_seconds=-1.0)
         with pytest.raises(ValueError):
+            ChurnModel(mean_offline_seconds=0.0)
+        with pytest.raises(ValueError):
             ChurnModel(join_spread_seconds=-1.0)
 
     def test_join_delay_within_spread(self):
@@ -91,3 +93,36 @@ class TestChurnModel:
     def test_offline_durations_positive(self):
         churn = ChurnModel(seed=3)
         assert all(churn.offline_duration() > 0 for _ in range(100))
+
+    def test_scaled_divides_both_means(self):
+        churn = ChurnModel(mean_session_seconds=4000.0,
+                           mean_offline_seconds=8000.0,
+                           join_spread_seconds=120.0, seed=9)
+        fast = churn.scaled(4.0)
+        assert fast.mean_session_seconds == 1000.0
+        assert fast.mean_offline_seconds == 2000.0
+        assert fast.join_spread_seconds == 120.0  # spread is not a rate
+        assert fast.seed == 9
+        assert fast.enabled
+
+    def test_scaled_preserves_online_fraction(self):
+        churn = ChurnModel(mean_session_seconds=6000.0,
+                           mean_offline_seconds=18000.0)
+        fast = churn.scaled(3.0)
+        before = churn.mean_session_seconds / (
+            churn.mean_session_seconds + churn.mean_offline_seconds)
+        after = fast.mean_session_seconds / (
+            fast.mean_session_seconds + fast.mean_offline_seconds)
+        assert after == pytest.approx(before)
+
+    def test_scaled_rejects_non_positive_factor(self):
+        churn = ChurnModel()
+        with pytest.raises(ValueError):
+            churn.scaled(0.0)
+        with pytest.raises(ValueError):
+            churn.scaled(-2.0)
+
+    def test_scaled_does_not_mutate_original(self):
+        churn = ChurnModel(mean_session_seconds=4000.0)
+        churn.scaled(2.0)
+        assert churn.mean_session_seconds == 4000.0
