@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from ..obs.stats import mean
+
 __all__ = ["kendall_tau", "top_k_overlap", "rank_of", "separation",
            "jain_fairness"]
 
@@ -91,5 +93,4 @@ def separation(scores: Dict[str, float], good: Sequence[str],
     bad_scores = [scores.get(user, 0.0) for user in bad]
     if not good_scores or not bad_scores:
         raise ValueError("both populations must be non-empty")
-    return (sum(good_scores) / len(good_scores)
-            - sum(bad_scores) / len(bad_scores))
+    return mean(good_scores) - mean(bad_scores)

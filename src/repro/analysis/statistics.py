@@ -13,6 +13,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..obs.stats import mean as _mean
+
 __all__ = ["bootstrap_mean_ci", "replicate", "ReplicateSummary",
            "summarize_replicates"]
 
@@ -32,14 +34,14 @@ def bootstrap_mean_ci(values: Sequence[float], confidence: float = 0.95,
     if resamples < 1:
         raise ValueError("resamples must be >= 1")
     data = list(values)
-    mean = sum(data) / len(data)
+    mean = _mean(data)
     if len(data) == 1:
         return mean, mean, mean
     rng = random.Random(seed)
     means = []
     for _ in range(resamples):
         sample = [data[rng.randrange(len(data))] for _ in data]
-        means.append(sum(sample) / len(sample))
+        means.append(_mean(sample))
     means.sort()
     alpha = (1.0 - confidence) / 2.0
     low_index = int(alpha * resamples)

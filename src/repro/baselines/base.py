@@ -23,6 +23,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, Optional
 
+from ..obs.recorder import NULL_RECORDER, NullRecorder
+
 __all__ = ["ReputationMechanism"]
 
 
@@ -31,6 +33,15 @@ class ReputationMechanism(abc.ABC):
 
     #: Human-readable mechanism name used in benchmark tables.
     name: str = "abstract"
+
+    #: Observability sink; the default NULL_RECORDER ignores everything.
+    recorder: NullRecorder = NULL_RECORDER
+
+    def bind_recorder(self, recorder: NullRecorder) -> None:
+        """Attach an observability recorder (the simulator does this so
+        batch recomputations can report convergence residuals and timings).
+        Mechanisms with deeper machinery override to propagate it."""
+        self.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # Signals (default: ignore)                                          #

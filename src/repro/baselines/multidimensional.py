@@ -11,6 +11,7 @@ from typing import Dict, Optional
 
 from ..core.config import DEFAULT_CONFIG, ReputationConfig
 from ..core.reputation_system import MultiDimensionalReputationSystem
+from ..obs.recorder import NullRecorder
 from .base import ReputationMechanism
 
 __all__ = ["MultiDimensionalMechanism"]
@@ -27,6 +28,12 @@ class MultiDimensionalMechanism(ReputationMechanism):
         # (the simulator's maintenance tick), not on every ingested event.
         self.system = MultiDimensionalReputationSystem(
             config, auto_refresh=auto_refresh)
+
+    def bind_recorder(self, recorder: NullRecorder) -> None:
+        """Propagate the recorder into the wrapped reputation system so the
+        multitrust power iteration reports per-step residuals."""
+        self.recorder = recorder
+        self.system.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # Signals                                                            #
@@ -67,8 +74,10 @@ class MultiDimensionalMechanism(ReputationMechanism):
     # ------------------------------------------------------------------ #
 
     def refresh(self) -> None:
-        self.system.recompute()
-        self.system.reputation_matrix()
+        with self.recorder.profile("mechanism.refresh"):
+            self.system.recompute()
+            self.system.reputation_matrix()
+        self.recorder.inc("mechanism.refreshes")
 
     def reputation(self, observer: str, target: str) -> float:
         return self.system.effective_reputation(observer, target)

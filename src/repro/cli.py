@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows a downstream user actually runs:
+Seven commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -9,7 +9,15 @@ Five commands cover the workflows a downstream user actually runs:
   print the per-class outcome table;
 * ``chaos``       — sweep message-loss × churn over the DHT evaluation
   overlay and report availability, hop inflation and ranking stability
-  (the Section 4.3 resilience claim under an actually hostile network).
+  (the Section 4.3 resilience claim under an actually hostile network);
+* ``report``      — summarise an ``events.jsonl`` observability trace:
+  per-class wait percentiles, multitrust convergence residuals, DHT
+  hop/retry distributions;
+* ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot.
+
+``simulate`` and ``chaos`` accept ``--trace-out events.jsonl`` and
+``--metrics-out metrics.json``; both artefacts are keyed by simulation time
+only, so two runs at the same seed produce byte-identical files.
 
 All commands are seeded and print fixed-width tables to stdout.
 """
@@ -23,6 +31,8 @@ from typing import Optional, Sequence
 from .analysis import render_table
 from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
 from .core import ReputationConfig
+from .obs import NULL_RECORDER, Recorder, read_events, summarize_trace
+from .obs.bench import collect_snapshot, write_snapshot
 from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
                         SimulationConfig, get_scenario, run_chaos_sweep)
 from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
@@ -32,6 +42,32 @@ from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
 __all__ = ["main", "build_parser"]
 
 _DAY = 24 * 3600.0
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a structured JSONL event trace here")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a metrics-registry JSON snapshot here")
+
+
+def _make_recorder(args: argparse.Namespace):
+    """A live recorder when any observability output was requested."""
+    if args.trace_out is None and args.metrics_out is None:
+        return NULL_RECORDER
+    return Recorder()
+
+
+def _write_observability(recorder, args: argparse.Namespace) -> None:
+    if not recorder.enabled:
+        return
+    if args.trace_out is not None:
+        written = recorder.write_trace(args.trace_out)
+        print(f"wrote {written} events to {args.trace_out}")
+    if args.metrics_out is not None:
+        recorder.write_metrics(args.metrics_out)
+        print(f"wrote {len(recorder.registry)} metrics to "
+              f"{args.metrics_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable Eq. 9 pre-download filtering")
     simulate.add_argument("--no-differentiation", action="store_true",
                           help="disable Section 3.4 service differentiation")
+    simulate.add_argument("--multitrust-steps", type=int, default=None,
+                          help="the n in RM = TM^n (Eq. 8); n >= 2 emits "
+                               "per-iteration convergence residuals into "
+                               "the trace (multidimensional only)")
+    _add_observability_flags(simulate)
 
     chaos = commands.add_parser(
         "chaos", help="fault-injection sweep: message loss x churn over "
@@ -106,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--rounds", type=int, default=30)
     chaos.add_argument("--replication", type=int, default=3)
     chaos.add_argument("--seed", type=int, default=11)
+    _add_observability_flags(chaos)
+
+    report = commands.add_parser(
+        "report", help="summarise an events.jsonl observability trace")
+    report.add_argument("trace", help="JSONL trace written by --trace-out")
+
+    bench = commands.add_parser(
+        "bench-obs", help="collect a stamped observability perf snapshot")
+    bench.add_argument("--out", default="BENCH_obs.json",
+                       help="snapshot output path")
+    bench.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -208,11 +260,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             use_service_differentiation=not args.no_differentiation,
         )
     if args.mechanism == "multidimensional":
-        mechanism = MultiDimensionalMechanism(ReputationConfig(
-            retention_saturation_seconds=duration / 3))
+        reputation_config = {"retention_saturation_seconds": duration / 3}
+        if args.multitrust_steps is not None:
+            reputation_config["multitrust_steps"] = args.multitrust_steps
+        mechanism = MultiDimensionalMechanism(
+            ReputationConfig(**reputation_config))
     else:
         mechanism = ALL_MECHANISMS[args.mechanism]()
-    metrics = FileSharingSimulation(config, mechanism).run()
+    recorder = _make_recorder(args)
+    metrics = FileSharingSimulation(config, mechanism,
+                                    recorder=recorder).run()
 
     rows = []
     for label in metrics.class_labels():
@@ -230,6 +287,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"\noverall fake fraction: {metrics.overall_fake_fraction:.3f}")
     print(f"requests: {metrics.total_requests}, blind judgements: "
           f"{metrics.blind_judgements}")
+    print(f"outstanding fake copies: {metrics.outstanding_fake_copies}, "
+          f"retrievals incomplete: {metrics.retrievals_incomplete}")
+    _write_observability(recorder, args)
     return 0
 
 
@@ -242,16 +302,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not 0.0 <= rate <= 1.0:
             print(f"churn rate {rate} outside [0, 1]", file=sys.stderr)
             return 1
+    recorder = _make_recorder(args)
     results = run_chaos_sweep(
         list(args.loss), list(args.churn), peers=args.peers,
         files=args.files, rounds=args.rounds, seed=args.seed,
-        replication=args.replication)
+        replication=args.replication, recorder=recorder)
     rows = []
     for result in results:
         rows.append([
             f"{result.loss_rate:.0%}",
             f"{result.churn_rate:.0%}",
             round(result.availability, 3),
+            result.retrievals_incomplete,
             round(result.mean_hops, 2),
             round(result.hop_ratio_vs_baseline, 2),
             round(result.kendall_tau_vs_baseline, 3),
@@ -260,13 +322,90 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             result.repairs,
         ])
     print(render_table(
-        ["loss", "churn", "availability", "mean hops", "hop ratio",
-         "kendall tau", "drops", "retries", "repairs"], rows,
+        ["loss", "churn", "availability", "incomplete", "mean hops",
+         "hop ratio", "kendall tau", "drops", "retries", "repairs"], rows,
         title=(f"Chaos sweep: {args.peers} peers, {args.files} files, "
                f"{args.rounds} rounds, r={args.replication}, "
                f"seed={args.seed}")))
     worst = min(result.availability for result in results)
     print(f"\nworst-cell availability: {worst:.3f}")
+    _write_observability(recorder, args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if not events:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    summary = summarize_trace(events)
+
+    print(f"trace: {args.trace}")
+    print(f"events: {summary.total_events}, simulated span: "
+          f"{summary.start_time:.0f}s .. {summary.end_time:.0f}s\n")
+    print(render_table(
+        ["event", "count"],
+        [[kind, count] for kind, count in summary.event_counts.items()],
+        title="Event counts"))
+
+    if summary.wait_by_class:
+        rows = []
+        for cls, wait in summary.wait_by_class.items():
+            outcome = summary.outcomes_by_class.get(
+                cls, {"downloads": 0, "fakes": 0, "blocked": 0})
+            rows.append([cls, outcome["downloads"], outcome["fakes"],
+                         outcome["blocked"], round(wait["p50"], 1),
+                         round(wait["p95"], 1), round(wait["p99"], 1)])
+        print("\n" + render_table(
+            ["class", "downloads", "fakes", "blocked", "wait p50 (s)",
+             "wait p95 (s)", "wait p99 (s)"], rows,
+            title="Per-class outcomes and wait percentiles"))
+
+    if summary.multitrust_residuals:
+        rows = [[iteration, residual["count"],
+                 f"{residual['mean']:.2e}", f"{residual['max']:.2e}"]
+                for iteration, residual
+                in summary.multitrust_residuals.items()]
+        print("\n" + render_table(
+            ["iteration", "computations", "mean residual", "max residual"],
+            rows, title="Multitrust convergence (L-inf residual per "
+                        "power-iteration step)"))
+
+    if summary.dht_hops.get("count"):
+        rows = [["hops", summary.dht_hops["count"],
+                 round(summary.dht_hops["mean"], 2),
+                 summary.dht_hops["p50"], summary.dht_hops["p95"],
+                 summary.dht_hops["p99"]],
+                ["retries", summary.dht_retries["count"],
+                 round(summary.dht_retries["mean"], 2),
+                 summary.dht_retries["p50"], summary.dht_retries["p95"],
+                 summary.dht_retries["p99"]]]
+        print("\n" + render_table(
+            ["metric", "lookups", "mean", "p50", "p95", "p99"], rows,
+            title="DHT lookup cost"))
+        print(f"\nfailed lookups: {summary.dht_failed_lookups}")
+
+    if summary.fake_removal_latency.get("count"):
+        latency = summary.fake_removal_latency
+        print(f"fake-removal latency: n={latency['count']}, "
+              f"mean={latency['mean']:.0f}s, p95={latency['p95']:.0f}s")
+    return 0
+
+
+def _cmd_bench_obs(args: argparse.Namespace) -> int:
+    snapshot = collect_snapshot(seed=args.seed)
+    write_snapshot(args.out, snapshot)
+    timings = snapshot["timings"]
+    print(f"wrote {args.out} (seed={snapshot['seed']}, "
+          f"config={snapshot['config_hash']}, git={snapshot['git_sha']})")
+    print(f"simulate: {timings['simulate_null_recorder_seconds']:.3f}s "
+          f"bare, {timings['simulate_instrumented_seconds']:.3f}s "
+          f"instrumented "
+          f"(x{timings['instrumentation_overhead_ratio']:.2f})")
     return 0
 
 
@@ -276,6 +415,8 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
+    "report": _cmd_report,
+    "bench-obs": _cmd_bench_obs,
 }
 
 

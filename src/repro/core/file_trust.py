@@ -62,7 +62,9 @@ def build_file_trust_matrix(store: EvaluationStore,
 
     totals: Dict[tuple, float] = {}
     counts: Dict[tuple, int] = {}
-    for file_id in store.files():
+    # Sorted: store.files() is a set, and the per-pair accumulation order
+    # must not depend on PYTHONHASHSEED (float sums are order-sensitive).
+    for file_id in sorted(store.files()):
         evaluators = sorted(u for u in store.users_evaluating(file_id)
                             if u in universe)
         if len(evaluators) < 2:

@@ -13,22 +13,82 @@ This module provides both the reputation matrix and the tier machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .matrix import TrustMatrix
 
 __all__ = ["compute_reputation_matrix", "reputation_between",
+           "matrix_residual", "convergence_residuals",
            "TierAssignment", "MultiTierView", "global_reputation_vector"]
 
 
 def compute_reputation_matrix(one_step: TrustMatrix,
                               steps: Optional[int] = None,
-                              config: ReputationConfig = DEFAULT_CONFIG
+                              config: ReputationConfig = DEFAULT_CONFIG,
+                              recorder: NullRecorder = NULL_RECORDER
                               ) -> TrustMatrix:
-    """Eq. 8: ``RM = TM ** n``; ``steps`` overrides ``config.multitrust_steps``."""
+    """Eq. 8: ``RM = TM ** n``; ``steps`` overrides ``config.multitrust_steps``.
+
+    With the default :data:`~repro.obs.recorder.NULL_RECORDER` this is the
+    seed's repeated-squaring fast path.  A live recorder switches to plain
+    iterated multiplication so every intermediate power exists, and emits a
+    ``multitrust_iteration`` event per step with the L∞ residual between
+    successive powers — the paper's convergence-toward-EigenTrust story,
+    measured instead of asserted.
+    """
     n = steps if steps is not None else config.multitrust_steps
-    return one_step.power(n)
+    if not recorder.enabled:
+        return one_step.power(n)
+    if n < 1:
+        raise ValueError(f"matrix power requires n >= 1, got {n}")
+    with recorder.profile("multitrust.power"):
+        result = one_step
+        for iteration in range(2, n + 1):
+            previous = result
+            result = result.matmul(one_step)
+            residual = matrix_residual(previous, result)
+            recorder.event("multitrust_iteration", iteration=iteration,
+                           residual=residual, entries=result.entry_count())
+            recorder.observe("multitrust.residual", residual)
+    recorder.inc("multitrust.computations")
+    recorder.observe("multitrust.steps", n)
+    return result
+
+
+def matrix_residual(previous: TrustMatrix, current: TrustMatrix) -> float:
+    """L∞ distance between two matrices over the union of their entries."""
+    residual = 0.0
+    seen = set()
+    for i, row in current.rows():
+        previous_row = previous.row(i)
+        for j, value in row.items():
+            seen.add((i, j))
+            residual = max(residual, abs(value - previous_row.get(j, 0.0)))
+    for i, row in previous.rows():
+        for j, value in row.items():
+            if (i, j) not in seen:
+                residual = max(residual, value)
+    return residual
+
+
+def convergence_residuals(one_step: TrustMatrix,
+                          steps: int) -> List[Tuple[int, float]]:
+    """``[(iteration, residual), ...]`` for ``TM^2 .. TM^steps``.
+
+    Standalone analysis helper mirroring what the instrumented
+    :func:`compute_reputation_matrix` emits as events.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    residuals: List[Tuple[int, float]] = []
+    result = one_step
+    for iteration in range(2, steps + 1):
+        previous = result
+        result = result.matmul(one_step)
+        residuals.append((iteration, matrix_residual(previous, result)))
+    return residuals
 
 
 def reputation_between(reputation: TrustMatrix, i: str, j: str) -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .evaluation import EvaluationStore
 from .file_reputation import FileJudgement, judge_file
@@ -50,8 +51,11 @@ class MultiDimensionalReputationSystem:
     """Facade over the full trust + incentive mechanism of the paper."""
 
     def __init__(self, config: ReputationConfig = DEFAULT_CONFIG,
-                 auto_refresh: bool = True):
+                 auto_refresh: bool = True,
+                 recorder: NullRecorder = NULL_RECORDER):
         self.config = config
+        #: Observability sink; the default NULL_RECORDER ignores everything.
+        self.recorder = recorder
         #: With ``auto_refresh`` every write invalidates the cached matrices
         #: (always-fresh queries, O(rebuild) per write burst).  Simulations
         #: ingesting thousands of events set it to False and call
@@ -156,10 +160,12 @@ class MultiDimensionalReputationSystem:
         """The multi-trust reputation matrix ``RM = TM^n`` (Eq. 8), cached."""
         if steps is not None and steps != self.config.multitrust_steps:
             return compute_reputation_matrix(self.one_step_matrix(), steps,
-                                             self.config)
+                                             self.config,
+                                             recorder=self.recorder)
         if self._reputation is None:
             self._reputation = compute_reputation_matrix(
-                self.one_step_matrix(), None, self.config)
+                self.one_step_matrix(), None, self.config,
+                recorder=self.recorder)
         return self._reputation
 
     def tier_view(self, max_tier: int = 3) -> MultiTierView:

@@ -128,7 +128,9 @@ def build_user_trust_matrix(store: UserTrustStore) -> TrustMatrix:
     exactly as the paper intends ("they should be assigned with zero").
     """
     raw = TrustMatrix()
-    for user in store.raters():
+    # Sorted: raters() is a set; row insertion order feeds downstream
+    # matmul accumulation order and must not depend on PYTHONHASHSEED.
+    for user in sorted(store.raters()):
         for other, value in store.relationships_of(user).items():
             if value > 0.0:
                 raw.set(user, other, value)

@@ -45,6 +45,7 @@ from ..core.file_trust import build_file_trust_matrix
 from ..core.incentive import ServiceDifferentiator, ServiceLevel
 from ..core.matrix import TrustMatrix
 from ..core.multitrust import compute_reputation_matrix
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .crypto import KeyAuthority
 from .faults import FaultPlan, RPCOutcome
 from .id_space import hash_key
@@ -95,7 +96,8 @@ class EvaluationOverlay:
                  record_ttl: float = 24 * 3600.0,
                  faults: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 read_quorum: Optional[int] = None):
+                 read_quorum: Optional[int] = None,
+                 recorder: NullRecorder = NULL_RECORDER):
         if replication < 1:
             raise ValueError("replication must be >= 1")
         if read_quorum is not None and not 1 <= read_quorum <= replication:
@@ -113,6 +115,8 @@ class EvaluationOverlay:
         self.read_quorum = (read_quorum if read_quorum is not None
                             else replication // 2 + 1)
         self.tally = MessageTally()
+        #: Observability sink; NULL_RECORDER keeps the overlay unmetered.
+        self.recorder = recorder
         #: Availability accounting: retrievals attempted / met quorum.
         self.retrievals_total = 0
         self.retrievals_complete = 0
@@ -184,9 +188,11 @@ class EvaluationOverlay:
         start = (self.network.node(user_id)
                  if self.network.has_node(user_id) else None)
         if not self._injecting:
-            return lookup(self.network, key, start=start)
+            return lookup(self.network, key, start=start,
+                          recorder=self.recorder)
         return lookup(self.network, key, start=start, faults=self.faults,
-                      retry_policy=self.retry_policy, tally=self.tally)
+                      retry_policy=self.retry_policy, tally=self.tally,
+                      recorder=self.recorder)
 
     def _rpc(self, src_user: str, dst: DHTNode) -> bool:
         """One fault-subjected overlay RPC with per-target retries."""
@@ -218,6 +224,12 @@ class EvaluationOverlay:
         self.tally.record(MessageKind.LOOKUP_HOP, 0)
         for _ in range(result.hops):
             self.tally.record(MessageKind.LOOKUP_HOP, 0)
+        if self.recorder.enabled:
+            self.recorder.event("dht_publish", t=now, user=user_id,
+                                file=record.file_id, hops=result.hops,
+                                message=kind.value,
+                                ok=result.error is None)
+            self.recorder.inc("dht.publishes", kind=kind.value)
         if result.error is not None:
             # Routing never reached the index peers; the record stays in
             # ``_published`` and the next republication/repair retries it.
@@ -252,10 +264,11 @@ class EvaluationOverlay:
         self.retrievals_total += 1
 
         if result.error is not None:
-            return RetrievedEvaluations(
+            return self._record_retrieve(RetrievedEvaluations(
                 file_id=file_id, owners=[], evaluations={}, rejected=0,
                 lookup_hops=result.hops, complete=False,
-                replicas_contacted=0, quorum=self.read_quorum)
+                replicas_contacted=0, quorum=self.read_quorum),
+                requester_id, now)
 
         if not self._injecting:
             stored_records = list(result.owner.storage.get(key, now))
@@ -282,13 +295,30 @@ class EvaluationOverlay:
                 rejected += 1
                 continue
             evaluations[info.owner_id] = info.evaluation
-        return RetrievedEvaluations(file_id=file_id, owners=sorted(set(owners)),
-                                    evaluations=evaluations,
-                                    rejected=rejected,
-                                    lookup_hops=result.hops,
-                                    complete=complete,
-                                    replicas_contacted=contacted,
-                                    quorum=quorum)
+        return self._record_retrieve(
+            RetrievedEvaluations(file_id=file_id, owners=sorted(set(owners)),
+                                 evaluations=evaluations,
+                                 rejected=rejected,
+                                 lookup_hops=result.hops,
+                                 complete=complete,
+                                 replicas_contacted=contacted,
+                                 quorum=quorum),
+            requester_id, now)
+
+    def _record_retrieve(self, retrieved: RetrievedEvaluations,
+                         requester_id: str,
+                         now: float) -> RetrievedEvaluations:
+        if self.recorder.enabled:
+            self.recorder.event(
+                "dht_retrieve", t=now, requester=requester_id,
+                file=retrieved.file_id, hops=retrieved.lookup_hops,
+                complete=retrieved.complete,
+                replicas=retrieved.replicas_contacted,
+                quorum=retrieved.quorum, rejected=retrieved.rejected)
+            self.recorder.inc("dht.retrievals")
+            if not retrieved.complete:
+                self.recorder.inc("dht.retrievals_incomplete")
+        return retrieved
 
     def _quorum_read(self, requester_id: str, key: int, result: LookupResult,
                      now: float) -> Tuple[List[StoredRecord], int]:
@@ -400,6 +430,9 @@ class EvaluationOverlay:
         repaired = self.network.repair_replicas(self.replication, now)
         for _ in range(repaired):
             self.tally.record(MessageKind.REPAIR, 0)
+        if self.recorder.enabled:
+            self.recorder.event("dht_repair", t=now, repaired=repaired)
+            self.recorder.inc("dht.repairs", repaired)
         return repaired
 
     @property

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set
 
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .faults import FaultPlan, RPCOutcome
 from .id_space import ID_SPACE, in_interval
 from .messages import MessageKind, MessageTally
@@ -70,7 +71,8 @@ def lookup(network: DHTNetwork, key: int,
            start: Optional[DHTNode] = None,
            faults: Optional[FaultPlan] = None,
            retry_policy: Optional[RetryPolicy] = None,
-           tally: Optional[MessageTally] = None) -> LookupResult:
+           tally: Optional[MessageTally] = None,
+           recorder: NullRecorder = NULL_RECORDER) -> LookupResult:
     """Route from ``start`` (default: an arbitrary node) to ``key``'s owner.
 
     Raises :class:`EmptyNetworkError` on an empty network and
@@ -97,18 +99,34 @@ def lookup(network: DHTNetwork, key: int,
     #: Nodes that proved unreachable this lookup; fingers to them are skipped.
     unreachable: Set[int] = set()
 
+    def _emit(result: LookupResult) -> LookupResult:
+        """Record the lookup's cost before handing the result back."""
+        if recorder.enabled:
+            recorder.event(
+                "dht_lookup", key=f"{key:#x}", hops=result.hops,
+                retries=result.retries, timeouts=result.timeouts,
+                fallbacks=len(unreachable), ok=result.ok,
+                error=(type(result.error).__name__
+                       if result.error is not None else None))
+            recorder.observe("dht.lookup.hops", result.hops)
+            recorder.observe("dht.lookup.retries", result.retries)
+            recorder.inc("dht.lookups")
+            if not result.ok:
+                recorder.inc("dht.lookup.failures")
+        return result
+
     def _fail(error: DHTError) -> LookupResult:
         if not injecting:
             raise error
-        return LookupResult(key=key, owner=None, hops=hops, path=path,
-                            error=error, timeouts=timeouts, retries=retries,
-                            latency=latency)
+        return _emit(LookupResult(key=key, owner=None, hops=hops, path=path,
+                                  error=error, timeouts=timeouts,
+                                  retries=retries, latency=latency))
 
     while True:
         if _owns_key(current, key):
-            return LookupResult(key=key, owner=current, hops=hops, path=path,
-                                timeouts=timeouts, retries=retries,
-                                latency=latency)
+            return _emit(LookupResult(key=key, owner=current, hops=hops,
+                                      path=path, timeouts=timeouts,
+                                      retries=retries, latency=latency))
         next_node = _closest_preceding(current, key, frozenset(unreachable))
         if next_node is None or next_node.node_id == current.node_id:
             # No finger makes progress: fall through to the successor.

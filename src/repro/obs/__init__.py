@@ -1,0 +1,48 @@
+"""Observability: structured events, metrics, profiling — ``repro.obs``.
+
+The measurement substrate the quantitative claims run on:
+
+* :mod:`~repro.obs.stats` — shared mean/percentile helpers (p50/p95/p99);
+* :mod:`~repro.obs.registry` — labelled Counter/Gauge/Histogram registry;
+* :mod:`~repro.obs.events` — JSONL event tracing keyed by simulation time;
+* :mod:`~repro.obs.profiling` — wall-clock phase timers (perf snapshots
+  only, never in deterministic artefacts);
+* :mod:`~repro.obs.recorder` — the facade instrumented code talks to, with
+  the zero-overhead :data:`~repro.obs.recorder.NULL_RECORDER` default;
+* :mod:`~repro.obs.report` — trace summarisation behind ``repro report``;
+* :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots.
+
+Design rule: with the default ``NULL_RECORDER`` every instrumented path is
+behaviourally identical to the uninstrumented seed code; with a live
+:class:`~repro.obs.recorder.Recorder`, two runs at the same seed export
+byte-identical traces and metrics (simulation time only, no wall clock).
+"""
+
+from .events import EventTrace, read_events
+from .profiling import PhaseStats, Profiler
+from .recorder import NULL_RECORDER, NullRecorder, Recorder
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import TraceSummary, summarize_trace
+from .stats import (DEFAULT_QUANTILES, mean, percentile, percentiles,
+                    summarize)
+
+__all__ = [
+    "EventTrace",
+    "read_events",
+    "PhaseStats",
+    "Profiler",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceSummary",
+    "summarize_trace",
+    "DEFAULT_QUANTILES",
+    "mean",
+    "percentile",
+    "percentiles",
+    "summarize",
+]

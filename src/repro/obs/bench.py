@@ -1,0 +1,149 @@
+"""Perf snapshots: the ``BENCH_obs.json`` trajectory point.
+
+A snapshot runs a fixed, seeded workload twice — once with the default
+:data:`~repro.obs.recorder.NULL_RECORDER`, once fully instrumented — plus
+one chaos cell, and records wall-clock timings alongside the deterministic
+outcome metrics.  Each snapshot is stamped with the seed, a hash of the
+exact configuration, and the git sha, so future PRs can regress against a
+trajectory instead of a vibe.
+
+Wall-clock numbers live *only* here; trace/metrics artefacts stay
+deterministic (see :mod:`repro.obs.profiling`).
+
+Simulator imports are deferred into the functions: ``repro.simulator``
+modules import :mod:`repro.obs.recorder`, and a module-level import here
+would complete that cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from typing import Dict, Optional
+
+from .recorder import NULL_RECORDER, Recorder
+
+__all__ = ["config_hash", "git_sha", "run_stamp", "collect_snapshot",
+           "write_snapshot"]
+
+#: Bump when the snapshot layout changes incompatibly.
+SNAPSHOT_SCHEMA = 1
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """Short stable hash of a configuration mapping."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=cwd,
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_stamp(seed: int, config: Dict[str, object]) -> Dict[str, object]:
+    """The provenance stamp every snapshot carries."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "seed": seed,
+        "config_hash": config_hash(config),
+        "git_sha": git_sha(),
+    }
+
+
+def collect_snapshot(seed: int = 42) -> Dict[str, object]:
+    """Run the standard bench workload and return the stamped snapshot."""
+    from ..baselines import MultiDimensionalMechanism
+    from ..core import ReputationConfig
+    from ..simulator import (ChaosConfig, FileSharingSimulation,
+                             ScenarioSpec, SimulationConfig, run_chaos_point)
+
+    sim_config = dict(honest=14, free_riders=3, polluters=3, catalog=60,
+                      fake_ratio=0.25, days=0.75, request_rate=0.02)
+    chaos_config = dict(peers=16, files=24, rounds=12, loss_rate=0.1,
+                        churn_rate=0.3, replication=3)
+
+    def build_simulation(recorder):
+        duration = sim_config["days"] * 24 * 3600.0
+        config = SimulationConfig(
+            scenario=ScenarioSpec(honest=sim_config["honest"],
+                                  free_riders=sim_config["free_riders"],
+                                  polluters=sim_config["polluters"]),
+            duration_seconds=duration,
+            num_files=sim_config["catalog"],
+            fake_ratio=sim_config["fake_ratio"],
+            request_rate=sim_config["request_rate"],
+            seed=seed)
+        mechanism = MultiDimensionalMechanism(ReputationConfig(
+            retention_saturation_seconds=duration / 3))
+        return FileSharingSimulation(config, mechanism, recorder=recorder)
+
+    started = time.perf_counter()
+    baseline_metrics = build_simulation(NULL_RECORDER).run()
+    baseline_seconds = time.perf_counter() - started
+
+    recorder = Recorder()
+    started = time.perf_counter()
+    instrumented_metrics = build_simulation(recorder).run()
+    instrumented_seconds = time.perf_counter() - started
+
+    chaos_recorder = Recorder()
+    started = time.perf_counter()
+    chaos_result = run_chaos_point(
+        ChaosConfig(seed=seed, **chaos_config), recorder=chaos_recorder)
+    chaos_seconds = time.perf_counter() - started
+
+    return {
+        **run_stamp(seed, {"simulate": sim_config, "chaos": chaos_config}),
+        "timings": {
+            "simulate_null_recorder_seconds": baseline_seconds,
+            "simulate_instrumented_seconds": instrumented_seconds,
+            "instrumentation_overhead_ratio": (
+                instrumented_seconds / baseline_seconds
+                if baseline_seconds > 0 else 0.0),
+            "chaos_cell_seconds": chaos_seconds,
+        },
+        "profiler": {
+            "simulate": recorder.profiler.snapshot(),
+            "chaos": chaos_recorder.profiler.snapshot(),
+        },
+        "simulate": {
+            "total_requests": instrumented_metrics.total_requests,
+            "overall_fake_fraction":
+                instrumented_metrics.overall_fake_fraction,
+            "outstanding_fake_copies":
+                instrumented_metrics.outstanding_fake_copies,
+            "events_recorded": len(recorder.trace),
+            "instruments": len(recorder.registry),
+            "matches_null_recorder_run": (
+                instrumented_metrics.total_requests
+                == baseline_metrics.total_requests
+                and instrumented_metrics.overall_fake_fraction
+                == baseline_metrics.overall_fake_fraction),
+        },
+        "chaos": {
+            "availability": chaos_result.availability,
+            "mean_hops": chaos_result.mean_hops,
+            "retrievals": chaos_result.retrievals,
+            "retrievals_incomplete": chaos_result.retrievals_incomplete,
+            "drops": chaos_result.drops,
+            "retries": chaos_result.retries,
+            "repairs": chaos_result.repairs,
+            "events_recorded": len(chaos_recorder.trace),
+        },
+    }
+
+
+def write_snapshot(path: str, snapshot: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,85 @@
+"""Structured event tracing: append-only, simulation-time-keyed JSONL.
+
+Every event is a flat dict with three reserved fields — ``seq`` (emission
+order), ``t`` (*simulation* time, never wall clock) and ``event`` (the kind)
+— plus arbitrary caller fields.  Records serialise with sorted keys, so two
+runs at the same seed produce byte-identical trace files; that determinism
+is what lets CI diff a trace instead of eyeballing it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Union
+
+__all__ = ["EventTrace", "read_events"]
+
+FieldValue = Union[str, int, float, bool, None]
+
+
+class EventTrace:
+    """In-memory event buffer with JSONL export."""
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, FieldValue]] = []
+
+    def record(self, kind: str, t: float,
+               **fields: FieldValue) -> Dict[str, FieldValue]:
+        """Append one event; returns the stored record."""
+        for reserved in ("seq", "t", "event"):
+            if reserved in fields:
+                raise ValueError(f"field name {reserved!r} is reserved")
+        record: Dict[str, FieldValue] = {
+            "seq": len(self._events), "t": float(t), "event": kind}
+        record.update(fields)
+        self._events.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Dict[str, FieldValue]]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Dict[str, FieldValue]]:
+        return [event for event in self._events if event["event"] == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Event-kind -> occurrence count, sorted by kind."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            kind = str(event["event"])
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def lines(self) -> Iterator[str]:
+        """One canonical JSON line per event (sorted keys)."""
+        for event in self._events:
+            yield json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+    def write(self, path: str) -> int:
+        """Write the trace as JSONL; returns the number of records."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.lines():
+                handle.write(line + "\n")
+        return len(self._events)
+
+
+def read_events(path: str) -> List[Dict[str, FieldValue]]:
+    """Load a JSONL event trace written by :meth:`EventTrace.write`."""
+    events: List[Dict[str, FieldValue]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {error}") from None
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError(
+                    f"{path}:{line_number}: not an event record")
+            events.append(record)
+    return events

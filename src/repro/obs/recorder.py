@@ -1,0 +1,120 @@
+"""The recorder facade instrumented code talks to.
+
+Call sites across core/simulator/DHT hold exactly one object — a recorder —
+and never decide themselves whether observability is on:
+
+* :data:`NULL_RECORDER` (the default everywhere) ignores every call.  The
+  fault-free, instrumentation-free path therefore stays byte-identical to
+  the uninstrumented code; hot paths may additionally guard expensive
+  field construction behind ``recorder.enabled``.
+* :class:`Recorder` fans each call out to an :class:`~repro.obs.events
+  .EventTrace` (structured events keyed by simulation time), a
+  :class:`~repro.obs.registry.MetricsRegistry` (counters / gauges /
+  histograms) and a :class:`~repro.obs.profiling.Profiler` (wall-clock
+  phase timers, kept out of the deterministic artefacts).
+
+Simulation time comes from a bound clock (``bind_clock``), so events carry
+``engine.now`` without every call site threading ``now`` through.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from .events import EventTrace
+from .profiling import Profiler
+from .registry import MetricsRegistry
+
+__all__ = ["NullRecorder", "Recorder", "NULL_RECORDER"]
+
+Clock = Callable[[], float]
+
+
+class _NullTimer:
+    """A reusable no-op context manager (no allocation per ``with``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullRecorder:
+    """Ignores everything; the zero-overhead default."""
+
+    enabled = False
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Set the simulation-time source for subsequent events."""
+
+    def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
+        """Record one structured event (``t`` defaults to the bound clock)."""
+
+    def inc(self, name: str, amount: float = 1, **labels: str) -> None:
+        """Bump a counter."""
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge."""
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Add one observation to a histogram."""
+
+    def profile(self, name: str):
+        """Context manager timing a phase (wall clock, profiling only)."""
+        return _NULL_TIMER
+
+
+#: Shared do-nothing recorder; safe to use as a default argument.
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder(NullRecorder):
+    """A live recorder: events + metrics + profiling for one run."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.trace = EventTrace()
+        self.registry = MetricsRegistry()
+        self.profiler = Profiler()
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+
+    def bind_clock(self, clock: Clock) -> None:
+        self._clock = clock
+
+    def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
+        self.trace.record(kind, self._clock() if t is None else t, **fields)
+
+    def inc(self, name: str, amount: float = 1, **labels: str) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.registry.histogram(name, **labels).observe(value)
+
+    def profile(self, name: str):
+        return self.profiler.timer(name)
+
+    # ------------------------------------------------------------------ #
+    # Export                                                             #
+    # ------------------------------------------------------------------ #
+
+    def write_trace(self, path: str) -> int:
+        """Write the event trace as JSONL; returns the record count."""
+        return self.trace.write(path)
+
+    def write_metrics(self, path: str) -> None:
+        """Write the metrics snapshot as canonical (sorted-key) JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.registry.snapshot(), handle, sort_keys=True,
+                      indent=2)
+            handle.write("\n")

@@ -1,0 +1,114 @@
+"""Summarise an event trace: the analysis half of ``repro report``.
+
+Input is a sequence of event dicts (usually loaded from a JSONL trace via
+:func:`repro.obs.events.read_events`); output is plain data — the CLI owns
+rendering.  The summary answers the questions the paper's claims are about:
+per-class wait-time percentiles (service differentiation, §3.4), multitrust
+convergence residuals per iteration (Eq. 8), and DHT hop/retry
+distributions (§4 routing cost under faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from .stats import summarize
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+Summary = Dict[str, float]
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro report`` prints about one trace."""
+
+    total_events: int = 0
+    #: Simulation-time span covered by the trace.
+    start_time: float = 0.0
+    end_time: float = 0.0
+    #: Event kind -> occurrence count.
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Behaviour class -> wait-time summary (count/mean/p50/p95/p99).
+    wait_by_class: Dict[str, Summary] = field(default_factory=dict)
+    #: Behaviour class -> {downloads, fakes, blocked}.
+    outcomes_by_class: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Multitrust iteration number -> residual summary across computations.
+    multitrust_residuals: Dict[int, Summary] = field(default_factory=dict)
+    #: DHT lookup hop / retry distributions and failure count.
+    dht_hops: Summary = field(default_factory=dict)
+    dht_retries: Summary = field(default_factory=dict)
+    dht_failed_lookups: int = 0
+    #: Latency from a fake copy's creation to its removal.
+    fake_removal_latency: Summary = field(default_factory=dict)
+
+
+def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
+    """Aggregate a trace's events into a :class:`TraceSummary`."""
+    counts: Dict[str, int] = {}
+    times: List[float] = []
+    waits: Dict[str, List[float]] = {}
+    outcomes: Dict[str, Dict[str, int]] = {}
+    residuals: Dict[int, List[float]] = {}
+    hops: List[float] = []
+    retries: List[float] = []
+    failed_lookups = 0
+    removal_latencies: List[float] = []
+    total = 0
+
+    for event in events:
+        total += 1
+        kind = str(event.get("event", "unknown"))
+        counts[kind] = counts.get(kind, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            times.append(float(t))
+
+        if kind == "download":
+            cls = str(event.get("cls", "unknown"))
+            waits.setdefault(cls, []).append(float(event.get("wait", 0.0)))
+            bucket = _outcome_bucket(outcomes, cls)
+            bucket["downloads"] += 1
+            if event.get("fake"):
+                bucket["fakes"] += 1
+        elif kind == "blocked_fake":
+            _outcome_bucket(outcomes, str(event.get("cls", "unknown")))[
+                "blocked"] += 1
+        elif kind == "multitrust_iteration":
+            iteration = int(event.get("iteration", 0))
+            residual = event.get("residual")
+            if isinstance(residual, (int, float)):
+                residuals.setdefault(iteration, []).append(float(residual))
+        elif kind == "dht_lookup":
+            hops.append(float(event.get("hops", 0)))
+            retries.append(float(event.get("retries", 0)))
+            if not event.get("ok", True):
+                failed_lookups += 1
+        elif kind == "fake_removal":
+            latency = event.get("latency")
+            if isinstance(latency, (int, float)):
+                removal_latencies.append(float(latency))
+
+    return TraceSummary(
+        total_events=total,
+        start_time=min(times) if times else 0.0,
+        end_time=max(times) if times else 0.0,
+        event_counts=dict(sorted(counts.items())),
+        wait_by_class={cls: summarize(values)
+                       for cls, values in sorted(waits.items())},
+        outcomes_by_class=dict(sorted(outcomes.items())),
+        multitrust_residuals={iteration: summarize(values)
+                              for iteration, values
+                              in sorted(residuals.items())},
+        dht_hops=summarize(hops),
+        dht_retries=summarize(retries),
+        dht_failed_lookups=failed_lookups,
+        fake_removal_latency=summarize(removal_latencies),
+    )
+
+
+def _outcome_bucket(outcomes: Dict[str, Dict[str, int]],
+                    cls: str) -> Dict[str, int]:
+    return outcomes.setdefault(
+        cls, {"downloads": 0, "fakes": 0, "blocked": 0})

@@ -1,0 +1,73 @@
+"""Shared descriptive statistics for metrics and reports.
+
+One home for the ``mean``/percentile arithmetic that used to be duplicated
+as private ``_mean`` helpers across the simulator and analysis modules.
+Everything here is dependency-free, deterministic, and defined for empty
+input (returning 0.0), because metric accumulators call these on whatever
+happened to be recorded — possibly nothing.
+
+Percentiles use linear interpolation between closest ranks (the same
+convention as ``numpy.percentile``'s default), so p50 of ``[1, 2, 3, 4]``
+is 2.5, not 2 or 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["mean", "percentile", "percentiles", "summarize",
+           "DEFAULT_QUANTILES"]
+
+#: The quantiles every histogram summary reports: median plus the two tail
+#: marks the paper's wait-time / hop-count claims care about.
+DEFAULT_QUANTILES: Sequence[float] = (50.0, 95.0, 99.0)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input."""
+    data = list(values)
+    return sum(data) / len(data) if data else 0.0
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation between ranks.
+
+    Returns 0.0 for empty input so accumulators can report unconditionally.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(data[lower])
+    weight = rank - lower
+    return data[lower] * (1.0 - weight) + data[upper] * weight
+
+
+def percentiles(values: Iterable[float],
+                qs: Sequence[float] = DEFAULT_QUANTILES) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., ...}`` for the requested quantiles."""
+    data = sorted(values)
+    return {f"p{q:g}": percentile(data, q) for q in qs}
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Full summary: count, mean, min, max plus the default percentiles."""
+    data: List[float] = sorted(values)
+    if not data:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                **{f"p{q:g}": 0.0 for q in DEFAULT_QUANTILES}}
+    return {
+        "count": len(data),
+        "mean": mean(data),
+        "min": float(data[0]),
+        "max": float(data[-1]),
+        **percentiles(data),
+    }

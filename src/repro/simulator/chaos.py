@@ -31,6 +31,7 @@ from ..dht.faults import FaultPlan
 from ..dht.overlay_service import EvaluationOverlay
 from ..dht.retry import RetryPolicy
 from ..dht.ring import DHTNetwork
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .metrics import SimulationMetrics
 
 __all__ = ["ChaosConfig", "ChaosResult", "run_chaos_point",
@@ -76,6 +77,8 @@ class ChaosResult:
     availability: float
     mean_hops: float
     retrievals: int
+    #: Retrievals that missed their read quorum (availability complement).
+    retrievals_incomplete: int
     failed_lookups: int
     drops: int
     retries: int
@@ -93,7 +96,8 @@ def _peer_quality(index: int, peers: int) -> float:
     return 0.05 + 0.9 * (index + 0.5) / peers
 
 
-def run_chaos_point(config: ChaosConfig) -> ChaosResult:
+def run_chaos_point(config: ChaosConfig,
+                    recorder: NullRecorder = NULL_RECORDER) -> ChaosResult:
     """Run one deterministic chaos cell and measure resilience."""
     faults = FaultPlan(drop_probability=config.loss_rate,
                        crash_probability=config.crash_rate,
@@ -102,9 +106,16 @@ def run_chaos_point(config: ChaosConfig) -> ChaosResult:
     overlay = EvaluationOverlay(DHTNetwork(), KeyAuthority(),
                                 replication=config.replication,
                                 record_ttl=config.record_ttl,
-                                faults=faults, retry_policy=policy)
+                                faults=faults, retry_policy=policy,
+                                recorder=recorder)
     rng = random.Random(config.seed)
     metrics = SimulationMetrics()
+    #: Simulation clock for the recorder: the current round's timestamp.
+    clock = [0.0]
+    recorder.bind_clock(lambda: clock[0])
+    recorder.event("chaos_cell_start", loss=config.loss_rate,
+                   churn=config.churn_rate, peers=config.peers,
+                   files=config.files, rounds=config.rounds)
 
     peer_ids = [f"peer-{index:03d}" for index in range(config.peers)]
     quality = {pid: _peer_quality(index, config.peers)
@@ -118,6 +129,7 @@ def run_chaos_point(config: ChaosConfig) -> ChaosResult:
 
     for round_number in range(config.rounds):
         now = float(round_number * 100)
+        clock[0] = now
         online = [pid for pid in peer_ids if pid not in offline]
 
         # Publication: each online peer refreshes evaluations for a few
@@ -137,10 +149,16 @@ def run_chaos_point(config: ChaosConfig) -> ChaosResult:
                 if overlay.network.has_node(victim):
                     overlay.network.fail(victim)
                 offline.append(victim)
+                if recorder.enabled:
+                    recorder.event("churn_crash", t=now, peer=victim)
+                    recorder.inc("chaos.crashes")
         if offline and rng.random() < config.churn_rate:
             returning = offline.pop(0)
             overlay.register_user(returning)
             overlay.republish_all(returning, now)
+            if recorder.enabled:
+                recorder.event("churn_rejoin", t=now, peer=returning)
+                recorder.inc("chaos.rejoins")
 
         # Retrieval: online peers read random files through the overlay.
         online = [pid for pid in peer_ids if pid not in offline]
@@ -158,18 +176,26 @@ def run_chaos_point(config: ChaosConfig) -> ChaosResult:
             overlay.repair_replicas(now)
 
     scores = _recover_scores(overlay, peer_ids, file_ids, now, metrics)
-    return ChaosResult(
+    result = ChaosResult(
         loss_rate=config.loss_rate,
         churn_rate=config.churn_rate,
         availability=metrics.availability,
         mean_hops=metrics.mean_lookup_hops,
         retrievals=metrics.retrieval_attempts,
+        retrievals_incomplete=metrics.retrievals_incomplete,
         failed_lookups=failed_lookups,
         drops=overlay.tally.drops,
         retries=overlay.tally.retries,
         repairs=overlay.tally.repairs,
         scores=scores,
         metrics=metrics)
+    recorder.event("chaos_cell_end", t=now, loss=config.loss_rate,
+                   churn=config.churn_rate,
+                   availability=result.availability,
+                   incomplete=result.retrievals_incomplete,
+                   mean_hops=result.mean_hops, drops=result.drops,
+                   retries=result.retries, repairs=result.repairs)
+    return result
 
 
 def _recover_scores(overlay: EvaluationOverlay, peer_ids: List[str],
@@ -193,8 +219,9 @@ def _recover_scores(overlay: EvaluationOverlay, peer_ids: List[str],
 
 def run_chaos_sweep(loss_rates: List[float], churn_rates: List[float],
                     peers: int = 24, files: int = 40, rounds: int = 30,
-                    seed: int = 11,
-                    replication: int = 3) -> List[ChaosResult]:
+                    seed: int = 11, replication: int = 3,
+                    recorder: NullRecorder = NULL_RECORDER
+                    ) -> List[ChaosResult]:
     """Sweep loss × churn; annotate each cell against the fault-free cell.
 
     The (0, 0) cell is always run first (injected if absent) and serves as
@@ -209,7 +236,7 @@ def run_chaos_sweep(loss_rates: List[float], churn_rates: List[float],
             result = run_chaos_point(ChaosConfig(
                 peers=peers, files=files, rounds=rounds,
                 loss_rate=loss_rate, churn_rate=churn_rate,
-                replication=replication, seed=seed))
+                replication=replication, seed=seed), recorder=recorder)
             if baseline is None:
                 baseline = result
             result.kendall_tau_vs_baseline = kendall_tau(

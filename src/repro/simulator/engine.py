@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.recorder import NULL_RECORDER, NullRecorder
+
 __all__ = ["EventEngine", "ScheduledEvent"]
 
 Callback = Callable[["EventEngine"], None]
@@ -32,13 +34,16 @@ class ScheduledEvent:
 class EventEngine:
     """Heap-based event loop with a monotonically advancing clock."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 recorder: NullRecorder = NULL_RECORDER):
         self._now = start_time
         self._sequence = itertools.count()
         self._heap: List[Tuple[float, int, Callback]] = []
         self._cancelled: set = set()
         self._stopped = False
         self._events_processed = 0
+        #: Observability sink; NULL_RECORDER keeps the loop unmetered.
+        self._recorder = recorder
 
     @property
     def now(self) -> float:
@@ -94,20 +99,23 @@ class EventEngine:
         so repeated ``run`` calls compose predictably.
         """
         processed = 0
-        while self._heap and not self._stopped:
-            if max_events is not None and processed >= max_events:
-                break
-            time, sequence, callback = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            if sequence in self._cancelled:
-                self._cancelled.discard(sequence)
-                continue
-            self._now = time
-            callback(self)
-            processed += 1
-            self._events_processed += 1
+        with self._recorder.profile("engine.run"):
+            while self._heap and not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                time, sequence, callback = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if sequence in self._cancelled:
+                    self._cancelled.discard(sequence)
+                    continue
+                self._now = time
+                callback(self)
+                processed += 1
+                self._events_processed += 1
         if until is not None and not self._stopped and self._now < until:
             self._now = until
+        if processed and self._recorder.enabled:
+            self._recorder.inc("engine.events_processed", processed)
         return processed

@@ -14,11 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.recorder import NullRecorder
+from ..obs.stats import mean, percentiles
+
 __all__ = ["ClassStats", "SimulationMetrics"]
-
-
-def _mean(values: List[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
 
 
 @dataclass
@@ -45,11 +44,15 @@ class ClassStats:
 
     @property
     def mean_wait(self) -> float:
-        return _mean(self.wait_times)
+        return mean(self.wait_times)
 
     @property
     def mean_bandwidth(self) -> float:
-        return _mean(self.bandwidths)
+        return mean(self.bandwidths)
+
+    def wait_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of this class's queue wait times."""
+        return percentiles(self.wait_times)
 
 
 @dataclass
@@ -108,10 +111,15 @@ class SimulationMetrics:
     def record_fake_copy(self, file_id: str, peer_id: str, now: float) -> None:
         self._fake_copy_created[(file_id, peer_id)] = now
 
-    def record_fake_removal(self, file_id: str, peer_id: str, now: float) -> None:
+    def record_fake_removal(self, file_id: str, peer_id: str,
+                            now: float) -> Optional[float]:
+        """Returns the creation-to-removal latency when the copy was known."""
         created = self._fake_copy_created.pop((file_id, peer_id), None)
-        if created is not None:
-            self.fake_removal_latencies.append(max(now - created, 0.0))
+        if created is None:
+            return None
+        latency = max(now - created, 0.0)
+        self.fake_removal_latencies.append(latency)
+        return latency
 
     def record_retrieval(self, complete: bool,
                          lookup_hops: Optional[int] = None) -> None:
@@ -134,7 +142,7 @@ class SimulationMetrics:
 
     @property
     def mean_fake_removal_latency(self) -> float:
-        return _mean(self.fake_removal_latencies)
+        return mean(self.fake_removal_latencies)
 
     @property
     def availability(self) -> float:
@@ -144,8 +152,18 @@ class SimulationMetrics:
         return self.retrievals_complete / self.retrieval_attempts
 
     @property
+    def retrievals_incomplete(self) -> int:
+        """DHT retrievals that missed their read quorum (the availability
+        complement that used to be invisible)."""
+        return self.retrieval_attempts - self.retrievals_complete
+
+    @property
     def mean_lookup_hops(self) -> float:
-        return _mean([float(h) for h in self.lookup_hops])
+        return mean(float(h) for h in self.lookup_hops)
+
+    def lookup_hop_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of observed DHT lookup hop counts."""
+        return percentiles(float(h) for h in self.lookup_hops)
 
     @property
     def outstanding_fake_copies(self) -> int:
@@ -154,3 +172,43 @@ class SimulationMetrics:
 
     def class_labels(self) -> List[str]:
         return sorted(self.per_class)
+
+    # ------------------------------------------------------------------ #
+    # Observability export                                               #
+    # ------------------------------------------------------------------ #
+
+    def export(self, recorder: NullRecorder) -> None:
+        """Feed the run's accumulators into a recorder's metric registry.
+
+        Called once at the end of a run; a ``NULL_RECORDER`` makes this a
+        no-op, so the uninstrumented path pays nothing.
+        """
+        if not recorder.enabled:
+            return
+        recorder.inc("sim.requests.total", self.total_requests)
+        recorder.inc("sim.judgements.blind", self.blind_judgements)
+        recorder.inc("sim.judgements.informed", self.informed_judgements)
+        recorder.gauge("sim.fake_fraction.overall",
+                       self.overall_fake_fraction)
+        recorder.gauge("sim.fakes.outstanding_copies",
+                       self.outstanding_fake_copies)
+        for label in self.class_labels():
+            stats = self.per_class[label]
+            recorder.inc("sim.downloads.real", stats.real_downloads,
+                         cls=label)
+            recorder.inc("sim.downloads.fake", stats.fake_downloads,
+                         cls=label)
+            recorder.inc("sim.fakes.blocked", stats.fakes_blocked, cls=label)
+            recorder.inc("sim.requests.rejected", stats.requests_rejected,
+                         cls=label)
+            for wait in stats.wait_times:
+                recorder.observe("sim.wait_seconds", wait, cls=label)
+            for bandwidth in stats.bandwidths:
+                recorder.observe("sim.bandwidth_bytes", bandwidth, cls=label)
+        for latency in self.fake_removal_latencies:
+            recorder.observe("sim.fake_removal_latency", latency)
+        recorder.inc("dht.retrievals.attempted", self.retrieval_attempts)
+        recorder.inc("dht.retrievals.complete", self.retrievals_complete)
+        recorder.inc("dht.retrievals.incomplete", self.retrievals_incomplete)
+        for hops in self.lookup_hops:
+            recorder.observe("dht.lookup.hops", float(hops))

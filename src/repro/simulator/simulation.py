@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.base import ReputationMechanism
 from ..baselines.null import NullMechanism
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from ..traces.catalog import FileCatalog
 from .behaviors import (CamouflagedPolluterBehavior, ColluderBehavior,
                         ForgerBehavior, FreeRiderBehavior, HonestBehavior,
@@ -109,11 +110,17 @@ class FileSharingSimulation:
     """A complete, deterministic P2P file-sharing simulation run."""
 
     def __init__(self, config: SimulationConfig,
-                 mechanism: Optional[ReputationMechanism] = None):
+                 mechanism: Optional[ReputationMechanism] = None,
+                 recorder: NullRecorder = NULL_RECORDER):
         self.config = config
         self.mechanism = mechanism if mechanism is not None else NullMechanism()
         self.rng = random.Random(config.seed)
-        self.engine = EventEngine()
+        #: Observability sink; events are keyed by ``engine.now`` and the
+        #: default NULL_RECORDER leaves the run byte-identical to seed.
+        self.recorder = recorder
+        self.engine = EventEngine(recorder=recorder)
+        recorder.bind_clock(lambda: self.engine.now)
+        self.mechanism.bind_recorder(recorder)
         self.metrics = SimulationMetrics()
         self.workload = WorkloadModel(request_rate=config.request_rate,
                                       seed=config.seed + 1)
@@ -223,6 +230,7 @@ class FileSharingSimulation:
                              self._on_maintenance)
         self.engine.run(until=self.config.duration_seconds)
         self._final_retention_flush()
+        self.metrics.export(self.recorder)
         return self.metrics
 
     def _schedule_joins(self) -> None:
@@ -235,6 +243,9 @@ class FileSharingSimulation:
                 peer.online = True
                 peer.joined_at = 0.0
                 self.mechanism.on_peer_online(peer.peer_id, 0.0)
+                if self.recorder.enabled:
+                    self.recorder.event("peer_join", t=0.0,
+                                        peer=peer.peer_id, cls=peer.label)
 
     def _join_callback(self, peer_id: str):
         def _join(engine: EventEngine) -> None:
@@ -244,6 +255,9 @@ class FileSharingSimulation:
             peer.online = True
             peer.joined_at = engine.now
             self.mechanism.on_peer_online(peer_id, engine.now)
+            if self.recorder.enabled:
+                self.recorder.event("peer_join", peer=peer_id,
+                                    cls=peer.label)
             churn = self.config.churn
             if churn is not None and churn.enabled:
                 engine.schedule(churn.session_duration(),
@@ -258,6 +272,9 @@ class FileSharingSimulation:
             peer.online = False
             peer.queue.clear()
             self.mechanism.on_peer_offline(peer_id, engine.now)
+            if self.recorder.enabled:
+                self.recorder.event("peer_leave", peer=peer_id,
+                                    cls=peer.label)
             churn = self.config.churn
             if churn is not None and churn.enabled:
                 engine.schedule(churn.offline_duration(),
@@ -278,18 +295,35 @@ class FileSharingSimulation:
         requester_id, file_id = picked
         self.metrics.record_request()
         requester = self.peers[requester_id]
+        if self.recorder.enabled:
+            self.recorder.event("request", requester=requester_id,
+                                file=file_id, cls=requester.label)
 
         if self.config.use_file_filtering and self._rejected_by_filter(
                 requester_id, file_id):
             if self.registry.is_fake(file_id):
                 self.metrics.record_blocked_fake(requester.label)
+                if self.recorder.enabled:
+                    self.recorder.event("blocked_fake",
+                                        requester=requester_id,
+                                        file=file_id, cls=requester.label)
             else:
                 self.metrics.record_rejected_request(requester.label)
+                if self.recorder.enabled:
+                    self.recorder.event("request_rejected",
+                                        requester=requester_id, file=file_id,
+                                        cls=requester.label,
+                                        reason="filtered")
             return
 
         uploader_id = self._choose_uploader(requester_id, file_id)
         if uploader_id is None:
             self.metrics.record_rejected_request(requester.label)
+            if self.recorder.enabled:
+                self.recorder.event("request_rejected",
+                                    requester=requester_id, file=file_id,
+                                    cls=requester.label,
+                                    reason="no_uploader")
             return
         self._submit_request(uploader_id, requester_id, file_id)
 
@@ -422,6 +456,11 @@ class FileSharingSimulation:
             self.metrics.record_fake_copy(file_id, request.requester_id, now)
         self.metrics.record_download(requester.label, is_fake, size, wait,
                                      bandwidth)
+        if self.recorder.enabled:
+            self.recorder.event("download", requester=request.requester_id,
+                                uploader=uploader_id, file=file_id,
+                                cls=requester.label, fake=is_fake,
+                                wait=wait, bandwidth=bandwidth, size=size)
         if uploader is not None:
             self.metrics.record_bytes_served(uploader.label, size)
 
@@ -480,7 +519,11 @@ class FileSharingSimulation:
         self.registry.delete_copy(peer.peer_id, file_id, now)
         self.mechanism.record_deletion(peer.peer_id, file_id, now)
         if self.registry.is_fake(file_id):
-            self.metrics.record_fake_removal(file_id, peer.peer_id, now)
+            latency = self.metrics.record_fake_removal(file_id, peer.peer_id,
+                                                       now)
+            if self.recorder.enabled:
+                self.recorder.event("fake_removal", peer=peer.peer_id,
+                                    file=file_id, latency=latency)
 
     def known_vote(self, user_id: str, file_id: str) -> Optional[float]:
         """Vote ``user_id`` is known to have cast on ``file_id``, if any."""
@@ -506,6 +549,9 @@ class FileSharingSimulation:
         fresh.joined_at = now
         self.mechanism.on_peer_online(fresh_id, now)
         self._blacklist_counts.pop(fresh_id, None)
+        if self.recorder.enabled:
+            self.recorder.event("whitewash", retired=peer.peer_id,
+                                fresh=fresh_id)
         return fresh
 
     # ------------------------------------------------------------------ #
@@ -513,12 +559,17 @@ class FileSharingSimulation:
     # ------------------------------------------------------------------ #
 
     def _on_maintenance(self, engine: EventEngine) -> None:
-        self._flush_retention(engine.now)
-        for peer_id in sorted(self.peers):
-            peer = self.peers[peer_id]
-            if peer.online:
-                peer.behavior.on_periodic(self, peer)
-        self.mechanism.refresh()
+        if self.recorder.enabled:
+            self.recorder.event(
+                "maintenance",
+                online=sum(1 for p in self.peers.values() if p.online))
+        with self.recorder.profile("sim.maintenance"):
+            self._flush_retention(engine.now)
+            for peer_id in sorted(self.peers):
+                peer = self.peers[peer_id]
+                if peer.online:
+                    peer.behavior.on_periodic(self, peer)
+            self.mechanism.refresh()
         engine.schedule(self.config.maintenance_interval_seconds,
                         self._on_maintenance)
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List
 
+from ..obs.stats import mean
+
 __all__ = ["DownloadRecord", "DownloadTrace"]
 
 
@@ -85,9 +87,7 @@ class DownloadTrace:
 
     def fake_fraction(self) -> float:
         """Ground-truth fraction of downloads that delivered a fake file."""
-        if not self.records:
-            return 0.0
-        return sum(r.is_fake for r in self.records) / len(self.records)
+        return mean(float(r.is_fake) for r in self.records)
 
     def window(self, start: float, end: float) -> "DownloadTrace":
         """Records with ``start <= timestamp < end`` (a day slice, etc.)."""

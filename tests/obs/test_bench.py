@@ -1,0 +1,37 @@
+"""Tests for the stamped perf-snapshot machinery."""
+
+import json
+
+from repro.obs.bench import (collect_snapshot, config_hash, git_sha,
+                             run_stamp, write_snapshot)
+
+
+class TestStamp:
+    def test_config_hash_stable_and_order_free(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert len(config_hash({"a": 1})) == 12
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_git_sha_in_this_checkout(self):
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_run_stamp_fields(self):
+        stamp = run_stamp(7, {"x": 1})
+        assert stamp["seed"] == 7
+        assert stamp["schema"] == 1
+        assert stamp["config_hash"] == config_hash({"x": 1})
+
+
+class TestSnapshot:
+    def test_collect_and_write(self, tmp_path):
+        snapshot = collect_snapshot(seed=5)
+        assert snapshot["simulate"]["matches_null_recorder_run"] is True
+        assert snapshot["simulate"]["events_recorded"] > 0
+        assert snapshot["chaos"]["retrievals"] > 0
+        assert "engine.run" in snapshot["profiler"]["simulate"]
+        path = tmp_path / "BENCH_obs.json"
+        write_snapshot(str(path), snapshot)
+        loaded = json.loads(path.read_text())
+        assert loaded["seed"] == 5
+        assert "instrumentation_overhead_ratio" in loaded["timings"]

@@ -1,0 +1,67 @@
+"""Tests for the JSONL event trace and its loader."""
+
+import pytest
+
+from repro.obs.events import EventTrace, read_events
+
+
+class TestEventTrace:
+    def test_record_stamps_seq_t_event(self):
+        trace = EventTrace()
+        record = trace.record("download", 12.5, cls="honest")
+        assert record == {"seq": 0, "t": 12.5, "event": "download",
+                          "cls": "honest"}
+        assert trace.record("request", 13.0)["seq"] == 1
+
+    def test_reserved_fields_rejected(self):
+        trace = EventTrace()
+        # ``t`` collides with the positional parameter itself (TypeError);
+        # ``seq`` and ``event`` are caught by the explicit guard.
+        for reserved in ("seq", "t", "event"):
+            with pytest.raises((ValueError, TypeError)):
+                trace.record("x", 0.0, **{reserved: 1})
+
+    def test_of_kind_and_kinds(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("b", 1.0)
+        trace.record("a", 2.0)
+        assert len(trace.of_kind("a")) == 2
+        assert trace.kinds() == {"a": 2, "b": 1}
+
+    def test_lines_are_canonical_json(self):
+        trace = EventTrace()
+        trace.record("download", 1.0, z_field=1, a_field=2)
+        line = next(iter(trace.lines()))
+        # Sorted keys, no whitespace: byte-stable across runs.
+        assert line == ('{"a_field":2,"event":"download","seq":0,'
+                        '"t":1.0,"z_field":1}')
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        trace = EventTrace()
+        trace.record("download", 1.0, cls="honest", fake=False)
+        trace.record("request", 2.0, file="f-1")
+        path = tmp_path / "events.jsonl"
+        assert trace.write(str(path)) == 2
+        events = read_events(str(path))
+        assert [e["event"] for e in events] == ["download", "request"]
+        assert events[0]["fake"] is False
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "ok", "seq": 0, "t": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_events(str(path))
+
+    def test_read_rejects_non_event_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0, "t": 0}\n')
+        with pytest.raises(ValueError, match="not an event record"):
+            read_events(str(path))
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a", "seq": 0, "t": 0}\n\n')
+        assert len(read_events(str(path))) == 1

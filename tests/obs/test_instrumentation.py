@@ -1,0 +1,196 @@
+"""Integration tests: the recorder wired through core, simulator and DHT.
+
+The two properties the whole layer stands on:
+
+* the default ``NULL_RECORDER`` leaves every result identical to the
+  uninstrumented path;
+* a live :class:`Recorder` at the same seed produces byte-identical trace
+  and metrics artefacts across runs.
+"""
+
+import pytest
+
+from repro.core import ReputationConfig
+from repro.core.matrix import TrustMatrix
+from repro.core.multitrust import (compute_reputation_matrix,
+                                   convergence_residuals, matrix_residual)
+from repro.obs import NULL_RECORDER, Recorder
+from repro.simulator import (ChaosConfig, FileSharingSimulation,
+                             ScenarioSpec, SimulationConfig, run_chaos_point)
+from repro.simulator.metrics import SimulationMetrics
+
+DAY = 24 * 3600.0
+
+
+def _chain_matrix():
+    matrix = TrustMatrix()
+    matrix.set("a", "b", 1.0)
+    matrix.set("b", "c", 0.5)
+    matrix.set("b", "d", 0.5)
+    matrix.set("c", "d", 1.0)
+    return matrix
+
+
+def _sim_config(**overrides):
+    defaults = dict(
+        scenario=ScenarioSpec(honest=8, free_riders=2, polluters=2),
+        duration_seconds=0.25 * DAY,
+        num_files=30,
+        request_rate=0.02,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestMultitrustInstrumentation:
+    def test_disabled_path_matches_fast_power(self):
+        matrix = _chain_matrix()
+        config = ReputationConfig(multitrust_steps=3)
+        plain = compute_reputation_matrix(matrix, config=config)
+        assert plain.get("a", "d") == matrix.power(3).get("a", "d")
+
+    def test_enabled_path_emits_residual_events(self):
+        recorder = Recorder()
+        config = ReputationConfig(multitrust_steps=3)
+        result = compute_reputation_matrix(_chain_matrix(), config=config,
+                                           recorder=recorder)
+        events = recorder.trace.of_kind("multitrust_iteration")
+        assert [event["iteration"] for event in events] == [2, 3]
+        assert all(event["residual"] >= 0.0 for event in events)
+        # Same matrix out as the fast path (exact here: chain matmul
+        # associates identically for this sparsity pattern).
+        assert result.get("a", "d") == pytest.approx(
+            _chain_matrix().power(3).get("a", "d"))
+        snapshot = recorder.registry.snapshot()
+        assert snapshot["counters"]["multitrust.computations"] == 1
+        assert snapshot["histograms"]["multitrust.residual"]["count"] == 2
+        assert recorder.profiler.phase("multitrust.power").calls == 1
+
+    def test_single_step_emits_no_iterations(self):
+        recorder = Recorder()
+        compute_reputation_matrix(_chain_matrix(),
+                                  config=ReputationConfig(),
+                                  recorder=recorder)
+        assert recorder.trace.of_kind("multitrust_iteration") == []
+
+    def test_matrix_residual_is_linf_over_union(self):
+        previous, current = TrustMatrix(), TrustMatrix()
+        previous.set("a", "b", 0.5)
+        previous.set("a", "c", 0.2)  # vanishes in current
+        current.set("a", "b", 0.6)
+        current.set("x", "y", 0.05)  # new in current
+        assert matrix_residual(previous, current) == pytest.approx(0.2)
+
+    def test_convergence_residuals_match_events(self):
+        matrix = _chain_matrix()
+        recorder = Recorder()
+        compute_reputation_matrix(
+            matrix, config=ReputationConfig(multitrust_steps=4),
+            recorder=recorder)
+        expected = convergence_residuals(matrix, 4)
+        events = recorder.trace.of_kind("multitrust_iteration")
+        assert [(e["iteration"], e["residual"]) for e in events] == expected
+
+
+class TestMetricsExport:
+    def test_null_recorder_export_is_noop(self):
+        metrics = SimulationMetrics()
+        metrics.record_request()
+        metrics.export(NULL_RECORDER)  # must not raise
+
+    def test_export_feeds_registry(self):
+        metrics = SimulationMetrics()
+        metrics.record_request()
+        metrics.record_download("honest", False, 1000.0, 5.0, 200.0)
+        metrics.record_blocked_fake("honest")
+        metrics.record_retrieval(True, lookup_hops=3)
+        metrics.record_retrieval(False, lookup_hops=5)
+        recorder = Recorder()
+        metrics.export(recorder)
+        snapshot = recorder.registry.snapshot()
+        assert snapshot["counters"]["sim.requests.total"] == 1
+        assert snapshot["counters"]["sim.downloads.real{cls=honest}"] == 1
+        assert snapshot["counters"]["sim.fakes.blocked{cls=honest}"] == 1
+        assert snapshot["counters"]["dht.retrievals.incomplete"] == 1
+        assert snapshot["histograms"]["sim.wait_seconds{cls=honest}"][
+            "count"] == 1
+        assert snapshot["histograms"]["dht.lookup.hops"]["count"] == 2
+
+    def test_retrievals_incomplete_complements_availability(self):
+        metrics = SimulationMetrics()
+        for complete in (True, True, False):
+            metrics.record_retrieval(complete)
+        assert metrics.retrievals_incomplete == 1
+        assert metrics.availability == pytest.approx(2 / 3)
+
+    def test_fake_removal_returns_latency(self):
+        metrics = SimulationMetrics()
+        metrics.record_fake_copy("f", "p", 10.0)
+        assert metrics.record_fake_removal("f", "p", 25.0) == 15.0
+        assert metrics.record_fake_removal("f", "p", 30.0) is None
+        assert metrics.outstanding_fake_copies == 0
+
+
+class TestSimulationInstrumentation:
+    def test_recorder_does_not_change_outcomes(self):
+        plain = FileSharingSimulation(_sim_config()).run()
+        recorder = Recorder()
+        instrumented = FileSharingSimulation(
+            _sim_config(), recorder=recorder).run()
+        assert instrumented.total_requests == plain.total_requests
+        assert instrumented.overall_fake_fraction \
+            == plain.overall_fake_fraction
+
+    def test_trace_covers_the_run(self):
+        recorder = Recorder()
+        FileSharingSimulation(_sim_config(), recorder=recorder).run()
+        kinds = recorder.trace.kinds()
+        assert kinds["request"] > 0
+        assert kinds["download"] > 0
+        assert kinds["peer_join"] == 12
+        downloads = recorder.trace.of_kind("download")
+        assert all(event["t"] >= 0.0 for event in downloads)
+        assert recorder.profiler.phase("engine.run").calls == 1
+
+    def test_trace_deterministic_across_runs(self):
+        def lines():
+            recorder = Recorder()
+            FileSharingSimulation(_sim_config(), recorder=recorder).run()
+            return list(recorder.trace.lines()), \
+                recorder.registry.snapshot()
+        assert lines() == lines()
+
+
+class TestChaosInstrumentation:
+    CONFIG = ChaosConfig(peers=12, files=16, rounds=8, loss_rate=0.1,
+                         churn_rate=0.4, seed=3)
+
+    def test_recorder_does_not_change_outcomes(self):
+        plain = run_chaos_point(self.CONFIG)
+        instrumented = run_chaos_point(self.CONFIG, recorder=Recorder())
+        assert instrumented.availability == plain.availability
+        assert instrumented.mean_hops == plain.mean_hops
+        assert instrumented.retrievals_incomplete \
+            == plain.retrievals_incomplete
+
+    def test_trace_covers_the_cell(self):
+        recorder = Recorder()
+        run_chaos_point(self.CONFIG, recorder=recorder)
+        kinds = recorder.trace.kinds()
+        assert kinds["chaos_cell_start"] == 1
+        assert kinds["chaos_cell_end"] == 1
+        assert kinds["dht_lookup"] > 0
+        assert kinds["dht_publish"] > 0
+        assert kinds["dht_retrieve"] > 0
+        snapshot = recorder.registry.snapshot()
+        assert snapshot["counters"]["dht.lookups"] > 0
+        assert snapshot["histograms"]["dht.lookup.hops"]["count"] > 0
+
+    def test_trace_deterministic_across_runs(self):
+        def lines():
+            recorder = Recorder()
+            run_chaos_point(self.CONFIG, recorder=recorder)
+            return list(recorder.trace.lines()), \
+                recorder.registry.snapshot()
+        assert lines() == lines()

@@ -1,0 +1,69 @@
+"""Tests for the recorder facade and the null default."""
+
+import json
+
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_all_calls_are_noops(self):
+        recorder = NullRecorder()
+        recorder.bind_clock(lambda: 1.0)
+        recorder.event("x", t=1.0, field=2)
+        recorder.inc("c")
+        recorder.gauge("g", 1.0)
+        recorder.observe("h", 1.0)
+        with recorder.profile("phase"):
+            pass
+
+    def test_profile_reuses_one_timer(self):
+        recorder = NullRecorder()
+        assert recorder.profile("a") is recorder.profile("b")
+
+
+class TestRecorder:
+    def test_enabled(self):
+        assert Recorder().enabled is True
+
+    def test_event_uses_bound_clock(self):
+        recorder = Recorder()
+        now = [0.0]
+        recorder.bind_clock(lambda: now[0])
+        now[0] = 42.0
+        recorder.event("tick")
+        recorder.event("tock", t=7.0)
+        events = list(recorder.trace)
+        assert events[0]["t"] == 42.0
+        assert events[1]["t"] == 7.0
+
+    def test_metric_calls_reach_registry(self):
+        recorder = Recorder()
+        recorder.inc("c", 2, cls="honest")
+        recorder.gauge("g", 0.5)
+        recorder.observe("h", 3.0)
+        snapshot = recorder.registry.snapshot()
+        assert snapshot["counters"]["c{cls=honest}"] == 2
+        assert snapshot["gauges"]["g"] == 0.5
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_profile_times_phase(self):
+        recorder = Recorder()
+        with recorder.profile("phase"):
+            pass
+        assert recorder.profiler.phase("phase").calls == 1
+
+    def test_write_artifacts(self, tmp_path):
+        recorder = Recorder()
+        recorder.event("a", t=1.0)
+        recorder.inc("c")
+        trace_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert recorder.write_trace(str(trace_path)) == 1
+        recorder.write_metrics(str(metrics_path))
+        assert '"event":"a"' in trace_path.read_text()
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["c"] == 1

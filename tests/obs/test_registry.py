@@ -1,0 +1,80 @@
+"""Tests for the labelled metrics registry."""
+
+import pytest
+
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                                _key)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in [1.0, 2.0, 3.0]:
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.summary()["p50"] == pytest.approx(2.0)
+
+
+class TestKeying:
+    def test_no_labels_is_bare_name(self):
+        assert _key("downloads", {}) == "downloads"
+
+    def test_labels_sorted(self):
+        assert _key("downloads", {"cls": "honest", "a": "b"}) \
+            == "downloads{a=b,cls=honest}"
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("downloads", cls="honest").inc()
+        registry.counter("downloads", cls="honest").inc()
+        registry.counter("downloads", cls="polluter").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["downloads{cls=honest}"] == 2
+        assert snapshot["counters"]["downloads{cls=polluter}"] == 1
+
+
+class TestRegistry:
+    def test_len_counts_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1.0)
+        assert len(registry) == 3
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.counter("aa").inc()
+        assert list(registry.snapshot()["counters"]) == ["aa", "zz"]
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("a", cls="x").inc(2)
+        registry.gauge("b").set(0.5)
+        registry.histogram("c").observe(1.5)
+        text = json.dumps(registry.snapshot(), sort_keys=True)
+        assert "a{cls=x}" in text
+
+    def test_histogram_items_sorted(self):
+        registry = MetricsRegistry()
+        registry.histogram("z").observe(1.0)
+        registry.histogram("a").observe(1.0)
+        assert [key for key, _ in registry.histogram_items()] == ["a", "z"]

@@ -1,0 +1,72 @@
+"""Tests for trace summarisation behind ``repro report``."""
+
+import pytest
+
+from repro.obs.report import summarize_trace
+
+
+def _event(kind, t, **fields):
+    return {"seq": 0, "t": t, "event": kind, **fields}
+
+
+class TestSummarizeTrace:
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.total_events == 0
+        assert summary.event_counts == {}
+        assert summary.dht_failed_lookups == 0
+
+    def test_counts_and_span(self):
+        summary = summarize_trace([
+            _event("request", 5.0), _event("request", 40.0),
+            _event("maintenance", 10.0)])
+        assert summary.total_events == 3
+        assert summary.start_time == 5.0
+        assert summary.end_time == 40.0
+        assert summary.event_counts == {"maintenance": 1, "request": 2}
+
+    def test_per_class_waits_and_outcomes(self):
+        summary = summarize_trace([
+            _event("download", 1.0, cls="honest", wait=10.0, fake=False),
+            _event("download", 2.0, cls="honest", wait=30.0, fake=True),
+            _event("blocked_fake", 3.0, cls="honest"),
+            _event("download", 4.0, cls="polluter", wait=50.0, fake=False)])
+        honest = summary.wait_by_class["honest"]
+        assert honest["count"] == 2
+        assert honest["p50"] == pytest.approx(20.0)
+        assert summary.outcomes_by_class["honest"] == {
+            "downloads": 2, "fakes": 1, "blocked": 1}
+        assert summary.outcomes_by_class["polluter"]["downloads"] == 1
+
+    def test_multitrust_residuals_grouped_by_iteration(self):
+        summary = summarize_trace([
+            _event("multitrust_iteration", 0.0, iteration=2, residual=0.2),
+            _event("multitrust_iteration", 1.0, iteration=2, residual=0.4),
+            _event("multitrust_iteration", 1.0, iteration=3, residual=0.1)])
+        assert summary.multitrust_residuals[2]["count"] == 2
+        assert summary.multitrust_residuals[2]["mean"] == pytest.approx(0.3)
+        assert summary.multitrust_residuals[3]["max"] == pytest.approx(0.1)
+
+    def test_dht_lookup_stats(self):
+        summary = summarize_trace([
+            _event("dht_lookup", 0.0, hops=3, retries=0, ok=True),
+            _event("dht_lookup", 1.0, hops=5, retries=2, ok=False)])
+        assert summary.dht_hops["count"] == 2
+        assert summary.dht_hops["max"] == 5.0
+        assert summary.dht_retries["mean"] == pytest.approx(1.0)
+        assert summary.dht_failed_lookups == 1
+
+    def test_fake_removal_latency(self):
+        summary = summarize_trace([
+            _event("fake_removal", 10.0, latency=100.0),
+            _event("fake_removal", 20.0, latency=300.0)])
+        assert summary.fake_removal_latency["mean"] == pytest.approx(200.0)
+
+    def test_ignores_malformed_fields(self):
+        summary = summarize_trace([
+            _event("multitrust_iteration", 0.0, iteration=2, residual=None),
+            _event("fake_removal", 0.0, latency=None),
+            {"event": "download"}])
+        assert summary.multitrust_residuals == {}
+        assert summary.fake_removal_latency["count"] == 0
+        assert summary.wait_by_class["unknown"]["count"] == 1

@@ -1,0 +1,70 @@
+"""Tests for the shared mean/percentile helpers."""
+
+import pytest
+
+from repro.obs.stats import (DEFAULT_QUANTILES, mean, percentile,
+                             percentiles, summarize)
+
+
+class TestMean:
+    def test_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_simple_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_accepts_generator(self):
+        assert mean(float(x) for x in range(5)) == pytest.approx(2.0)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50.0)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestPercentiles:
+    def test_default_quantiles(self):
+        result = percentiles([float(x) for x in range(1, 101)])
+        assert set(result) == {"p50", "p95", "p99"}
+        assert result["p50"] == pytest.approx(50.5)
+        assert DEFAULT_QUANTILES == (50.0, 95.0, 99.0)
+
+    def test_empty_gives_zeros(self):
+        assert percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+        assert summary["p50"] == pytest.approx(4.0)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_events
 from repro.traces import read_csv, read_jsonl
 
 
@@ -104,3 +107,116 @@ class TestSimulate:
                      "--request-rate", "0.01", "--no-filtering",
                      "--no-differentiation"])
         assert code == 0
+
+
+_SIMULATE_SMALL = ["simulate", "--honest", "8", "--free-riders", "2",
+                   "--polluters", "2", "--catalog", "30", "--days", "0.25",
+                   "--request-rate", "0.02", "--seed", "5"]
+_CHAOS_SMALL = ["chaos", "--loss", "0.1", "--churn", "0.3", "--peers", "12",
+                "--files", "16", "--rounds", "8", "--seed", "3"]
+
+
+class TestObservabilityOutputs:
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(_SIMULATE_SMALL + ["--multitrust-steps", "3",
+                                       "--trace-out", str(trace),
+                                       "--metrics-out", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "events" in out
+        assert "outstanding fake copies" in out
+        events = read_events(str(trace))
+        kinds = {event["event"] for event in events}
+        assert {"request", "download",
+                "multitrust_iteration"} <= kinds
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["sim.requests.total"] > 0
+        assert "sim.wait_seconds{cls=honest}" in snapshot["histograms"]
+
+    def test_simulate_trace_deterministic_for_seed(self, tmp_path):
+        paths = [tmp_path / name for name in
+                 ("a.jsonl", "b.jsonl", "am.json", "bm.json")]
+        for trace, metric in ((paths[0], paths[2]), (paths[1], paths[3])):
+            main(_SIMULATE_SMALL + ["--trace-out", str(trace),
+                                    "--metrics-out", str(metric)])
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert paths[2].read_bytes() == paths[3].read_bytes()
+
+    def test_chaos_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(_CHAOS_SMALL + ["--trace-out", str(trace),
+                                    "--metrics-out", str(metrics)])
+        assert code == 0
+        assert "incomplete" in capsys.readouterr().out
+        kinds = {event["event"] for event in read_events(str(trace))}
+        assert {"chaos_cell_start", "dht_lookup", "dht_retrieve",
+                "chaos_cell_end"} <= kinds
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["dht.lookups"] > 0
+
+    def test_chaos_trace_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            main(_CHAOS_SMALL + ["--trace-out", str(path)])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_no_flags_writes_nothing(self, tmp_path, capsys):
+        code = main(_SIMULATE_SMALL)
+        assert code == 0
+        assert "wrote" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestReport:
+    def _trace(self, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--multitrust-steps", "3",
+                                "--trace-out", str(trace)])
+        return trace
+
+    def test_report_renders_sections(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Event counts" in out
+        assert "wait p95" in out
+        assert "Multitrust convergence" in out
+        assert "honest" in out
+
+    def test_report_on_chaos_trace_shows_dht(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(_CHAOS_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "DHT lookup cost" in out
+        assert "failed lookups" in out
+
+    def test_missing_trace_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 1
+
+    def test_corrupt_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["report", str(path)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestBenchObs:
+    def test_writes_stamped_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main(["bench-obs", "--out", str(out), "--seed", "5"]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["seed"] == 5
+        assert {"config_hash", "git_sha", "timings"} <= set(snapshot)
+        assert "instrumented" in capsys.readouterr().out
