@@ -21,7 +21,7 @@ single point to recompute; it may be a no-op for purely incremental ones.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 
@@ -124,3 +124,13 @@ class ReputationMechanism(abc.ABC):
         Pairwise-only mechanisms return an empty dict.
         """
         return {}
+
+    def trust_edges(self, per_row: int = 6) -> List[Tuple[str, str, float]]:
+        """Strongest one-step trust edges ``(truster, trustee, value)``.
+
+        The monitoring layer samples these at each refresh to feed the
+        collusion-ring detector; mechanisms without an explicit trust
+        matrix return an empty list (the default).  Implementations must
+        be deterministic (sorted trusters, ties broken by trustee id).
+        """
+        return []

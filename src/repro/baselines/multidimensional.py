@@ -7,7 +7,7 @@ map one-to-one onto the façade; ``file_score`` is Eq. 9's file reputation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import DEFAULT_CONFIG, ReputationConfig
 from ..core.reputation_system import MultiDimensionalReputationSystem
@@ -91,3 +91,7 @@ class MultiDimensionalMechanism(ReputationMechanism):
 
     def global_scores(self) -> Dict[str, float]:
         return self.system.global_reputation()
+
+    def trust_edges(self, per_row: int = 6) -> List[Tuple[str, str, float]]:
+        """Strongest one-step ``TM`` edges via the zero-copy refresh view."""
+        return list(self.system.refresh_view().top_trust_edges(per_row))

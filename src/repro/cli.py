@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the workflows a downstream user actually runs:
+Ten commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -12,12 +12,19 @@ Seven commands cover the workflows a downstream user actually runs:
   (the Section 4.3 resilience claim under an actually hostile network);
 * ``report``      — summarise an ``events.jsonl`` observability trace:
   per-class wait percentiles, multitrust convergence residuals, DHT
-  hop/retry distributions;
-* ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot.
+  hop/retry distributions (``--json`` for the machine-readable schema);
+* ``monitor``     — replay a trace through the streaming anomaly detectors
+  and alert rules; verifies any recorded live alerts are reproduced;
+* ``dashboard``   — render a trace into one self-contained HTML file;
+* ``diff-trace``  — compare two traces and flag outcome regressions;
+* ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot
+  (``--history`` appends to a JSONL trajectory, ``--max-overhead`` gates).
 
-``simulate`` and ``chaos`` accept ``--trace-out events.jsonl`` and
-``--metrics-out metrics.json``; both artefacts are keyed by simulation time
-only, so two runs at the same seed produce byte-identical files.
+``simulate`` and ``chaos`` accept ``--trace-out events.jsonl``,
+``--metrics-out metrics.json`` and ``--alerts-out alerts.jsonl`` (which also
+attaches the live monitor, so alerts interleave into the trace); all
+artefacts are keyed by simulation time only, so two runs at the same seed
+produce byte-identical files.
 
 All commands are seeded and print fixed-width tables to stdout.
 """
@@ -25,14 +32,18 @@ All commands are seeded and print fixed-width tables to stdout.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .analysis import render_table
 from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
 from .core import ReputationConfig
-from .obs import NULL_RECORDER, Recorder, read_events, summarize_trace
-from .obs.bench import collect_snapshot, write_snapshot
+from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
+                  monitor_events, read_events, render_dashboard,
+                  summarize_trace, summary_to_dict)
+from .obs.bench import (append_history, collect_snapshot, overhead_ratio,
+                        write_snapshot)
 from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
                         SimulationConfig, get_scenario, run_chaos_sweep)
 from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
@@ -49,18 +60,45 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a structured JSONL event trace here")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write a metrics-registry JSON snapshot here")
+    parser.add_argument("--alerts-out", default=None, metavar="PATH",
+                        help="attach the live monitor and write its alert "
+                             "stream (JSONL) here; alerts also interleave "
+                             "into --trace-out")
 
 
 def _make_recorder(args: argparse.Namespace):
-    """A live recorder when any observability output was requested."""
-    if args.trace_out is None and args.metrics_out is None:
-        return NULL_RECORDER
-    return Recorder()
+    """A live recorder (plus monitor) when observability was requested.
+
+    Returns ``(recorder, monitor_or_None)``; the monitor is attached only
+    when ``--alerts-out`` asked for live alerting.
+    """
+    if (args.trace_out is None and args.metrics_out is None
+            and args.alerts_out is None):
+        return NULL_RECORDER, None
+    recorder = Recorder()
+    monitor = None
+    if args.alerts_out is not None:
+        monitor = Monitor.default().attach(recorder)
+    return recorder, monitor
 
 
-def _write_observability(recorder, args: argparse.Namespace) -> None:
+def _write_alerts(path: str, alerts) -> None:
+    """One canonical JSON line per alert — deterministic, like the trace."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for alert in alerts:
+            handle.write(json.dumps(
+                {"t": alert.t, **alert.to_fields()},
+                sort_keys=True, separators=(",", ":")) + "\n")
+
+
+def _write_observability(recorder, args: argparse.Namespace,
+                         monitor=None) -> None:
     if not recorder.enabled:
         return
+    if monitor is not None:
+        # Flush end-of-stream detector state so the final alerts land in
+        # the trace before it is written.
+        monitor.finish()
     if args.trace_out is not None:
         written = recorder.write_trace(args.trace_out)
         print(f"wrote {written} events to {args.trace_out}")
@@ -68,6 +106,9 @@ def _write_observability(recorder, args: argparse.Namespace) -> None:
         recorder.write_metrics(args.metrics_out)
         print(f"wrote {len(recorder.registry)} metrics to "
               f"{args.metrics_out}")
+    if monitor is not None and args.alerts_out is not None:
+        _write_alerts(args.alerts_out, monitor.alerts)
+        print(f"wrote {len(monitor.alerts)} alerts to {args.alerts_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,12 +193,49 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser(
         "report", help="summarise an events.jsonl observability trace")
     report.add_argument("trace", help="JSONL trace written by --trace-out")
+    report.add_argument("--json", action="store_true",
+                        help="emit the machine-readable summary schema "
+                             "instead of tables")
+
+    monitor = commands.add_parser(
+        "monitor", help="replay a trace through the streaming anomaly "
+                        "detectors and alert rules")
+    monitor.add_argument("trace", help="JSONL trace written by --trace-out")
+    monitor.add_argument("--alerts-out", default=None, metavar="PATH",
+                         help="also write the alert stream (JSONL) here")
+
+    dashboard = commands.add_parser(
+        "dashboard", help="render a trace into one self-contained HTML "
+                          "dashboard (no network dependencies)")
+    dashboard.add_argument("trace", help="JSONL trace written by "
+                                         "--trace-out")
+    dashboard.add_argument("-o", "--out", default="dash.html",
+                           help="HTML output path")
+
+    diff = commands.add_parser(
+        "diff-trace", help="compare two traces and flag outcome "
+                           "regressions (B relative to A)")
+    diff.add_argument("trace_a", help="baseline trace (A)")
+    diff.add_argument("trace_b", help="candidate trace (B)")
+    diff.add_argument("--label-a", default="A")
+    diff.add_argument("--label-b", default="B")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the full diff document as JSON")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when any regression is flagged")
 
     bench = commands.add_parser(
         "bench-obs", help="collect a stamped observability perf snapshot")
     bench.add_argument("--out", default="BENCH_obs.json",
                        help="snapshot output path")
     bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--history", default=None, metavar="PATH",
+                       help="append the snapshot as one JSONL line to this "
+                            "trajectory file")
+    bench.add_argument("--max-overhead", type=float, default=None,
+                       metavar="RATIO",
+                       help="exit 1 when the instrumentation overhead "
+                            "ratio exceeds this bound")
     return parser
 
 
@@ -267,7 +345,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ReputationConfig(**reputation_config))
     else:
         mechanism = ALL_MECHANISMS[args.mechanism]()
-    recorder = _make_recorder(args)
+    recorder, live_monitor = _make_recorder(args)
     metrics = FileSharingSimulation(config, mechanism,
                                     recorder=recorder).run()
 
@@ -289,7 +367,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{metrics.blind_judgements}")
     print(f"outstanding fake copies: {metrics.outstanding_fake_copies}, "
           f"retrievals incomplete: {metrics.retrievals_incomplete}")
-    _write_observability(recorder, args)
+    _write_observability(recorder, args, live_monitor)
     return 0
 
 
@@ -302,7 +380,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not 0.0 <= rate <= 1.0:
             print(f"churn rate {rate} outside [0, 1]", file=sys.stderr)
             return 1
-    recorder = _make_recorder(args)
+    recorder, live_monitor = _make_recorder(args)
     results = run_chaos_sweep(
         list(args.loss), list(args.churn), peers=args.peers,
         files=args.files, rounds=args.rounds, seed=args.seed,
@@ -329,7 +407,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                f"seed={args.seed}")))
     worst = min(result.availability for result in results)
     print(f"\nworst-cell availability: {worst:.3f}")
-    _write_observability(recorder, args)
+    _write_observability(recorder, args, live_monitor)
     return 0
 
 
@@ -343,6 +421,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("trace is empty", file=sys.stderr)
         return 1
     summary = summarize_trace(events)
+
+    if args.json:
+        print(json.dumps(summary_to_dict(summary), indent=2,
+                         sort_keys=True))
+        return 0
 
     print(f"trace: {args.trace}")
     print(f"events: {summary.total_events}, simulated span: "
@@ -393,12 +476,125 @@ def _cmd_report(args: argparse.Namespace) -> int:
         latency = summary.fake_removal_latency
         print(f"fake-removal latency: n={latency['count']}, "
               f"mean={latency['mean']:.0f}s, p95={latency['p95']:.0f}s")
+
+    if summary.unrecognized:
+        kinds = ", ".join(f"{kind} ({count})" for kind, count
+                          in summary.unrecognized.items())
+        print(f"unrecognized event kinds: {kinds}")
+    if summary.alert_counts:
+        counts = ", ".join(f"{count} {severity}" for severity, count
+                           in summary.alert_counts.items())
+        print(f"alerts in trace: {counts}")
+    return 0
+
+
+def _read_trace_events(path: str):
+    """Shared trace loading for monitor/dashboard/diff (None on error)."""
+    try:
+        events = read_events(path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {path}: {error}", file=sys.stderr)
+        return None
+    if not events:
+        print(f"trace {path} is empty", file=sys.stderr)
+        return None
+    return events
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    events = _read_trace_events(args.trace)
+    if events is None:
+        return 1
+    result = monitor_events(events)
+
+    print(f"trace: {args.trace} ({result.events_seen} events)")
+    if result.alerts:
+        rows = [[f"{alert.t:.0f}", alert.severity, alert.detector,
+                 alert.message] for alert in result.alerts]
+        print(render_table(["t (s)", "severity", "detector", "message"],
+                           rows, title="Alerts"))
+        counts = ", ".join(f"{count} {severity}" for severity, count
+                           in result.counts_by_severity().items())
+        print(f"\n{len(result.alerts)} alerts: {counts}")
+    else:
+        print("no alerts raised")
+
+    if args.alerts_out is not None:
+        _write_alerts(args.alerts_out, result.alerts)
+        print(f"wrote {len(result.alerts)} alerts to {args.alerts_out}")
+
+    if result.recorded_alerts:
+        if result.reproduces_recorded:
+            print(f"replay check: reproduced all "
+                  f"{len(result.recorded_alerts)} recorded alerts")
+        else:
+            print(f"replay check FAILED: regenerated {len(result.alerts)} "
+                  f"alerts, trace carries {len(result.recorded_alerts)}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    events = _read_trace_events(args.trace)
+    if events is None:
+        return 1
+    document = render_dashboard(events,
+                                title=f"repro dashboard: {args.trace}")
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {len(document)} bytes of HTML to {args.out}")
+    return 0
+
+
+def _cmd_diff_trace(args: argparse.Namespace) -> int:
+    events_a = _read_trace_events(args.trace_a)
+    events_b = _read_trace_events(args.trace_b)
+    if events_a is None or events_b is None:
+        return 1
+    diff = diff_summaries(summarize_trace(events_a),
+                          summarize_trace(events_b),
+                          label_a=args.label_a, label_b=args.label_b)
+    regressions = diff["regressions"]
+
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        deltas = diff["deltas"]
+        print(f"{args.label_a}: {args.trace_a}")
+        print(f"{args.label_b}: {args.trace_b}\n")
+        rows = [["total events", deltas["total_events"]],
+                ["failed DHT lookups", deltas["dht_failed_lookups"]],
+                ["incomplete retrievals",
+                 deltas["dht_retrievals_incomplete"]],
+                ["mean DHT hops", round(deltas["dht_mean_hops"], 2)]]
+        for cls, delta in deltas["fake_fraction_by_class"].items():
+            rows.append([f"fake fraction [{cls}]", round(delta, 3)])
+        for cls, delta in deltas["wait_p95_by_class"].items():
+            rows.append([f"wait p95 [{cls}] (s)", round(delta, 1)])
+        for severity, delta in deltas["alert_counts"].items():
+            rows.append([f"alerts [{severity}]", delta])
+        print(render_table(
+            ["metric", f"delta ({args.label_b} - {args.label_a})"], rows,
+            title="Trace diff"))
+        if regressions:
+            print(f"\n{len(regressions)} regressions:")
+            for regression in regressions:
+                print(f"  - {regression}")
+        else:
+            print("\nno regressions flagged")
+
+    if regressions and args.fail_on_regression:
+        return 1
     return 0
 
 
 def _cmd_bench_obs(args: argparse.Namespace) -> int:
     snapshot = collect_snapshot(seed=args.seed)
     write_snapshot(args.out, snapshot)
+    if args.history is not None:
+        append_history(args.history, snapshot)
+        print(f"appended snapshot to {args.history}")
     timings = snapshot["timings"]
     print(f"wrote {args.out} (seed={snapshot['seed']}, "
           f"config={snapshot['config_hash']}, git={snapshot['git_sha']})")
@@ -406,6 +602,14 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
           f"bare, {timings['simulate_instrumented_seconds']:.3f}s "
           f"instrumented "
           f"(x{timings['instrumentation_overhead_ratio']:.2f})")
+    if args.max_overhead is not None:
+        ratio = overhead_ratio(snapshot)
+        if ratio > args.max_overhead:
+            print(f"instrumentation overhead x{ratio:.2f} exceeds the "
+                  f"x{args.max_overhead:.2f} bound", file=sys.stderr)
+            return 1
+        print(f"overhead gate passed (x{ratio:.2f} <= "
+              f"x{args.max_overhead:.2f})")
     return 0
 
 
@@ -416,6 +620,9 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "chaos": _cmd_chaos,
     "report": _cmd_report,
+    "monitor": _cmd_monitor,
+    "dashboard": _cmd_dashboard,
+    "diff-trace": _cmd_diff_trace,
     "bench-obs": _cmd_bench_obs,
 }
 

@@ -22,7 +22,7 @@ from .multitrust import (MultiTierView, TierAssignment,
                          reputation_between)
 from .persistence import (load_system, save_system, system_from_dict,
                           system_to_dict)
-from .reputation_system import MultiDimensionalReputationSystem
+from .reputation_system import MultiDimensionalReputationSystem, RefreshView
 from .tuning import (TuningResult, fake_ranking_objective,
                      separation_objective, simplex_grid,
                      sweep_dimension_weights, sweep_eta)
@@ -65,6 +65,7 @@ __all__ = [
     "global_reputation_vector",
     "reputation_between",
     "MultiDimensionalReputationSystem",
+    "RefreshView",
     "load_system",
     "save_system",
     "system_from_dict",

@@ -10,11 +10,15 @@ bridge is provided for eigen-analysis and fast matrix powers.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["TrustMatrix"]
+
+#: Shared immutable empty row for :meth:`TrustMatrix.row_view` misses.
+_EMPTY_ROW: Mapping[str, float] = MappingProxyType({})
 
 
 class TrustMatrix:
@@ -68,6 +72,22 @@ class TrustMatrix:
     def rows(self) -> Iterator[Tuple[str, Dict[str, float]]]:
         for i, row in self._rows.items():
             yield i, dict(row)
+
+    def row_view(self, i: str) -> Mapping[str, float]:
+        """Read-only *live* view of row ``i`` — no copy.
+
+        The observability layer samples full matrices at every mechanism
+        refresh; copying each row per tick would dwarf the cost of the
+        events themselves.  The view reflects later mutations; callers that
+        need a stable snapshot should use :meth:`row`.
+        """
+        row = self._rows.get(i)
+        return MappingProxyType(row) if row is not None else _EMPTY_ROW
+
+    def iter_row_views(self) -> Iterator[Tuple[str, Mapping[str, float]]]:
+        """(row id, read-only row view) pairs — no copying."""
+        for i, row in self._rows.items():
+            yield i, MappingProxyType(row)
 
     def row_ids(self) -> List[str]:
         return list(self._rows)

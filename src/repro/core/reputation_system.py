@@ -23,7 +23,8 @@ ingestion pay the (dominant) matrix cost once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
@@ -38,7 +39,39 @@ from .multitrust import (MultiTierView, compute_reputation_matrix,
 from .user_trust import UserTrustStore
 from .volume_trust import DownloadLedger
 
-__all__ = ["MultiDimensionalReputationSystem"]
+__all__ = ["MultiDimensionalReputationSystem", "RefreshView"]
+
+
+@dataclass(frozen=True)
+class RefreshView:
+    """Zero-copy window onto the matrices of one refresh.
+
+    Holds references to the system's *cached* ``TM`` and ``RM`` — building
+    one allocates nothing beyond the dataclass itself, and consumers read
+    rows through :meth:`TrustMatrix.row_view`.  The per-refresh timeline
+    instrumentation samples reputations and trust edges through this view,
+    so observability never copies full matrices.
+    """
+
+    trust: TrustMatrix
+    reputation: TrustMatrix
+
+    def top_trust_edges(self, per_row: int = 6, min_value: float = 1e-9
+                        ) -> Iterator[Tuple[str, str, float]]:
+        """Strongest ``per_row`` out-edges of ``TM`` per truster, sorted.
+
+        Rows iterate in sorted truster order; within a row, edges sort by
+        descending value then trustee id — fully deterministic.
+        """
+        if per_row < 1:
+            raise ValueError(f"per_row must be >= 1, got {per_row}")
+        for truster in sorted(self.trust.row_ids()):
+            row = self.trust.row_view(truster)
+            strongest = sorted(row.items(),
+                               key=lambda item: (-item[1], item[0]))
+            for trustee, value in strongest[:per_row]:
+                if value >= min_value:
+                    yield truster, trustee, value
 
 #: Weight of global incentive credit relative to pairwise reputation when
 #: computing the effective reputation used for service differentiation.  The
@@ -167,6 +200,16 @@ class MultiDimensionalReputationSystem:
                 self.one_step_matrix(), None, self.config,
                 recorder=self.recorder)
         return self._reputation
+
+    def refresh_view(self) -> RefreshView:
+        """Zero-copy view of the current cached ``TM``/``RM`` pair.
+
+        Both matrices come from the caches (building them on first access),
+        so taking a view at every maintenance tick costs nothing beyond the
+        refresh the tick performs anyway.
+        """
+        return RefreshView(trust=self.one_step_matrix(),
+                           reputation=self.reputation_matrix())
 
     def tier_view(self, max_tier: int = 3) -> MultiTierView:
         """Multi-tier view over the current one-step matrix."""

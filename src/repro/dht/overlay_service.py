@@ -126,6 +126,9 @@ class EvaluationOverlay:
         self._responders: Dict[str, ListResponder] = {}
         # Everything a user has published, for republication.
         self._published: Dict[str, List[IndexRecord]] = {}
+        # Every identity that ever joined, so rejoins are distinguishable
+        # from first joins (the whitewashing detector keys on this flag).
+        self._ever_registered: set = set()
 
     # ------------------------------------------------------------------ #
     # Membership passthrough                                             #
@@ -133,8 +136,15 @@ class EvaluationOverlay:
 
     def register_user(self, user_id: str) -> DHTNode:
         """Join the DHT and provision a signing key."""
+        rejoined = user_id in self._ever_registered
+        self._ever_registered.add(user_id)
         self.authority.register(user_id)
-        return self.network.join(user_id)
+        node = self.network.join(user_id)
+        if self.recorder.enabled:
+            self.recorder.event("dht_node_join", user=user_id,
+                                rejoined=rejoined)
+            self.recorder.inc("dht.node_joins")
+        return node
 
     # ------------------------------------------------------------------ #
     # Step 1 & 2: publication / update                                   #

@@ -10,7 +10,14 @@ The measurement substrate the quantitative claims run on:
 * :mod:`~repro.obs.recorder` — the facade instrumented code talks to, with
   the zero-overhead :data:`~repro.obs.recorder.NULL_RECORDER` default;
 * :mod:`~repro.obs.report` — trace summarisation behind ``repro report``;
-* :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots.
+* :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots;
+* :mod:`~repro.obs.alerts` — threshold/windowed alert rules and severities;
+* :mod:`~repro.obs.detectors` — streaming anomaly detectors (convergence
+  stall, fake outbreak, collusion ring, whitewashing, starvation);
+* :mod:`~repro.obs.monitor` — the live/offline monitor tying them together;
+* :mod:`~repro.obs.timeline` — per-peer reputation timelines from a trace;
+* :mod:`~repro.obs.dashboard` — self-contained HTML dashboard rendering;
+* :mod:`~repro.obs.diff` — differential analysis of two trace summaries.
 
 Design rule: with the default ``NULL_RECORDER`` every instrumented path is
 behaviourally identical to the uninstrumented seed code; with a live
@@ -18,17 +25,38 @@ behaviourally identical to the uninstrumented seed code; with a live
 byte-identical traces and metrics (simulation time only, no wall clock).
 """
 
+from .alerts import (Alert, RulesEngine, Severity, ThresholdRule,
+                     WindowedCountRule, default_rules)
+from .dashboard import render_dashboard
+from .detectors import Detector, default_detectors
+from .diff import diff_summaries
 from .events import EventTrace, read_events
+from .monitor import Monitor, MonitorResult, monitor_events
 from .profiling import PhaseStats, Profiler
 from .recorder import NULL_RECORDER, NullRecorder, Recorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .report import TraceSummary, summarize_trace
+from .report import TraceSummary, summarize_trace, summary_to_dict
 from .stats import (DEFAULT_QUANTILES, mean, percentile, percentiles,
                     summarize)
+from .timeline import (PeerSample, PeerTimeline, build_timelines,
+                       class_mean_series, fake_fraction_series)
 
 __all__ = [
+    "Alert",
+    "RulesEngine",
+    "Severity",
+    "ThresholdRule",
+    "WindowedCountRule",
+    "default_rules",
+    "render_dashboard",
+    "Detector",
+    "default_detectors",
+    "diff_summaries",
     "EventTrace",
     "read_events",
+    "Monitor",
+    "MonitorResult",
+    "monitor_events",
     "PhaseStats",
     "Profiler",
     "NULL_RECORDER",
@@ -40,6 +68,12 @@ __all__ = [
     "MetricsRegistry",
     "TraceSummary",
     "summarize_trace",
+    "summary_to_dict",
+    "PeerSample",
+    "PeerTimeline",
+    "build_timelines",
+    "class_mean_series",
+    "fake_fraction_series",
     "DEFAULT_QUANTILES",
     "mean",
     "percentile",

@@ -26,7 +26,7 @@ from typing import Dict, Optional
 from .recorder import NULL_RECORDER, Recorder
 
 __all__ = ["config_hash", "git_sha", "run_stamp", "collect_snapshot",
-           "write_snapshot"]
+           "write_snapshot", "append_history", "overhead_ratio"]
 
 #: Bump when the snapshot layout changes incompatibly.
 SNAPSHOT_SCHEMA = 1
@@ -147,3 +147,22 @@ def write_snapshot(path: str, snapshot: Dict[str, object]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def append_history(path: str, snapshot: Dict[str, object]) -> None:
+    """Append one compact snapshot line to a JSONL trajectory file.
+
+    CI appends every run to ``BENCH_history.jsonl`` so the overhead ratio
+    can be regressed against a sequence of commits, not a single point.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+
+
+def overhead_ratio(snapshot: Dict[str, object]) -> float:
+    """The instrumented/bare wall-clock ratio a CI gate checks."""
+    timings = snapshot.get("timings", {})
+    if not isinstance(timings, dict):
+        return 0.0
+    return float(timings.get("instrumentation_overhead_ratio", 0.0))

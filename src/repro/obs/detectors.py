@@ -1,0 +1,433 @@
+"""Streaming anomaly detectors over the observability event stream.
+
+Each detector is a small state machine fed one event at a time (live via a
+recorder subscription, or offline from a saved ``events.jsonl``) and emits
+:class:`~repro.obs.alerts.Alert` objects.  All state derives exclusively
+from event fields keyed by *simulation* time, so an offline replay of a
+trace reproduces the live alert stream byte for byte.
+
+The catalogue maps the attacks and failure modes the paper (and the
+random-walk / Absolute-Trust line of work) says are visible in the trust
+graph and interaction stream:
+
+* :class:`ConvergenceStallDetector` — ``RM = TM^n`` power iterations whose
+  L∞ residual stops shrinking (Eq. 8 not converging);
+* :class:`FakeOutbreakDetector` — windowed fake-download fraction spiking
+  over its trailing baseline (Eq. 9 filtering losing ground);
+* :class:`CollusionRingDetector` — mutual-trust cliques in the one-step
+  matrix whose internal trust mass dwarfs their trust of outsiders;
+* :class:`WhitewashDetector` — identity shedding, rejoin abuse, and
+  whitewashed identities whose reputation resets *above* the newcomer
+  prior (the attack paid off);
+* :class:`StarvationDetector` — honest peers pinned in the lowest service
+  class across consecutive refreshes (incentive mechanism misfiring).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from .alerts import Alert, Severity
+
+__all__ = ["Detector", "ConvergenceStallDetector", "FakeOutbreakDetector",
+           "CollusionRingDetector", "WhitewashDetector",
+           "StarvationDetector", "default_detectors"]
+
+
+class Detector:
+    """Base class: feed events with :meth:`observe`, flush with :meth:`finish`."""
+
+    #: Name stamped on every alert this detector raises.
+    name = "detector"
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        """Consume one event; return any alerts it triggers."""
+        return []
+
+    def finish(self, t: float) -> List[Alert]:
+        """End of stream at simulation time ``t``; flush pending state."""
+        return []
+
+
+class ConvergenceStallDetector(Detector):
+    """Eq. 8 power iterations whose residual is not shrinking.
+
+    ``multitrust_iteration`` events arrive as runs of ``iteration=2..n``
+    per computation; a new run starts whenever the iteration number does
+    not increase.  A computation stalls when its final L∞ residual is
+    still above ``residual_floor`` *and* the last step shrank the residual
+    by less than ``min_shrink`` (multiplicatively).
+    """
+
+    name = "convergence_stall"
+
+    def __init__(self, residual_floor: float = 0.01,
+                 min_shrink: float = 0.95):
+        self.residual_floor = residual_floor
+        self.min_shrink = min_shrink
+        self._residuals: List[float] = []
+        self._last_iteration = 0
+        self._last_t = 0.0
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        if event.get("event") != "multitrust_iteration":
+            return []
+        iteration = int(event.get("iteration", 0))
+        residual = event.get("residual")
+        if not isinstance(residual, (int, float)):
+            return []
+        alerts: List[Alert] = []
+        if iteration <= self._last_iteration:
+            alerts.extend(self._close(self._last_t))
+        self._residuals.append(float(residual))
+        self._last_iteration = iteration
+        self._last_t = float(event.get("t", 0.0))
+        return alerts
+
+    def finish(self, t: float) -> List[Alert]:
+        return self._close(t)
+
+    def _close(self, t: float) -> List[Alert]:
+        residuals, self._residuals = self._residuals, []
+        self._last_iteration = 0
+        if len(residuals) < 2:
+            return []
+        final, previous = residuals[-1], residuals[-2]
+        if final <= self.residual_floor:
+            return []
+        if previous > 0 and final < self.min_shrink * previous:
+            return []
+        return [Alert(
+            t=t, detector=self.name, severity=Severity.WARNING,
+            message=(f"multitrust residual stalled at {final:.6g} after "
+                     f"{len(residuals) + 1} steps (previous "
+                     f"{previous:.6g}, floor {self.residual_floor:g})"))]
+
+
+class FakeOutbreakDetector(Detector):
+    """Windowed fake-download fraction spiking over its trailing baseline.
+
+    Downloads are bucketed into fixed simulation-time windows.  A closed
+    window alerts when its fake fraction exceeds both an absolute floor and
+    the mean of previously closed windows by ``spike_delta`` — or, with no
+    history yet, when it exceeds ``critical_fraction`` outright.
+    """
+
+    name = "fake_outbreak"
+
+    def __init__(self, window_seconds: float = 6 * 3600.0,
+                 min_downloads: int = 5, spike_delta: float = 0.2,
+                 absolute_floor: float = 0.3,
+                 critical_fraction: float = 0.6):
+        self.window_seconds = window_seconds
+        self.min_downloads = min_downloads
+        self.spike_delta = spike_delta
+        self.absolute_floor = absolute_floor
+        self.critical_fraction = critical_fraction
+        self._window_start = 0.0
+        self._downloads = 0
+        self._fakes = 0
+        self._history: List[float] = []
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        if event.get("event") != "download":
+            return []
+        t = float(event.get("t", 0.0))
+        alerts: List[Alert] = []
+        while t >= self._window_start + self.window_seconds:
+            alerts.extend(self._close_window())
+            self._window_start += self.window_seconds
+        self._downloads += 1
+        if event.get("fake"):
+            self._fakes += 1
+        return alerts
+
+    def finish(self, t: float) -> List[Alert]:
+        return self._close_window()
+
+    def _close_window(self) -> List[Alert]:
+        downloads, fakes = self._downloads, self._fakes
+        self._downloads = self._fakes = 0
+        if downloads < self.min_downloads:
+            return []
+        fraction = fakes / downloads
+        baseline = (sum(self._history) / len(self._history)
+                    if self._history else None)
+        self._history.append(fraction)
+        window_end = self._window_start + self.window_seconds
+        if fraction >= self.critical_fraction:
+            severity = Severity.CRITICAL
+        elif (baseline is not None and fraction >= self.absolute_floor
+                and fraction >= baseline + self.spike_delta):
+            severity = Severity.WARNING
+        else:
+            return []
+        reference = (f"baseline {baseline:.3f}" if baseline is not None
+                     else "no baseline yet")
+        return [Alert(
+            t=window_end, detector=self.name, severity=severity,
+            message=(f"fake fraction {fraction:.3f} over {downloads} "
+                     f"downloads in window ending at {window_end:g}s "
+                     f"({reference})"))]
+
+
+class CollusionRingDetector(Detector):
+    """Dense mutual-trust cliques that outsiders do not validate.
+
+    Consumes the ``trust_edge`` events the simulator emits at each
+    mechanism refresh (the strongest out-edges of ``TM``).  Edges sharing a
+    timestamp form one snapshot; when the snapshot closes, peers connected
+    by *mutual* edges are grouped into components, and a component is
+    flagged as a collusion ring when all three signatures hold:
+
+    * **dense**: at least ``min_density`` of its member pairs are mutual.
+      Honest peers also trust each other, but with only the strongest
+      ``k`` edges sampled per peer a large organic cluster cannot be a
+      near-clique, while a small colluding cell pairwise-rating itself is;
+    * **inward-facing**: internal mass exceeds what members extend to
+      outsiders (they trust each other more than everyone else combined);
+    * **externally unvalidated**: internal mass exceeds ``external_ratio``
+      times the trust *outsiders place in members*.  This is the decisive
+      signal — honest cliques are trusted by the rest of the population,
+      colluders are trusted only by each other.
+
+    Each distinct member set alerts once.
+    """
+
+    name = "collusion_ring"
+
+    def __init__(self, min_size: int = 3, min_density: float = 0.8,
+                 external_ratio: float = 2.0, min_edge: float = 1e-6):
+        self.min_size = min_size
+        self.min_density = min_density
+        self.external_ratio = external_ratio
+        self.min_edge = min_edge
+        self._edges: Dict[Tuple[str, str], float] = {}
+        self._snapshot_t: Optional[float] = None
+        self._reported: Set[FrozenSet[str]] = set()
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        if event.get("event") != "trust_edge":
+            return []
+        t = float(event.get("t", 0.0))
+        alerts: List[Alert] = []
+        if self._snapshot_t is not None and t != self._snapshot_t:
+            alerts.extend(self._close_snapshot(self._snapshot_t))
+        self._snapshot_t = t
+        src, dst = str(event.get("src")), str(event.get("dst"))
+        value = event.get("value")
+        if isinstance(value, (int, float)) and value >= self.min_edge:
+            self._edges[(src, dst)] = float(value)
+        return alerts
+
+    def finish(self, t: float) -> List[Alert]:
+        if self._snapshot_t is None:
+            return []
+        return self._close_snapshot(self._snapshot_t)
+
+    def _close_snapshot(self, t: float) -> List[Alert]:
+        edges, self._edges = self._edges, {}
+        self._snapshot_t = None
+        mutual: Dict[str, Set[str]] = {}
+        mutual_pairs: Set[Tuple[str, str]] = set()
+        for (src, dst), _value in edges.items():
+            if src < dst and (dst, src) in edges:
+                mutual.setdefault(src, set()).add(dst)
+                mutual.setdefault(dst, set()).add(src)
+                mutual_pairs.add((src, dst))
+        alerts: List[Alert] = []
+        for component in _components(mutual):
+            if len(component) < self.min_size:
+                continue
+            members = frozenset(component)
+            if members in self._reported:
+                continue
+            size = len(members)
+            pairs = sum(1 for pair in mutual_pairs
+                        if pair[0] in members and pair[1] in members)
+            density = pairs / (size * (size - 1) / 2)
+            if density < self.min_density:
+                continue
+            in_mass = out_mass = inbound_mass = 0.0
+            for (src, dst), value in edges.items():
+                if src in members and dst in members:
+                    in_mass += value
+                elif src in members:
+                    out_mass += value
+                elif dst in members:
+                    inbound_mass += value
+            if in_mass <= out_mass:
+                continue
+            if in_mass <= self.external_ratio * inbound_mass:
+                continue
+            self._reported.add(members)
+            listed = ", ".join(sorted(members))
+            alerts.append(Alert(
+                t=t, detector=self.name, severity=Severity.CRITICAL,
+                message=(f"collusion ring of {size} peers [{listed}]: "
+                         f"density {density:.2f}, internal mass "
+                         f"{in_mass:.4f} vs outbound {out_mass:.4f}, "
+                         f"external validation {inbound_mass:.4f}")))
+        return alerts
+
+
+def _components(adjacency: Mapping[str, Set[str]]) -> List[List[str]]:
+    """Connected components of an undirected graph, deterministically."""
+    seen: Set[str] = set()
+    components: List[List[str]] = []
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        stack, component = [start], []
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in sorted(adjacency.get(node, ())):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+class WhitewashDetector(Detector):
+    """Identity shedding and crash/rejoin abuse.
+
+    Three signals:
+
+    * every ``whitewash`` event (a peer retired one identity for a fresh
+      one) raises an info alert — the act itself is worth flagging;
+    * a whitewashed identity whose later ``reputation_snapshot`` shows a
+      normalised reputation at or above the newcomer prior means the reset
+      *gained* reputation — warning;
+    * chaos-harness peers cycling through ``churn_rejoin`` (or DHT
+      ``dht_node_join`` with ``rejoined=true``) more than
+      ``rejoin_threshold`` times — warning for rejoin abuse.
+    """
+
+    name = "whitewash"
+
+    def __init__(self, newcomer_prior: float = 0.5,
+                 rejoin_threshold: int = 3):
+        self.newcomer_prior = newcomer_prior
+        self.rejoin_threshold = rejoin_threshold
+        self._fresh_identities: Set[str] = set()
+        self._flagged: Set[str] = set()
+        self._rejoins: Dict[str, int] = {}
+        self._rejoin_flagged: Set[str] = set()
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        kind = event.get("event")
+        t = float(event.get("t", 0.0))
+        if kind == "whitewash":
+            retired = str(event.get("retired"))
+            fresh = str(event.get("fresh"))
+            self._fresh_identities.add(fresh)
+            return [Alert(
+                t=t, detector=self.name, severity=Severity.INFO,
+                message=(f"identity shed: {retired} rejoined as {fresh}"))]
+        if kind == "reputation_snapshot":
+            peer = str(event.get("peer"))
+            norm = event.get("norm")
+            if (peer in self._fresh_identities
+                    and peer not in self._flagged
+                    and isinstance(norm, (int, float))
+                    and norm >= self.newcomer_prior):
+                self._flagged.add(peer)
+                return [Alert(
+                    t=t, detector=self.name, severity=Severity.WARNING,
+                    message=(f"whitewashed identity {peer} reset above the "
+                             f"newcomer prior (norm {norm:.3f} >= "
+                             f"{self.newcomer_prior:g})"))]
+            return []
+        if kind == "churn_rejoin" or (kind == "dht_node_join"
+                                      and event.get("rejoined")):
+            # churn events key the identity as "peer", DHT joins as "user".
+            peer = str(event.get("peer", event.get("user")))
+            count = self._rejoins.get(peer, 0) + 1
+            self._rejoins[peer] = count
+            if (count >= self.rejoin_threshold
+                    and peer not in self._rejoin_flagged):
+                self._rejoin_flagged.add(peer)
+                return [Alert(
+                    t=t, detector=self.name, severity=Severity.WARNING,
+                    message=(f"rejoin abuse: {peer} crashed and rejoined "
+                             f"{count} times"))]
+        return []
+
+
+class StarvationDetector(Detector):
+    """Honest peers pinned in the lowest service class.
+
+    Consumes ``reputation_snapshot`` events.  A peer whose behaviour class
+    is ``honest`` and whose ``service_class`` stays 0 for
+    ``consecutive_refreshes`` snapshots — while differentiation is clearly
+    active (some peer reached class >= 2 in the same snapshot) — is
+    starving despite honest behaviour.  One alert per peer.
+    """
+
+    name = "incentive_starvation"
+
+    def __init__(self, consecutive_refreshes: int = 3):
+        self.consecutive_refreshes = consecutive_refreshes
+        self._streaks: Dict[str, int] = {}
+        self._snapshot_t: Optional[float] = None
+        self._pending: List[Tuple[str, float]] = []
+        self._snapshot_max_class = 0
+        self._flagged: Set[str] = set()
+
+    def observe(self, event: Mapping) -> List[Alert]:
+        if event.get("event") != "reputation_snapshot":
+            return []
+        t = float(event.get("t", 0.0))
+        alerts: List[Alert] = []
+        if self._snapshot_t is not None and t != self._snapshot_t:
+            alerts.extend(self._close_snapshot())
+        self._snapshot_t = t
+        service_class = int(event.get("service_class", 0))
+        self._snapshot_max_class = max(self._snapshot_max_class,
+                                       service_class)
+        if str(event.get("cls")) == "honest" and event.get("online", True):
+            peer = str(event.get("peer"))
+            if service_class == 0:
+                self._pending.append((peer, t))
+            else:
+                self._streaks.pop(peer, None)
+        return alerts
+
+    def finish(self, t: float) -> List[Alert]:
+        return self._close_snapshot()
+
+    def _close_snapshot(self) -> List[Alert]:
+        pending, self._pending = self._pending, []
+        max_class, self._snapshot_max_class = self._snapshot_max_class, 0
+        self._snapshot_t = None
+        if max_class < 2:
+            # No meaningful differentiation this refresh; don't count it
+            # against anyone, but don't reset streaks either.
+            return []
+        alerts: List[Alert] = []
+        for peer, t in pending:
+            streak = self._streaks.get(peer, 0) + 1
+            self._streaks[peer] = streak
+            if streak == self.consecutive_refreshes \
+                    and peer not in self._flagged:
+                self._flagged.add(peer)
+                alerts.append(Alert(
+                    t=t, detector=self.name, severity=Severity.WARNING,
+                    message=(f"honest peer {peer} stuck in the lowest "
+                             f"service class for {streak} consecutive "
+                             f"refreshes")))
+        return alerts
+
+
+def default_detectors() -> List[Detector]:
+    """The standard detector set ``Monitor.default()`` ships with."""
+    return [
+        ConvergenceStallDetector(),
+        FakeOutbreakDetector(),
+        CollusionRingDetector(),
+        WhitewashDetector(),
+        StarvationDetector(),
+    ]

@@ -1,0 +1,137 @@
+"""Differential trace analysis: ``repro diff-trace A.jsonl B.jsonl``.
+
+Two runs — different seeds, configs, or commits — rarely produce identical
+traces; the question is whether run B *regressed* relative to run A on the
+outcomes the paper cares about.  :func:`diff_summaries` compares two
+:class:`~repro.obs.report.TraceSummary` objects through the same JSON
+schema ``repro report --json`` exposes, computes the interesting deltas,
+and flags regressions by fixed, documented tolerances:
+
+* a behaviour class's fake fraction rising by more than ``FAKE_DELTA``;
+* a class's p95 wait rising by more than ``WAIT_RATIO`` (and a second);
+* more failed DHT lookups or quorum misses;
+* a higher final multitrust residual (propagation converging less);
+* more warning/critical alerts.
+
+Everything is derived from the two summaries, so the diff is exactly as
+deterministic as the traces themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .report import SUMMARY_SCHEMA, TraceSummary, summary_to_dict
+
+__all__ = ["diff_summaries", "FAKE_DELTA", "WAIT_RATIO"]
+
+#: A class's fake-download fraction may drift up this much before the diff
+#: calls it a regression.
+FAKE_DELTA = 0.05
+#: Relative p95-wait growth tolerated (plus an absolute floor of 1 s).
+WAIT_RATIO = 1.2
+
+
+def _fake_fraction(summary: TraceSummary, cls: str) -> Optional[float]:
+    outcome = summary.outcomes_by_class.get(cls)
+    if not outcome or not outcome.get("downloads"):
+        return None
+    return outcome["fakes"] / outcome["downloads"]
+
+
+def _final_residual(summary: TraceSummary) -> Optional[float]:
+    if not summary.multitrust_residuals:
+        return None
+    last_iteration = max(summary.multitrust_residuals)
+    return summary.multitrust_residuals[last_iteration].get("mean")
+
+
+def diff_summaries(a: TraceSummary, b: TraceSummary,
+                   label_a: str = "A", label_b: str = "B"
+                   ) -> Dict[str, object]:
+    """Compare two trace summaries; see the module docstring for rules."""
+    deltas: Dict[str, object] = {}
+    regressions: List[str] = []
+
+    deltas["total_events"] = b.total_events - a.total_events
+    kinds = sorted(set(a.event_counts) | set(b.event_counts))
+    event_deltas = {}
+    for kind in kinds:
+        delta = b.event_counts.get(kind, 0) - a.event_counts.get(kind, 0)
+        if delta:
+            event_deltas[kind] = delta
+    deltas["event_counts"] = event_deltas
+
+    # Per-class outcome deltas.
+    classes = sorted(set(a.outcomes_by_class) | set(b.outcomes_by_class))
+    fake_deltas: Dict[str, float] = {}
+    for cls in classes:
+        fraction_a = _fake_fraction(a, cls)
+        fraction_b = _fake_fraction(b, cls)
+        if fraction_a is None or fraction_b is None:
+            continue
+        fake_deltas[cls] = fraction_b - fraction_a
+        if fraction_b > fraction_a + FAKE_DELTA:
+            regressions.append(
+                f"{cls}: fake fraction {fraction_a:.3f} -> "
+                f"{fraction_b:.3f} (+{fraction_b - fraction_a:.3f})")
+    deltas["fake_fraction_by_class"] = fake_deltas
+
+    wait_deltas: Dict[str, float] = {}
+    for cls in sorted(set(a.wait_by_class) & set(b.wait_by_class)):
+        p95_a = a.wait_by_class[cls].get("p95", 0.0)
+        p95_b = b.wait_by_class[cls].get("p95", 0.0)
+        wait_deltas[cls] = p95_b - p95_a
+        if p95_b > p95_a * WAIT_RATIO and p95_b > p95_a + 1.0:
+            regressions.append(
+                f"{cls}: wait p95 {p95_a:.1f}s -> {p95_b:.1f}s "
+                f"(x{p95_b / p95_a if p95_a else float('inf'):.2f})")
+    deltas["wait_p95_by_class"] = wait_deltas
+
+    # DHT health.
+    deltas["dht_failed_lookups"] = (b.dht_failed_lookups
+                                    - a.dht_failed_lookups)
+    if b.dht_failed_lookups > a.dht_failed_lookups:
+        regressions.append(
+            f"failed DHT lookups {a.dht_failed_lookups} -> "
+            f"{b.dht_failed_lookups}")
+    deltas["dht_retrievals_incomplete"] = (b.dht_retrievals_incomplete
+                                           - a.dht_retrievals_incomplete)
+    if b.dht_retrievals_incomplete > a.dht_retrievals_incomplete:
+        regressions.append(
+            f"incomplete DHT retrievals {a.dht_retrievals_incomplete} -> "
+            f"{b.dht_retrievals_incomplete}")
+    mean_hops_a = a.dht_hops.get("mean", 0.0)
+    mean_hops_b = b.dht_hops.get("mean", 0.0)
+    deltas["dht_mean_hops"] = mean_hops_b - mean_hops_a
+
+    # Multitrust convergence.
+    residual_a = _final_residual(a)
+    residual_b = _final_residual(b)
+    if residual_a is not None and residual_b is not None:
+        deltas["final_multitrust_residual"] = residual_b - residual_a
+        if residual_b > residual_a * 1.5 and residual_b > 1e-9:
+            regressions.append(
+                f"final multitrust residual {residual_a:.3g} -> "
+                f"{residual_b:.3g}")
+
+    # Alert pressure.
+    severities = sorted(set(a.alert_counts) | set(b.alert_counts))
+    alert_deltas = {}
+    for severity in severities:
+        delta = (b.alert_counts.get(severity, 0)
+                 - a.alert_counts.get(severity, 0))
+        alert_deltas[severity] = delta
+        if severity in ("warning", "critical") and delta > 0:
+            regressions.append(
+                f"{severity} alerts {a.alert_counts.get(severity, 0)} -> "
+                f"{b.alert_counts.get(severity, 0)}")
+    deltas["alert_counts"] = alert_deltas
+
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "a": {"label": label_a, "summary": summary_to_dict(a)},
+        "b": {"label": label_b, "summary": summary_to_dict(b)},
+        "deltas": deltas,
+        "regressions": regressions,
+    }

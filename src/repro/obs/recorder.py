@@ -54,6 +54,9 @@ class NullRecorder:
     def bind_clock(self, clock: Clock) -> None:
         """Set the simulation-time source for subsequent events."""
 
+    def subscribe(self, callback: Callable[[dict], object]) -> None:
+        """Register a live event subscriber (monitors attach this way)."""
+
     def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
         """Record one structured event (``t`` defaults to the bound clock)."""
 
@@ -85,12 +88,25 @@ class Recorder(NullRecorder):
         self.registry = MetricsRegistry()
         self.profiler = Profiler()
         self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self._subscribers: list = []
 
     def bind_clock(self, clock: Clock) -> None:
         self._clock = clock
 
+    def subscribe(self, callback: Callable[[dict], object]) -> None:
+        """Call ``callback(record)`` for every event recorded from now on.
+
+        Subscribers may themselves record events (a monitor emitting an
+        ``alert``); those nested events are delivered to subscribers too,
+        so a subscriber must ignore the kinds it emits.
+        """
+        self._subscribers.append(callback)
+
     def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
-        self.trace.record(kind, self._clock() if t is None else t, **fields)
+        record = self.trace.record(kind, self._clock() if t is None else t,
+                                   **fields)
+        for callback in self._subscribers:
+            callback(record)
 
     def inc(self, name: str, amount: float = 1, **labels: str) -> None:
         self.registry.counter(name, **labels).inc(amount)

@@ -6,18 +6,47 @@ rendering.  The summary answers the questions the paper's claims are about:
 per-class wait-time percentiles (service differentiation, §3.4), multitrust
 convergence residuals per iteration (Eq. 8), and DHT hop/retry
 distributions (§4 routing cost under faults).
+
+Event kinds the summariser has no dedicated aggregation for are counted in
+an ``unrecognized`` bucket (on top of the raw ``event_counts``), so newly
+instrumented events surface loudly in reports instead of vanishing.
+
+:func:`summary_to_dict` renders a summary as the stable JSON schema behind
+``repro report --json``; ``repro diff-trace`` compares two traces through
+the same schema.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping
 
 from .stats import summarize
 
-__all__ = ["TraceSummary", "summarize_trace"]
+__all__ = ["TraceSummary", "summarize_trace", "summary_to_dict",
+           "KNOWN_EVENT_KINDS", "SUMMARY_SCHEMA"]
 
 Summary = Dict[str, float]
+
+#: Bump when the ``summary_to_dict`` layout changes incompatibly.
+SUMMARY_SCHEMA = 1
+
+#: Every event kind the instrumentation layer emits on purpose.  A kind
+#: outside this set lands in :attr:`TraceSummary.unrecognized`.
+KNOWN_EVENT_KINDS = frozenset({
+    # simulator
+    "request", "download", "blocked_fake", "request_rejected",
+    "fake_removal", "peer_join", "peer_leave", "whitewash", "maintenance",
+    "reputation_snapshot", "trust_edge",
+    # core
+    "multitrust_iteration",
+    # DHT / chaos
+    "dht_lookup", "dht_publish", "dht_retrieve", "dht_repair",
+    "dht_node_join", "chaos_cell_start", "chaos_cell_end",
+    "churn_crash", "churn_rejoin",
+    # monitoring
+    "alert",
+})
 
 
 @dataclass
@@ -30,6 +59,8 @@ class TraceSummary:
     end_time: float = 0.0
     #: Event kind -> occurrence count.
     event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Event kinds outside :data:`KNOWN_EVENT_KINDS` -> occurrence count.
+    unrecognized: Dict[str, int] = field(default_factory=dict)
     #: Behaviour class -> wait-time summary (count/mean/p50/p95/p99).
     wait_by_class: Dict[str, Summary] = field(default_factory=dict)
     #: Behaviour class -> {downloads, fakes, blocked}.
@@ -40,13 +71,19 @@ class TraceSummary:
     dht_hops: Summary = field(default_factory=dict)
     dht_retries: Summary = field(default_factory=dict)
     dht_failed_lookups: int = 0
+    #: DHT quorum reads observed / reads that missed their quorum.
+    dht_retrievals: int = 0
+    dht_retrievals_incomplete: int = 0
     #: Latency from a fake copy's creation to its removal.
     fake_removal_latency: Summary = field(default_factory=dict)
+    #: Alert severity -> count (``alert`` events embedded in the trace).
+    alert_counts: Dict[str, int] = field(default_factory=dict)
 
 
 def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
     """Aggregate a trace's events into a :class:`TraceSummary`."""
     counts: Dict[str, int] = {}
+    unrecognized: Dict[str, int] = {}
     times: List[float] = []
     waits: Dict[str, List[float]] = {}
     outcomes: Dict[str, Dict[str, int]] = {}
@@ -54,13 +91,18 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
     hops: List[float] = []
     retries: List[float] = []
     failed_lookups = 0
+    retrievals = 0
+    retrievals_incomplete = 0
     removal_latencies: List[float] = []
+    alert_counts: Dict[str, int] = {}
     total = 0
 
     for event in events:
         total += 1
         kind = str(event.get("event", "unknown"))
         counts[kind] = counts.get(kind, 0) + 1
+        if kind not in KNOWN_EVENT_KINDS:
+            unrecognized[kind] = unrecognized.get(kind, 0) + 1
         t = event.get("t")
         if isinstance(t, (int, float)):
             times.append(float(t))
@@ -85,16 +127,24 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
             retries.append(float(event.get("retries", 0)))
             if not event.get("ok", True):
                 failed_lookups += 1
+        elif kind == "dht_retrieve":
+            retrievals += 1
+            if not event.get("complete", True):
+                retrievals_incomplete += 1
         elif kind == "fake_removal":
             latency = event.get("latency")
             if isinstance(latency, (int, float)):
                 removal_latencies.append(float(latency))
+        elif kind == "alert":
+            severity = str(event.get("severity", "info"))
+            alert_counts[severity] = alert_counts.get(severity, 0) + 1
 
     return TraceSummary(
         total_events=total,
         start_time=min(times) if times else 0.0,
         end_time=max(times) if times else 0.0,
         event_counts=dict(sorted(counts.items())),
+        unrecognized=dict(sorted(unrecognized.items())),
         wait_by_class={cls: summarize(values)
                        for cls, values in sorted(waits.items())},
         outcomes_by_class=dict(sorted(outcomes.items())),
@@ -104,8 +154,43 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
         dht_hops=summarize(hops),
         dht_retries=summarize(retries),
         dht_failed_lookups=failed_lookups,
+        dht_retrievals=retrievals,
+        dht_retrievals_incomplete=retrievals_incomplete,
         fake_removal_latency=summarize(removal_latencies),
+        alert_counts=dict(sorted(alert_counts.items())),
     )
+
+
+def summary_to_dict(summary: TraceSummary) -> Dict[str, object]:
+    """The stable, JSON-serialisable schema behind ``repro report --json``.
+
+    ``repro diff-trace`` diffs two traces through this same layout; keep it
+    backward compatible or bump :data:`SUMMARY_SCHEMA`.
+    """
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "total_events": summary.total_events,
+        "start_time": summary.start_time,
+        "end_time": summary.end_time,
+        "event_counts": dict(summary.event_counts),
+        "unrecognized": dict(summary.unrecognized),
+        "wait_by_class": {cls: dict(values) for cls, values
+                          in summary.wait_by_class.items()},
+        "outcomes_by_class": {cls: dict(values) for cls, values
+                              in summary.outcomes_by_class.items()},
+        "multitrust_residuals": {str(iteration): dict(values)
+                                 for iteration, values
+                                 in summary.multitrust_residuals.items()},
+        "dht": {
+            "hops": dict(summary.dht_hops),
+            "retries": dict(summary.dht_retries),
+            "failed_lookups": summary.dht_failed_lookups,
+            "retrievals": summary.dht_retrievals,
+            "retrievals_incomplete": summary.dht_retrievals_incomplete,
+        },
+        "fake_removal_latency": dict(summary.fake_removal_latency),
+        "alert_counts": dict(summary.alert_counts),
+    }
 
 
 def _outcome_bucket(outcomes: Dict[str, Dict[str, int]],

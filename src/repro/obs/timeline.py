@@ -1,0 +1,121 @@
+"""Per-peer reputation timelines reconstructed from an event trace.
+
+The simulator emits one ``reputation_snapshot`` event per peer at every
+mechanism refresh (see :mod:`repro.simulator.simulation`); this module
+folds those — plus the download stream — into :class:`PeerTimeline`
+objects: reputation, service class, upload/download byte balance and
+fake-served counts sampled along simulation time.  The dashboard and the
+``repro monitor`` report both render from these, and the detectors'
+view of the world can be cross-checked against them.
+
+Everything is plain data derived deterministically from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["PeerSample", "PeerTimeline", "build_timelines",
+           "class_mean_series", "fake_fraction_series"]
+
+
+@dataclass(frozen=True)
+class PeerSample:
+    """One refresh-time observation of a peer."""
+
+    t: float
+    #: Global reputation score (mechanism scale).
+    score: float
+    #: Score normalised by the population maximum at the same refresh.
+    norm: float
+    #: Incentive bandwidth class, 0 (starved) .. 3 (full service).
+    service_class: int
+    bytes_up: float
+    bytes_down: float
+    fakes_served: int
+    online: bool
+
+
+@dataclass
+class PeerTimeline:
+    """All samples of one peer, in simulation-time order."""
+
+    peer: str
+    cls: str = "unknown"
+    samples: List[PeerSample] = field(default_factory=list)
+
+    @property
+    def last(self) -> PeerSample:
+        if not self.samples:
+            raise ValueError(f"timeline for {self.peer} is empty")
+        return self.samples[-1]
+
+    def series(self, attribute: str) -> List[Tuple[float, float]]:
+        """``(t, value)`` pairs for one sample attribute."""
+        return [(sample.t, float(getattr(sample, attribute)))
+                for sample in self.samples]
+
+
+def build_timelines(events: Iterable[Mapping]) -> Dict[str, PeerTimeline]:
+    """Peer id -> timeline, from a trace's ``reputation_snapshot`` events."""
+    timelines: Dict[str, PeerTimeline] = {}
+    for event in events:
+        if event.get("event") != "reputation_snapshot":
+            continue
+        peer = str(event.get("peer"))
+        timeline = timelines.setdefault(peer, PeerTimeline(peer=peer))
+        timeline.cls = str(event.get("cls", timeline.cls))
+        timeline.samples.append(PeerSample(
+            t=float(event.get("t", 0.0)),
+            score=float(event.get("score", 0.0)),
+            norm=float(event.get("norm", 0.0)),
+            service_class=int(event.get("service_class", 0)),
+            bytes_up=float(event.get("bytes_up", 0.0)),
+            bytes_down=float(event.get("bytes_down", 0.0)),
+            fakes_served=int(event.get("fakes_served", 0)),
+            online=bool(event.get("online", True)),
+        ))
+    return dict(sorted(timelines.items()))
+
+
+def class_mean_series(timelines: Mapping[str, PeerTimeline],
+                      attribute: str = "norm"
+                      ) -> Dict[str, List[Tuple[float, float]]]:
+    """Behaviour class -> mean of ``attribute`` across its peers per tick."""
+    buckets: Dict[str, Dict[float, List[float]]] = {}
+    for timeline in timelines.values():
+        per_class = buckets.setdefault(timeline.cls, {})
+        for sample in timeline.samples:
+            per_class.setdefault(sample.t, []).append(
+                float(getattr(sample, attribute)))
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for cls in sorted(buckets):
+        series[cls] = [(t, sum(values) / len(values))
+                       for t, values in sorted(buckets[cls].items())]
+    return series
+
+
+def fake_fraction_series(events: Iterable[Mapping],
+                         window_seconds: float = 6 * 3600.0
+                         ) -> List[Tuple[float, float, int]]:
+    """``(window_end, fake_fraction, downloads)`` per fixed window.
+
+    Mirrors the bucketing of the fake-outbreak detector so the dashboard
+    curve and the detector's alerts line up.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    counts: Dict[int, List[int]] = {}
+    for event in events:
+        if event.get("event") != "download":
+            continue
+        bucket = int(float(event.get("t", 0.0)) // window_seconds)
+        pair = counts.setdefault(bucket, [0, 0])
+        pair[0] += 1
+        if event.get("fake"):
+            pair[1] += 1
+    return [((bucket + 1) * window_seconds,
+             (fakes / downloads) if downloads else 0.0,
+             downloads)
+            for bucket, (downloads, fakes) in sorted(counts.items())]

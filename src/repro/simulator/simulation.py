@@ -133,6 +133,9 @@ class FileSharingSimulation:
         self._votes: Dict[Tuple[str, str], float] = {}
         self._blacklist_counts: Dict[str, int] = {}
         self._download_sources: Dict[Tuple[str, str], str] = {}
+        #: Per-peer [bytes_up, bytes_down, fakes_served], maintained only
+        #: under a live recorder (feeds the refresh-time timeline events).
+        self._peer_flows: Dict[str, List[float]] = {}
         self._whitewash_counter = itertools.count(1)
         self._build_population()
         self._seed_initial_copies()
@@ -461,6 +464,13 @@ class FileSharingSimulation:
                                 uploader=uploader_id, file=file_id,
                                 cls=requester.label, fake=is_fake,
                                 wait=wait, bandwidth=bandwidth, size=size)
+            up = self._peer_flows.setdefault(uploader_id, [0.0, 0.0, 0])
+            up[0] += size
+            if is_fake:
+                up[2] += 1
+            down = self._peer_flows.setdefault(request.requester_id,
+                                               [0.0, 0.0, 0])
+            down[1] += size
         if uploader is not None:
             self.metrics.record_bytes_served(uploader.label, size)
 
@@ -570,8 +580,48 @@ class FileSharingSimulation:
                 if peer.online:
                     peer.behavior.on_periodic(self, peer)
             self.mechanism.refresh()
+            if self.recorder.enabled:
+                self._emit_refresh_snapshot()
         engine.schedule(self.config.maintenance_interval_seconds,
                         self._on_maintenance)
+
+    #: Normalised-reputation thresholds for the incentive service classes
+    #: sampled into ``reputation_snapshot`` events (0 = starved .. 3 = full
+    #: service); mirrors the Section 3.4 bandwidth-quota interpolation.
+    SERVICE_CLASS_THRESHOLDS = (0.05, 0.25, 0.5)
+
+    @classmethod
+    def service_class(cls, normalized_reputation: float) -> int:
+        """Map a [0, 1] normalised reputation to a service class 0..3."""
+        level = 0
+        for threshold in cls.SERVICE_CLASS_THRESHOLDS:
+            if normalized_reputation >= threshold:
+                level += 1
+        return level
+
+    def _emit_refresh_snapshot(self) -> None:
+        """Per-peer timeline samples + strongest trust edges, one refresh.
+
+        Emitted only under a live recorder, after :meth:`ReputationMechanism
+        .refresh`, reading matrices through the mechanism's zero-copy view
+        (:meth:`~repro.core.reputation_system.RefreshView`); the fault-free
+        NULL_RECORDER path never gets here.
+        """
+        scores = self.mechanism.global_scores()
+        max_score = max(scores.values()) if scores else 0.0
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            score = scores.get(peer_id, 0.0)
+            norm = score / max_score if max_score > 0 else 0.0
+            flows = self._peer_flows.get(peer_id, (0.0, 0.0, 0))
+            self.recorder.event(
+                "reputation_snapshot", peer=peer_id, cls=peer.label,
+                online=peer.online, score=score, norm=norm,
+                service_class=self.service_class(norm),
+                bytes_up=flows[0], bytes_down=flows[1],
+                fakes_served=int(flows[2]))
+        for src, dst, value in self.mechanism.trust_edges():
+            self.recorder.event("trust_edge", src=src, dst=dst, value=value)
 
     def _flush_retention(self, now: float) -> None:
         for holding in self.registry.current_holdings():

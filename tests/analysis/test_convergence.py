@@ -88,3 +88,45 @@ class TestStepsToConverge:
         one_step = matrix.row_normalized()
         step = steps_to_converge(one_step, max_steps=5, tolerance=0.95)
         assert step is not None and step <= 3
+
+
+class TestStepsToConvergeBoundaries:
+    def test_two_hub_community_converges_within_budget(self):
+        """Two hubs bridge two groups; ordering settles in a few powers."""
+        matrix = TrustMatrix()
+        left = [f"l{i}" for i in range(4)]
+        right = [f"r{i}" for i in range(4)]
+        for peer in left:
+            matrix.set(peer, "hub-l", 1.0)
+        for peer in right:
+            matrix.set(peer, "hub-r", 1.0)
+        matrix.set("hub-l", "hub-r", 0.5)
+        matrix.set("hub-r", "hub-l", 0.5)
+        for i, peer in enumerate(left):
+            matrix.set("hub-l", peer, 0.1 * (i + 1))
+        for i, peer in enumerate(right):
+            matrix.set("hub-r", peer, 0.1 * (i + 1))
+        steps = steps_to_converge(matrix.row_normalized(), max_steps=6,
+                                  tolerance=0.95)
+        assert steps is not None
+        assert 1 <= steps <= 6
+
+    def test_lower_tolerance_never_needs_more_steps(self, dense_ring):
+        strict = steps_to_converge(dense_ring, tolerance=0.999)
+        loose = steps_to_converge(dense_ring, tolerance=0.5)
+        assert strict is not None and loose is not None
+        assert loose <= strict
+
+    def test_max_steps_caps_the_search(self, chain):
+        # The chain keeps reordering while trust mass slides down it, so
+        # a short budget finds nothing; once the nilpotent matrix dies out
+        # (TM^4 = 0) successive powers trivially agree.
+        assert steps_to_converge(chain, max_steps=3) is None
+        assert steps_to_converge(chain, max_steps=5) == 4
+        # Comparing successive powers needs at least two of them.
+        with pytest.raises(ValueError, match="max_steps"):
+            steps_to_converge(chain, max_steps=1)
+
+    def test_degenerate_matrices_rejected(self):
+        with pytest.raises(ValueError, match="two common keys"):
+            steps_to_converge(TrustMatrix(), max_steps=3)

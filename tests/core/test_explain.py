@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import (MultiDimensionalReputationSystem, ReputationConfig,
+                        TrustPath,
                         explain_reputation)
 
 PURE_EXPLICIT = ReputationConfig(eta=0.0, rho=1.0)
@@ -116,3 +117,29 @@ class TestRendering:
         system.add_to_blacklist("a", "b")
         text = explain_reputation(system, "a", "b").render()
         assert "blacklist" in text
+
+
+class TestTrustPathMass:
+    def test_mass_is_product_of_hops(self):
+        path = TrustPath(via="m", first_hop=0.5, second_hop=0.4)
+        assert path.mass == pytest.approx(0.2)
+
+    def test_zero_hop_kills_the_path(self):
+        assert TrustPath(via="m", first_hop=0.0, second_hop=0.9).mass == 0.0
+        assert TrustPath(via="m", first_hop=0.9, second_hop=0.0).mass == 0.0
+
+    def test_mass_matches_matrix_product_on_real_system(self, system):
+        explanation = explain_reputation(system, "a", "b")
+        matrix = system.one_step_matrix()
+        for path in explanation.indirect_paths:
+            assert path.first_hop == pytest.approx(
+                matrix.get("a", path.via))
+            assert path.second_hop == pytest.approx(
+                matrix.get(path.via, "b"))
+            assert path.mass == pytest.approx(
+                path.first_hop * path.second_hop)
+
+    def test_paths_never_route_through_endpoints(self, system):
+        explanation = explain_reputation(system, "a", "b")
+        assert all(path.via not in ("a", "b")
+                   for path in explanation.indirect_paths)

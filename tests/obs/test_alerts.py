@@ -1,0 +1,118 @@
+"""Tests for alerts and the declarative rules engine."""
+
+import pytest
+
+from repro.obs.alerts import (Alert, RulesEngine, Severity, ThresholdRule,
+                              WindowedCountRule, default_rules)
+
+
+def _event(kind, t, **fields):
+    return {"seq": 0, "t": t, "event": kind, **fields}
+
+
+class TestAlert:
+    def test_round_trips_through_event_fields(self):
+        alert = Alert(t=5.0, detector="x", severity="warning", message="m")
+        event = {"event": "alert", "t": 5.0, **alert.to_fields()}
+        assert Alert.from_event(event) == alert
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Alert(t=0.0, detector="x", severity="fatal", message="m")
+
+    def test_severity_rank_orders_escalation(self):
+        assert (Severity.rank("info") < Severity.rank("warning")
+                < Severity.rank("critical"))
+
+
+class TestThresholdRule:
+    def test_fires_above_bound(self):
+        rule = ThresholdRule(name="hops", event_kind="dht_lookup",
+                             field_name="hops", op=">", bound=10.0)
+        assert rule.evaluate(_event("dht_lookup", 1.0, hops=11)) is not None
+        assert rule.evaluate(_event("dht_lookup", 1.0, hops=10)) is None
+
+    def test_ignores_other_kinds_and_missing_fields(self):
+        rule = ThresholdRule(name="hops", event_kind="dht_lookup",
+                             field_name="hops", op=">", bound=10.0)
+        assert rule.evaluate(_event("download", 1.0, hops=99)) is None
+        assert rule.evaluate(_event("dht_lookup", 1.0)) is None
+        assert rule.evaluate(_event("dht_lookup", 1.0, hops="many")) is None
+
+    def test_where_predicate_filters(self):
+        rule = ThresholdRule(name="r", event_kind="dht_lookup",
+                             field_name="hops", op=">=", bound=1.0,
+                             where=lambda e: not e.get("ok", True))
+        assert rule.evaluate(_event("dht_lookup", 1.0, hops=5,
+                                    ok=True)) is None
+        assert rule.evaluate(_event("dht_lookup", 1.0, hops=5,
+                                    ok=False)) is not None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            ThresholdRule(name="r", event_kind="x", field_name="f",
+                          op="!=", bound=0.0)
+
+
+class TestWindowedCountRule:
+    def _rule(self, **kwargs):
+        defaults = dict(name="burst", event_kind="dht_lookup",
+                        window_seconds=100.0, min_count=3)
+        defaults.update(kwargs)
+        return WindowedCountRule(**defaults)
+
+    def test_fires_when_burst_fills_window(self):
+        rule = self._rule()
+        assert rule.evaluate(_event("dht_lookup", 10.0)) is None
+        assert rule.evaluate(_event("dht_lookup", 20.0)) is None
+        alert = rule.evaluate(_event("dht_lookup", 30.0))
+        assert alert is not None
+        assert alert.t == 30.0
+
+    def test_spread_out_events_never_fire(self):
+        rule = self._rule()
+        for t in (0.0, 200.0, 400.0, 600.0):
+            assert rule.evaluate(_event("dht_lookup", t)) is None
+
+    def test_sustained_burst_alerts_once_per_window(self):
+        rule = self._rule()
+        alerts = [rule.evaluate(_event("dht_lookup", float(t)))
+                  for t in range(0, 300, 10)]
+        fired = [a for a in alerts if a is not None]
+        # 30 events over 300s with a 100s mute: roughly one per window.
+        assert 2 <= len(fired) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            self._rule(window_seconds=0.0)
+        with pytest.raises(ValueError, match="min_count"):
+            self._rule(min_count=0)
+
+
+class TestRulesEngine:
+    def test_evaluates_rules_in_order(self):
+        engine = RulesEngine([
+            ThresholdRule(name="a", event_kind="x", field_name="v",
+                          op=">", bound=0.0),
+            ThresholdRule(name="b", event_kind="x", field_name="v",
+                          op=">", bound=0.0),
+        ])
+        alerts = engine.observe(_event("x", 1.0, v=1))
+        assert [a.detector for a in alerts] == ["rule:a", "rule:b"]
+
+    def test_default_rules_catch_failed_lookup_burst(self):
+        engine = RulesEngine(default_rules())
+        alerts = []
+        for t in range(5):
+            alerts.extend(engine.observe(
+                _event("dht_lookup", float(t * 50), hops=3, ok=False)))
+        assert any(a.detector == "rule:lookup_failure_burst"
+                   for a in alerts)
+
+    def test_default_rules_ignore_healthy_lookups(self):
+        engine = RulesEngine(default_rules())
+        alerts = []
+        for t in range(20):
+            alerts.extend(engine.observe(
+                _event("dht_lookup", float(t * 50), hops=3, ok=True)))
+        assert alerts == []

@@ -1,0 +1,102 @@
+"""Tests for differential trace analysis."""
+
+import pytest
+
+from repro.obs.diff import diff_summaries
+from repro.obs.report import summarize_trace
+
+
+def _event(kind, t, **fields):
+    return {"seq": 0, "t": t, "event": kind, **fields}
+
+
+def _downloads(count, fakes, cls="honest", wait=10.0):
+    events = []
+    for i in range(count):
+        events.append(_event("download", float(i), cls=cls,
+                             wait=wait, fake=i < fakes))
+    return events
+
+
+class TestDiffSummaries:
+    def test_identical_traces_have_no_regressions(self):
+        events = _downloads(20, 2)
+        diff = diff_summaries(summarize_trace(events),
+                              summarize_trace(events))
+        assert diff["regressions"] == []
+        assert diff["deltas"]["total_events"] == 0
+        assert diff["deltas"]["event_counts"] == {}
+
+    def test_fake_fraction_rise_is_a_regression(self):
+        a = summarize_trace(_downloads(20, 2))
+        b = summarize_trace(_downloads(20, 10))
+        diff = diff_summaries(a, b)
+        assert diff["deltas"]["fake_fraction_by_class"]["honest"] \
+            == pytest.approx(0.4)
+        assert any("fake fraction" in r for r in diff["regressions"])
+
+    def test_small_drift_tolerated(self):
+        a = summarize_trace(_downloads(100, 10))
+        b = summarize_trace(_downloads(100, 12))
+        assert diff_summaries(a, b)["regressions"] == []
+
+    def test_improvement_is_not_a_regression(self):
+        a = summarize_trace(_downloads(20, 10))
+        b = summarize_trace(_downloads(20, 2))
+        assert diff_summaries(a, b)["regressions"] == []
+
+    def test_wait_blowup_flagged(self):
+        a = summarize_trace(_downloads(20, 0, wait=10.0))
+        b = summarize_trace(_downloads(20, 0, wait=30.0))
+        diff = diff_summaries(a, b)
+        assert any("wait p95" in r for r in diff["regressions"])
+
+    def test_dht_health_regressions(self):
+        a = summarize_trace([
+            _event("dht_lookup", 1.0, hops=3, retries=0, ok=True),
+            _event("dht_retrieve", 2.0, complete=True)])
+        b = summarize_trace([
+            _event("dht_lookup", 1.0, hops=9, retries=2, ok=False),
+            _event("dht_retrieve", 2.0, complete=False)])
+        diff = diff_summaries(a, b)
+        assert diff["deltas"]["dht_failed_lookups"] == 1
+        assert diff["deltas"]["dht_retrievals_incomplete"] == 1
+        assert diff["deltas"]["dht_mean_hops"] == pytest.approx(6.0)
+        assert any("failed DHT lookups" in r for r in diff["regressions"])
+        assert any("incomplete" in r for r in diff["regressions"])
+
+    def test_new_warning_alerts_flagged(self):
+        a = summarize_trace([_event("request", 1.0, cls="honest")])
+        b = summarize_trace([
+            _event("alert", 1.0, detector="d", severity="warning",
+                   message="m")])
+        diff = diff_summaries(a, b)
+        assert diff["deltas"]["alert_counts"]["warning"] == 1
+        assert any("warning alerts" in r for r in diff["regressions"])
+
+    def test_info_alerts_are_not_regressions(self):
+        a = summarize_trace([_event("request", 1.0, cls="honest")])
+        b = summarize_trace([
+            _event("alert", 1.0, detector="d", severity="info",
+                   message="m")])
+        assert diff_summaries(a, b)["regressions"] == []
+
+    def test_worsening_convergence_flagged(self):
+        a = summarize_trace([
+            _event("multitrust_iteration", 1.0, iteration=2, residual=0.1),
+            _event("multitrust_iteration", 1.0, iteration=3,
+                   residual=1e-4)])
+        b = summarize_trace([
+            _event("multitrust_iteration", 1.0, iteration=2, residual=0.1),
+            _event("multitrust_iteration", 1.0, iteration=3, residual=0.05)])
+        diff = diff_summaries(a, b)
+        assert any("residual" in r for r in diff["regressions"])
+
+    def test_labels_and_summaries_embedded(self):
+        events = _downloads(5, 0)
+        diff = diff_summaries(summarize_trace(events),
+                              summarize_trace(events),
+                              label_a="main", label_b="branch")
+        assert diff["a"]["label"] == "main"
+        assert diff["b"]["label"] == "branch"
+        assert diff["a"]["summary"]["total_events"] == 5

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.report import summarize_trace
+from repro.obs.report import summarize_trace, summary_to_dict
 
 
 def _event(kind, t, **fields):
@@ -70,3 +70,71 @@ class TestSummarizeTrace:
         assert summary.multitrust_residuals == {}
         assert summary.fake_removal_latency["count"] == 0
         assert summary.wait_by_class["unknown"]["count"] == 1
+
+
+class TestUnrecognizedBucket:
+    def test_unknown_kinds_counted_not_dropped(self):
+        summary = summarize_trace([
+            _event("request", 1.0, cls="honest"),
+            _event("martian_probe", 2.0),
+            _event("martian_probe", 3.0),
+            _event("telemetry_v2", 4.0)])
+        assert summary.unrecognized == {"martian_probe": 2,
+                                        "telemetry_v2": 1}
+        # They still count toward totals and the event table.
+        assert summary.total_events == 4
+        assert summary.event_counts["martian_probe"] == 2
+
+    def test_known_kinds_stay_out_of_the_bucket(self):
+        summary = summarize_trace([
+            _event("reputation_snapshot", 1.0, peer="a"),
+            _event("trust_edge", 1.0, src="a", dst="b", value=0.5),
+            _event("alert", 1.0, detector="d", severity="info",
+                   message="m"),
+            _event("dht_node_join", 1.0, user="a", rejoined=False)])
+        assert summary.unrecognized == {}
+
+
+class TestAlertAndRetrievalCounts:
+    def test_alert_severities_counted(self):
+        summary = summarize_trace([
+            _event("alert", 1.0, detector="d", severity="critical",
+                   message="m"),
+            _event("alert", 2.0, detector="d", severity="critical",
+                   message="m"),
+            _event("alert", 3.0, detector="d", severity="info",
+                   message="m")])
+        assert summary.alert_counts == {"critical": 2, "info": 1}
+
+    def test_retrieval_quorum_accounting(self):
+        summary = summarize_trace([
+            _event("dht_retrieve", 1.0, complete=True),
+            _event("dht_retrieve", 2.0, complete=False),
+            _event("dht_retrieve", 3.0, complete=False)])
+        assert summary.dht_retrievals == 3
+        assert summary.dht_retrievals_incomplete == 2
+
+
+class TestSummaryToDict:
+    def test_layout_is_machine_readable(self):
+        summary = summarize_trace([
+            _event("download", 1.0, cls="honest", wait=10.0, fake=False),
+            _event("multitrust_iteration", 2.0, iteration=2, residual=0.1),
+            _event("mystery", 3.0),
+            _event("alert", 4.0, detector="d", severity="warning",
+                   message="m")])
+        document = summary_to_dict(summary)
+        assert document["schema"] == 1
+        assert document["total_events"] == 4
+        assert document["unrecognized"] == {"mystery": 1}
+        assert document["alert_counts"] == {"warning": 1}
+        # Iteration keys become strings so the document is JSON-clean.
+        assert document["multitrust_residuals"]["2"]["count"] == 1
+        assert document["dht"]["failed_lookups"] == 0
+
+    def test_round_trips_through_json(self):
+        import json
+        summary = summarize_trace([
+            _event("download", 1.0, cls="honest", wait=10.0, fake=True)])
+        encoded = json.dumps(summary_to_dict(summary), sort_keys=True)
+        assert json.loads(encoded)["total_events"] == 1

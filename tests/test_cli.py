@@ -220,3 +220,171 @@ class TestBenchObs:
         assert snapshot["seed"] == 5
         assert {"config_hash", "git_sha", "timings"} <= set(snapshot)
         assert "instrumented" in capsys.readouterr().out
+
+
+class TestReportJson:
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["total_events"] > 0
+        assert "download" in payload["event_counts"]
+        assert "Event counts" not in json.dumps(payload)
+
+
+class TestAlertsOut:
+    def test_chaos_alerts_written_and_replayable(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
+        code = main(["chaos", "--loss", "0.2", "--churn", "0.5",
+                     "--peers", "12", "--files", "16", "--rounds", "20",
+                     "--seed", "3", "--trace-out", str(trace),
+                     "--alerts-out", str(alerts)])
+        assert code == 0
+        assert "alerts" in capsys.readouterr().out
+        lines = [json.loads(line) for line
+                 in alerts.read_text().splitlines()]
+        assert lines, "lossy churny chaos must raise alerts"
+        assert all({"t", "detector", "severity", "message"} <= set(line)
+                   for line in lines)
+        # The trace carries the same alerts, and offline replay agrees.
+        capsys.readouterr()
+        assert main(["monitor", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"reproduced all {len(lines)} recorded alerts" in out
+
+    def test_alerts_out_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            main(_CHAOS_SMALL + ["--alerts-out", str(path)])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_simulate_accepts_alerts_out(self, tmp_path):
+        alerts = tmp_path / "alerts.jsonl"
+        assert main(_SIMULATE_SMALL + ["--alerts-out", str(alerts)]) == 0
+        assert alerts.exists()
+
+
+class TestMonitorCommand:
+    def test_quiet_trace_reports_no_alerts(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["monitor", str(trace)]) == 0
+        assert "no alerts raised" in capsys.readouterr().out
+
+    def test_monitor_writes_alerts_out(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(_CHAOS_SMALL + ["--loss", "0.3", "--trace-out", str(trace)])
+        capsys.readouterr()
+        alerts = tmp_path / "alerts.jsonl"
+        assert main(["monitor", str(trace),
+                     "--alerts-out", str(alerts)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert alerts.exists()
+
+    def test_divergent_trace_fails_replay_check(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        trace.write_text(
+            json.dumps({"seq": 0, "t": 1.0, "event": "request",
+                        "cls": "honest"}) + "\n" +
+            json.dumps({"seq": 1, "t": 2.0, "event": "alert",
+                        "detector": "ghost", "severity": "critical",
+                        "message": "never reproducible"}) + "\n")
+        assert main(["monitor", str(trace)]) == 1
+        assert "replay check FAILED" in capsys.readouterr().err
+
+    def test_missing_trace_fails(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestDashboardCommand:
+    def test_writes_selfcontained_html(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", str(trace), "-o", str(out)]) == 0
+        assert "bytes of HTML" in capsys.readouterr().out
+        document = out.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<script" not in document
+        assert "https://" not in document
+
+    def test_missing_trace_fails(self, tmp_path, capsys):
+        assert main(["dashboard", str(tmp_path / "no.jsonl"),
+                     "-o", str(tmp_path / "dash.html")]) == 1
+        assert not (tmp_path / "dash.html").exists()
+
+
+class TestDiffTraceCommand:
+    def _traces(self, tmp_path):
+        calm = tmp_path / "calm.jsonl"
+        rough = tmp_path / "rough.jsonl"
+        main(_CHAOS_SMALL + ["--loss", "0.0", "--churn", "0.0",
+                             "--trace-out", str(calm)])
+        main(_CHAOS_SMALL + ["--loss", "0.4", "--churn", "0.6",
+                             "--trace-out", str(rough)])
+        return calm, rough
+
+    def test_identical_traces_report_no_regressions(self, tmp_path,
+                                                    capsys):
+        calm, _ = self._traces(tmp_path)
+        capsys.readouterr()
+        assert main(["diff-trace", str(calm), str(calm)]) == 0
+        assert "no regressions flagged" in capsys.readouterr().out
+
+    def test_degraded_trace_flags_regressions_in_text(self, tmp_path,
+                                                      capsys):
+        calm, rough = self._traces(tmp_path)
+        capsys.readouterr()
+        assert main(["diff-trace", str(calm), str(rough),
+                     "--label-a", "calm", "--label-b", "rough"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace diff" in out
+        assert "regressions:" in out
+
+    def test_fail_on_regression_sets_exit_code(self, tmp_path, capsys):
+        calm, rough = self._traces(tmp_path)
+        capsys.readouterr()
+        assert main(["diff-trace", str(calm), str(rough),
+                     "--fail-on-regression"]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        calm, rough = self._traces(tmp_path)
+        capsys.readouterr()
+        assert main(["diff-trace", str(calm), str(rough), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"a", "b", "deltas", "regressions"} <= set(payload)
+        assert payload["a"]["summary"]["schema"] == 1
+
+    def test_missing_side_fails(self, tmp_path, capsys):
+        calm, _ = self._traces(tmp_path)
+        assert main(["diff-trace", str(calm),
+                     str(tmp_path / "absent.jsonl")]) == 1
+
+
+class TestBenchObsGate:
+    def test_history_appended_and_generous_gate_passes(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "BENCH_obs.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(["bench-obs", "--out", str(out), "--seed", "5",
+                     "--history", str(history),
+                     "--max-overhead", "1000"])
+        assert code == 0
+        assert "overhead gate passed" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["seed"] == 5
+
+    def test_impossible_gate_fails(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        code = main(["bench-obs", "--out", str(out), "--seed", "5",
+                     "--max-overhead", "0.0"])
+        assert code == 1
+        assert "exceeds" in capsys.readouterr().err
