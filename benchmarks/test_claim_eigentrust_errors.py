@@ -64,7 +64,7 @@ def _drive(mechanism):
     # intra-clique traffic.
     for index, colluder in enumerate(COLLUDERS):
         tx(HONEST[index], colluder, 0.9)
-    for round_number in range(10):
+    for _ in range(10):
         for index, colluder in enumerate(COLLUDERS):
             other = COLLUDERS[(index + 1) % len(COLLUDERS)]
             tx(colluder, other, 1.0)

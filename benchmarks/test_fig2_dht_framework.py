@@ -51,7 +51,7 @@ def _run_framework():
             evaluation = 0.9 if index % 4 else 0.1
             publish_hops.append(
                 overlay.publish(owner, file_id, evaluation, now=0.0))
-    for position, user_id in enumerate(users):
+    for user_id in users:
         for popular_index in range(3):
             file_id = f"file-{popular_index:04d}"
             evaluation = 0.9 if popular_index % 4 else 0.1

@@ -60,7 +60,7 @@ def test_perf_stabilization(benchmark):
         ["ring size", "bootstrap rounds", "rounds after 20% failures"],
         rows, title="P2: Chord stabilisation rounds to consistency"))
 
-    for size, (bootstrap, churn) in results.items():
+    for bootstrap, churn in results.values():
         # Convergence must happen well within the round budget.
         assert bootstrap < 512
         assert churn < 512

@@ -30,11 +30,10 @@ def _experiment(mechanism_name: str):
             scenario=ScenarioSpec(honest=24, free_riders=4, polluters=6),
             duration_seconds=DURATION, num_files=100, fake_ratio=0.3,
             request_rate=0.025, seed=seed)
-        if mechanism_name == "multidimensional":
-            mechanism = MultiDimensionalMechanism(ReputationConfig(
+        mechanism = (
+            MultiDimensionalMechanism(ReputationConfig(
                 retention_saturation_seconds=DURATION / 3))
-        else:
-            mechanism = NullMechanism()
+            if mechanism_name == "multidimensional" else NullMechanism())
         metrics = FileSharingSimulation(config, mechanism).run()
         blocked = sum(stats.fakes_blocked
                       for stats in metrics.per_class.values())

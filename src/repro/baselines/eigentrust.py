@@ -141,13 +141,15 @@ class EigenTrustMechanism(ReputationMechanism):
 
         t = pre.copy()
         a = self._damping
+        iterations_used = 0
         for iteration in range(1, self._max_iterations + 1):
             t_next = (1.0 - a) * (c.T @ t) + a * pre
             delta = float(np.abs(t_next - t).sum())
             t = t_next
+            iterations_used = iteration
             if delta < self._tolerance:
                 break
-        self._iterations_used = iteration
+        self._iterations_used = iterations_used
         self._scores = {user: float(t[index[user]]) for user in users}
         self._dirty = False
 

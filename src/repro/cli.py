@@ -18,7 +18,11 @@ Ten commands cover the workflows a downstream user actually runs:
 * ``dashboard``   — render a trace into one self-contained HTML file;
 * ``diff-trace``  — compare two traces and flag outcome regressions;
 * ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot
-  (``--history`` appends to a JSONL trajectory, ``--max-overhead`` gates).
+  (``--history`` appends to a JSONL trajectory, ``--max-overhead`` gates);
+* ``lint``        — project-aware static analysis: determinism,
+  stochastic-matrix and weight-simplex invariants (``--format json`` for
+  the machine-readable schema, ``--fail-on`` for severity gating,
+  ``--list-rules`` for the catalogue).
 
 ``simulate`` and ``chaos`` accept ``--trace-out events.jsonl``,
 ``--metrics-out metrics.json`` and ``--alerts-out alerts.jsonl`` (which also
@@ -33,12 +37,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
 from .analysis import render_table
 from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
 from .core import ReputationConfig
+from .lint import (all_rules, lint_paths, result_to_dict, rules_by_id,
+                   should_fail)
 from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
                   monitor_events, read_events, render_dashboard,
                   summarize_trace, summary_to_dict)
@@ -236,6 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RATIO",
                        help="exit 1 when the instrumentation overhead "
                             "ratio exceeds this bound")
+
+    lint = commands.add_parser(
+        "lint", help="project-aware static analysis: determinism, "
+                     "stochastic-matrix and weight-simplex invariants")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format")
+    lint.add_argument("--fail-on", choices=("error", "warning", "note",
+                                            "never"), default="error",
+                      help="exit 1 when a diagnostic at or above this "
+                           "severity is found (default: error)")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(default: all registered rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -613,6 +637,43 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        rows = [[rule.rule_id, str(rule.severity), rule.summary]
+                for rule in all_rules()]
+        print(render_table(["rule", "severity", "summary"], rows,
+                           title="repro lint rule catalogue"))
+        return 0
+    try:
+        rules = (rules_by_id(part.strip()
+                             for part in args.rules.split(",") if part.strip())
+                 if args.rules is not None else None)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, rules)
+
+    if args.format == "json":
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    else:
+        for diagnostic in result.sorted_diagnostics():
+            print(diagnostic.render())
+        counts = result.counts()
+        summary = ", ".join(f"{count} {severity}"
+                            for severity, count in counts.items() if count)
+        print(f"checked {result.files_checked} files: "
+              f"{summary if summary else 'no findings'}"
+              + (f" ({len(result.suppressed)} suppressed)"
+                 if result.suppressed else ""))
+
+    fail_on = None if args.fail_on == "never" else args.fail_on
+    return 1 if should_fail(result, fail_on) else 0
+
+
 _COMMANDS = {
     "gen-trace": _cmd_gen_trace,
     "trace-stats": _cmd_trace_stats,
@@ -624,6 +685,7 @@ _COMMANDS = {
     "dashboard": _cmd_dashboard,
     "diff-trace": _cmd_diff_trace,
     "bench-obs": _cmd_bench_obs,
+    "lint": _cmd_lint,
 }
 
 

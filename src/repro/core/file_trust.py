@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from ..lint.contracts import check_row_stochastic
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .distances import get_similarity
 from .evaluation import EvaluationStore
@@ -86,4 +87,6 @@ def build_file_trust_matrix(store: EvaluationStore,
             a, b = pair
             raw.set(a, b, trust)
             raw.set(b, a, trust)
-    return raw.row_normalized()
+    matrix = raw.row_normalized()
+    check_row_stochastic(matrix, name="FM")
+    return matrix

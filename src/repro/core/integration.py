@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..lint.contracts import check_row_stochastic, check_simplex
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .evaluation import EvaluationStore
 from .file_trust import build_file_trust_matrix
@@ -53,8 +54,13 @@ def integrate_dimensions(dimensions: Sequence[TrustDimension],
     if require_normalized and abs(total - 1.0) > _WEIGHT_TOLERANCE:
         raise ValueError(
             f"dimension weights must sum to 1 (Eq. 7), got {total}")
-    return TrustMatrix.weighted_sum(
+    integrated = TrustMatrix.weighted_sum(
         (dimension.weight, dimension.matrix) for dimension in dimensions)
+    if require_normalized:
+        # Behind REPRO_CHECK_INVARIANTS: with simplex weights over
+        # row-stochastic dimensions, TM rows can only be sub-stochastic.
+        check_row_stochastic(integrated, name="TM", strict=False)
+    return integrated
 
 
 def build_one_step_matrix(evaluations: EvaluationStore,
@@ -82,4 +88,8 @@ def build_one_step_matrix(evaluations: EvaluationStore,
             "user", config.gamma, build_user_trust_matrix(user_trust)))
     if not dimensions:
         return TrustMatrix()
-    return integrate_dimensions(dimensions, require_normalized=False)
+    check_simplex((config.alpha, config.beta, config.gamma),
+                  name="(alpha, beta, gamma)")
+    integrated = integrate_dimensions(dimensions, require_normalized=False)
+    check_row_stochastic(integrated, name="TM", strict=False)
+    return integrated

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..lint.contracts import check_row_stochastic
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .matrix import TrustMatrix
@@ -39,8 +40,13 @@ def compute_reputation_matrix(one_step: TrustMatrix,
     measured instead of asserted.
     """
     n = steps if steps is not None else config.multitrust_steps
+    # RM = TM^n converges (Eq. 8) only for (sub-)stochastic TM; checked
+    # behind REPRO_CHECK_INVARIANTS on both the input and the result.
+    check_row_stochastic(one_step, name="TM", strict=False)
     if not recorder.enabled:
-        return one_step.power(n)
+        result = one_step.power(n)
+        check_row_stochastic(result, name=f"RM=TM^{n}", strict=False)
+        return result
     if n < 1:
         raise ValueError(f"matrix power requires n >= 1, got {n}")
     with recorder.profile("multitrust.power"):
@@ -54,6 +60,7 @@ def compute_reputation_matrix(one_step: TrustMatrix,
             recorder.observe("multitrust.residual", residual)
     recorder.inc("multitrust.computations")
     recorder.observe("multitrust.steps", n)
+    check_row_stochastic(result, name=f"RM=TM^{n}", strict=False)
     return result
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Mapping, Sequence, Tuple
 
+from ..lint.contracts import check_simplex
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .matrix import TrustMatrix
 
@@ -73,7 +74,9 @@ def simplex_grid(resolution: int) -> List[Tuple[float, float, float]]:
     for i in range(resolution + 1):
         for j in range(resolution + 1 - i):
             k = resolution - i - j
-            points.append((i / resolution, j / resolution, k / resolution))
+            point = (i / resolution, j / resolution, k / resolution)
+            check_simplex(point, name="simplex_grid point")
+            points.append(point)
     return points
 
 
@@ -93,6 +96,8 @@ def sweep_eta(objective: Objective,
     """Sweep the Eq. 1 blend eta over {0, 1/steps, ..., 1}."""
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
+    for i in range(steps + 1):
+        check_simplex((i / steps, 1.0 - i / steps), name="(eta, rho)")
     configs = [base.replace(eta=i / steps, rho=1.0 - i / steps)
                for i in range(steps + 1)]
     return _run_sweep(configs, objective)

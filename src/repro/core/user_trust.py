@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+from ..lint.contracts import check_row_stochastic
 from .matrix import TrustMatrix
 
 __all__ = ["UserTrustStore", "build_user_trust_matrix",
@@ -108,7 +109,7 @@ class UserTrustStore:
         targets.update(self._friends.get(user, ()))
         targets.update(self._blacklists.get(user, ()))
         result: Dict[str, float] = {}
-        for other in targets:
+        for other in sorted(targets):
             value = self.trust(user, other)
             if value is not None:
                 result[other] = value
@@ -134,4 +135,6 @@ def build_user_trust_matrix(store: UserTrustStore) -> TrustMatrix:
         for other, value in store.relationships_of(user).items():
             if value > 0.0:
                 raw.set(user, other, value)
-    return raw.row_normalized()
+    matrix = raw.row_normalized()
+    check_row_stochastic(matrix, name="UM")
+    return matrix

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..lint.contracts import check_row_stochastic
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .evaluation import EvaluationStore
 from .matrix import TrustMatrix
@@ -130,4 +131,6 @@ def build_volume_trust_matrix(ledger: DownloadLedger, store: EvaluationStore,
                                        now=now, half_life=half_life)
         if volume > 0.0:
             raw.set(downloader, uploader, volume)
-    return raw.row_normalized()
+    matrix = raw.row_normalized()
+    check_row_stochastic(matrix, name="DM")
+    return matrix

@@ -206,11 +206,11 @@ class StabilizingDHTNetwork(DHTNetwork):
             successor = candidate
         # notify: the successor adopts us as predecessor if we are closer.
         predecessor = successor.predecessor
-        if (predecessor is None or not predecessor.alive
-                or in_interval(node.node_id, predecessor.node_id,
-                               successor.node_id)):
-            if successor is not node:
-                successor.predecessor = node
+        if (successor is not node
+                and (predecessor is None or not predecessor.alive
+                     or in_interval(node.node_id, predecessor.node_id,
+                                    successor.node_id))):
+            successor.predecessor = node
         # refresh the successor list from the (new) successor's list.
         chain = [successor] + [
             entry for entry in self._successor_lists.get(

@@ -1,0 +1,54 @@
+"""repro.lint — project-aware static analysis plus runtime contracts.
+
+The reproduction's correctness rests on invariants the paper states but
+Python cannot enforce by itself: eta + rho = 1 (Eq. 1),
+alpha + beta + gamma = 1 (Eq. 7), row-stochastic FM/DM/UM/TM
+(Eqs. 3/5/6/7) and bitwise-deterministic seeded runs.  This package checks
+them twice:
+
+* **statically** — an AST engine (:mod:`~repro.lint.engine`) with a rule
+  registry (:mod:`~repro.lint.rules`), per-rule diagnostics, inline
+  ``# repro: allow[RULE-ID]`` suppressions and a ``repro lint`` CLI
+  subcommand with text/JSON output and ``--fail-on`` severity gating;
+* **at runtime** — :mod:`~repro.lint.contracts` exposes
+  ``assert_row_stochastic`` / ``assert_simplex``, which core and tuning
+  call behind the ``REPRO_CHECK_INVARIANTS`` debug flag.
+
+See docs/static-analysis.md for the rule catalogue and how to add a rule.
+"""
+
+from .contracts import (ContractViolation, assert_row_stochastic,
+                        assert_simplex, check_row_stochastic, check_simplex,
+                        checking_invariants, contracts_enabled,
+                        set_contracts_enabled)
+from .diagnostics import Diagnostic, Severity
+from .engine import (JSON_SCHEMA_VERSION, PARSE_RULE_ID, LintResult,
+                     iter_python_files, lint_paths, lint_source,
+                     result_to_dict, should_fail)
+from .rules import RULES, Rule, all_rules, register, rules_by_id
+
+__all__ = [
+    "ContractViolation",
+    "assert_row_stochastic",
+    "assert_simplex",
+    "check_row_stochastic",
+    "check_simplex",
+    "checking_invariants",
+    "contracts_enabled",
+    "set_contracts_enabled",
+    "Diagnostic",
+    "Severity",
+    "JSON_SCHEMA_VERSION",
+    "PARSE_RULE_ID",
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "result_to_dict",
+    "should_fail",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "register",
+    "rules_by_id",
+]

@@ -1,0 +1,157 @@
+"""Per-module analysis context shared by every rule.
+
+The context owns the parsed tree, the module's *import alias map* and the
+qualified-name resolver rules use to recognise calls like
+``np.random.rand(...)`` as ``numpy.random.rand`` regardless of how the
+module was imported.  Rules stay ~30 lines because all name plumbing lives
+here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["ModuleContext"]
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin, from every import statement.
+
+    ``import numpy as np``              -> ``np: numpy``
+    ``from numpy import random as r``   -> ``r: numpy.random``
+    ``from random import shuffle``      -> ``shuffle: random.shuffle``
+    ``from .obs import Recorder``       -> ``Recorder: .obs.Recorder``
+
+    Relative imports keep their leading dots so rules can match on the
+    trailing path (``.obs.Recorder`` matches ``(^|.)obs.Recorder$``).
+    Scoping is ignored: lint resolves names module-wide, which is the
+    right fidelity for a project-specific checker.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname if name.asname else name.name.split(".")[0]
+                origin = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname if name.asname else name.name
+                aliases[local] = (f"{prefix}.{name.name}"
+                                  if prefix else name.name)
+    return aliases
+
+
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.aliases = _collect_aliases(tree)
+
+    # ------------------------------------------------------------------ #
+    # Name resolution                                                    #
+    # ------------------------------------------------------------------ #
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The literal dotted form of a Name/Attribute chain, else None."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name with import aliases expanded.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; unresolvable expressions (calls on
+        arbitrary objects) return ``None``.
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        return self.resolve(node.func)
+
+    # ------------------------------------------------------------------ #
+    # Reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def diagnostic(self, node: ast.AST, rule_id: str, severity: Severity,
+                   message: str, hint: str = "") -> Diagnostic:
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            severity=severity,
+            message=message,
+            hint=hint,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared structural helpers                                          #
+    # ------------------------------------------------------------------ #
+
+    def iteration_targets(self) -> Iterator[ast.AST]:
+        """Every expression the module directly iterates over.
+
+        Covers ``for`` statements (sync and async) and all four
+        comprehension forms; each yielded node is the raw ``iter``
+        expression before any rule-specific classification.
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    yield generator.iter
+
+    @staticmethod
+    def float_literal(node: ast.AST) -> Optional[float]:
+        """The value of a float constant (including ``-0.5``), else None."""
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, (ast.USub, ast.UAdd))):
+            inner = ModuleContext.float_literal(node.operand)
+            if inner is None:
+                return None
+            return -inner if isinstance(node.op, ast.USub) else inner
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node.value
+        return None
+
+    @staticmethod
+    def number_literal(node: ast.AST) -> Optional[float]:
+        """Like :meth:`float_literal` but also accepts int constants."""
+        value = ModuleContext.float_literal(node)
+        if value is not None:
+            return value
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and not isinstance(node.value, bool)):
+            return float(node.value)
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, (ast.USub, ast.UAdd))):
+            inner = ModuleContext.number_literal(node.operand)
+            if inner is None:
+                return None
+            return -inner if isinstance(node.op, ast.USub) else inner
+        return None

@@ -1,0 +1,156 @@
+"""Runtime counterparts of the static invariants.
+
+The lint rules check what is visible in the source; these contracts check
+the same paper invariants on live values — row-stochastic trust matrices
+(Eqs. 3/5/6/7) and weight simplexes (Eqs. 1/7) — at the pipeline's choke
+points.  They are **off by default** and enabled either with the
+``REPRO_CHECK_INVARIANTS=1`` environment variable or programmatically via
+:func:`set_contracts_enabled` / :func:`checking_invariants`, so the hot
+path pays a single boolean check when disabled.
+
+Static rule and runtime check live in one subsystem on purpose: NUM002
+tells you a *literal* weight tuple is off the simplex at lint time;
+:func:`assert_simplex` tells you a *computed* one is off at run time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+from typing import Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "set_contracts_enabled",
+    "checking_invariants",
+    "assert_simplex",
+    "assert_row_stochastic",
+    "check_simplex",
+    "check_row_stochastic",
+]
+
+_ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Tristate programmatic override; ``None`` defers to the environment.
+_override: Optional[bool] = None
+
+
+class ContractViolation(AssertionError):
+    """A paper invariant failed on live values."""
+
+
+def contracts_enabled() -> bool:
+    """Whether the runtime contracts are active."""
+    if _override is not None:
+        return _override
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+def set_contracts_enabled(enabled: Optional[bool]) -> None:
+    """Force contracts on/off; ``None`` restores the environment default."""
+    global _override
+    _override = enabled
+
+
+@contextlib.contextmanager
+def checking_invariants(enabled: bool = True) -> Iterator[None]:
+    """Scoped enable/disable — ``with checking_invariants(): ...``."""
+    global _override
+    previous = _override
+    _override = enabled
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+# --------------------------------------------------------------------- #
+# Unconditional assertions                                              #
+# --------------------------------------------------------------------- #
+
+RowSource = Union[
+    Mapping[str, Mapping[str, float]],
+    Iterable[Tuple[str, Mapping[str, float]]],
+]
+
+
+def assert_simplex(weights: Iterable[float], *, name: str = "weights",
+                   tol: float = 1e-9) -> None:
+    """Require every weight in [0, 1] and the sum to equal 1 (± ``tol``).
+
+    Raises :class:`ContractViolation` otherwise.  Covers the Eq. 1
+    (eta, rho) and Eq. 7 (alpha, beta, gamma) constraints — and any future
+    extension dimension set.
+    """
+    values = list(weights)
+    if not values:
+        raise ContractViolation(f"{name}: empty weight tuple")
+    for position, value in enumerate(values):
+        if not 0.0 - tol <= value <= 1.0 + tol:
+            raise ContractViolation(
+                f"{name}[{position}] = {value!r} outside [0, 1]")
+    total = math.fsum(values)
+    if abs(total - 1.0) > tol:
+        raise ContractViolation(
+            f"{name} sum to {total!r}, must sum to 1 (simplex)")
+
+
+def _iter_rows(matrix: RowSource) -> Iterable[Tuple[str, Mapping[str, float]]]:
+    rows = getattr(matrix, "rows", None)
+    if callable(rows):  # duck-typed TrustMatrix
+        return rows()
+    if isinstance(matrix, Mapping):
+        return matrix.items()
+    return matrix
+
+
+def assert_row_stochastic(matrix: RowSource, *, name: str = "matrix",
+                          tol: float = 1e-9, strict: bool = True) -> None:
+    """Require each non-empty row to sum to 1 (``strict``) or at most 1.
+
+    Accepts a :class:`~repro.core.matrix.TrustMatrix` (anything with a
+    ``rows()`` iterator), a mapping-of-mappings, or an iterable of
+    ``(row_id, row)`` pairs.  The integrated TM is checked with
+    ``strict=False`` because rows are deliberately *sub*-stochastic when a
+    dimension's store is absent (see ``build_one_step_matrix``); the
+    per-dimension FM/DM/UM matrices are checked strictly.
+    """
+    for row_id, row in _iter_rows(matrix):
+        if not row:
+            continue
+        total = math.fsum(row.values())
+        negative = [value for value in row.values() if value < -tol]
+        if negative:
+            raise ContractViolation(
+                f"{name}[{row_id!r}] has negative entries: {negative[:3]}")
+        if strict:
+            if abs(total - 1.0) > tol:
+                raise ContractViolation(
+                    f"{name}[{row_id!r}] sums to {total!r}, must sum to 1 "
+                    "(row-stochastic, Eqs. 3/5/6)")
+        elif total > 1.0 + tol:
+            raise ContractViolation(
+                f"{name}[{row_id!r}] sums to {total!r} > 1 "
+                "(must be sub-stochastic, Eq. 7)")
+
+
+# --------------------------------------------------------------------- #
+# Flag-guarded wrappers (what instrumented call sites use)              #
+# --------------------------------------------------------------------- #
+
+
+def check_simplex(weights: Iterable[float], *, name: str = "weights",
+                  tol: float = 1e-9) -> None:
+    """:func:`assert_simplex`, but a no-op unless contracts are enabled."""
+    if contracts_enabled():
+        assert_simplex(weights, name=name, tol=tol)
+
+
+def check_row_stochastic(matrix: RowSource, *, name: str = "matrix",
+                         tol: float = 1e-9, strict: bool = True) -> None:
+    """:func:`assert_row_stochastic`, gated on :func:`contracts_enabled`."""
+    if contracts_enabled():
+        assert_row_stochastic(matrix, name=name, tol=tol, strict=strict)

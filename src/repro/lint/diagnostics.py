@@ -1,0 +1,84 @@
+"""Diagnostics: what a lint rule reports and how it is rendered.
+
+A :class:`Diagnostic` pins one finding to ``file:line:col`` with a rule id,
+a :class:`Severity`, a human message and a fix hint.  Severities are totally
+ordered (``note < warning < error``) so the CLI's ``--fail-on`` gate is a
+simple comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["Severity", "Diagnostic", "count_by_severity", "format_text"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; the integer order drives ``--fail-on``."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{', '.join(level.name.lower() for level in cls)}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, how bad, what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-schema form (see docs/static-analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.severity}: {self.message}")
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+
+def count_by_severity(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "note": n}`` (all keys always present)."""
+    counts = {str(level): 0 for level in sorted(Severity, reverse=True)}
+    for diagnostic in diagnostics:
+        counts[str(diagnostic.severity)] += 1
+    return counts
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    """One rendered line per diagnostic, in (path, line, col) order."""
+    return [diagnostic.render()
+            for diagnostic in sorted(diagnostics, key=Diagnostic.sort_key)]

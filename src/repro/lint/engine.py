@@ -1,0 +1,167 @@
+"""The lint engine: walk files, run rules, gate on severity.
+
+The engine is deliberately small: parse once per module, build one
+:class:`~repro.lint.context.ModuleContext`, dispatch each AST node to the
+hooks the active rules implement, then subtract the
+``# repro: allow[RULE-ID]`` suppressions.  Everything is deterministic —
+files are visited in sorted order and diagnostics are sorted by position —
+so two runs over the same tree produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .context import ModuleContext
+from .diagnostics import Diagnostic, Severity, count_by_severity
+from .rules import Rule, all_rules
+from .suppressions import collect_suppressions, split_suppressed
+
+__all__ = ["LintResult", "lint_source", "lint_paths", "iter_python_files",
+           "should_fail", "result_to_dict", "PARSE_RULE_ID",
+           "JSON_SCHEMA_VERSION"]
+
+#: Rule id attached to files that do not parse at all.
+PARSE_RULE_ID = "PARSE001"
+
+#: Version of the JSON document produced by :func:`result_to_dict`.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def counts(self) -> Dict[str, int]:
+        return count_by_severity(self.diagnostics)
+
+
+def _normalize(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _dispatch(rule: Rule, ctx: ModuleContext) -> Iterator[Diagnostic]:
+    """Run every hook ``rule`` implements over the module."""
+    check_call = getattr(rule, "check_call", None)
+    check_compare = getattr(rule, "check_compare", None)
+    check_assign = getattr(rule, "check_assign", None)
+    check_attribute = getattr(rule, "check_attribute", None)
+    check_iteration = getattr(rule, "check_iteration", None)
+    check_module = getattr(rule, "check_module", None)
+
+    if check_call or check_compare or check_assign or check_attribute:
+        for node in ast.walk(ctx.tree):
+            if check_call and isinstance(node, ast.Call):
+                yield from check_call(node, ctx)
+            elif check_compare and isinstance(node, ast.Compare):
+                yield from check_compare(node, ctx)
+            elif check_assign and isinstance(node, ast.Assign):
+                yield from check_assign(node, ctx)
+            elif check_attribute and isinstance(node, ast.Attribute):
+                yield from check_attribute(node, ctx)
+    if check_iteration:
+        for expr in ctx.iteration_targets():
+            yield from check_iteration(expr, ctx)
+    if check_module:
+        yield from check_module(ctx)
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint one module given as text.
+
+    ``path`` is used both for reporting and for the rules' path predicates,
+    so tests can lint a snippet *as if* it lived at
+    ``src/repro/core/example.py``.
+    """
+    path = _normalize(path)
+    active_rules = [rule for rule in (all_rules() if rules is None else rules)
+                    if rule.applies_to(path)]
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result.diagnostics.append(Diagnostic(
+            path=path, line=error.lineno or 1, col=(error.offset or 0) or 1,
+            rule_id=PARSE_RULE_ID, severity=Severity.ERROR,
+            message=f"file does not parse: {error.msg}",
+            hint="fix the syntax error; no other rules ran on this file"))
+        return result
+
+    ctx = ModuleContext(path, source, tree)
+    found: List[Diagnostic] = []
+    for rule in active_rules:
+        found.extend(_dispatch(rule, ctx))
+
+    suppressions = collect_suppressions(source)
+    active, suppressed = split_suppressed(found, suppressions)
+    result.diagnostics = sorted(active, key=Diagnostic.sort_key)
+    result.suppressed = sorted(suppressed, key=Diagnostic.sort_key)
+    return result
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    seen = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames
+                    if not name.startswith(".") and name != "__pycache__")
+                seen.extend(os.path.join(dirpath, name)
+                            for name in filenames if name.endswith(".py"))
+        else:
+            seen.append(path)
+    yield from sorted(dict.fromkeys(_normalize(path) for path in seen))
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    result = LintResult()
+    for filepath in iter_python_files(paths):
+        with open(filepath, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result.extend(lint_source(source, filepath, rules))
+    result.diagnostics.sort(key=Diagnostic.sort_key)
+    result.suppressed.sort(key=Diagnostic.sort_key)
+    return result
+
+
+def should_fail(result: LintResult,
+                fail_on: Union[Severity, str, None]) -> bool:
+    """Whether diagnostics at/above ``fail_on`` exist (None: never fail)."""
+    if fail_on is None:
+        return False
+    threshold = (Severity.parse(fail_on) if isinstance(fail_on, str)
+                 else fail_on)
+    return any(diagnostic.severity >= threshold
+               for diagnostic in result.diagnostics)
+
+
+def result_to_dict(result: LintResult) -> Dict[str, object]:
+    """The stable JSON document ``repro lint --format json`` prints."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "counts": result.counts(),
+        "suppressed": len(result.suppressed),
+        "diagnostics": [diagnostic.to_dict()
+                        for diagnostic in result.sorted_diagnostics()],
+    }

@@ -1,0 +1,72 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID]``.
+
+A suppression silences diagnostics *on its own line* (the usual trailing
+comment) for the listed rule ids, or for every rule with ``allow[*]``.
+Multiple ids are comma-separated: ``# repro: allow[DET001,NUM001]``.
+
+Comments are found with :mod:`tokenize` rather than string search, so a
+suppression inside a string literal is (correctly) not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = ["SUPPRESS_PATTERN", "collect_suppressions", "is_suppressed",
+           "split_suppressed"]
+
+#: The accepted comment grammar. Whitespace is tolerated everywhere a human
+#: would plausibly put it.
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[\s*(?P<ids>[A-Z0-9*]+(?:\s*,\s*[A-Z0-9*]+)*)\s*\]")
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    Unreadable/untokenizable source yields no suppressions; the engine
+    reports the parse failure separately.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESS_PATTERN.search(token.string)
+            if match is None:
+                continue
+            ids = frozenset(part.strip()
+                            for part in match.group("ids").split(","))
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        return {}
+    return suppressions
+
+
+def is_suppressed(diagnostic: Diagnostic,
+                  suppressions: Dict[int, FrozenSet[str]]) -> bool:
+    allowed = suppressions.get(diagnostic.line)
+    if not allowed:
+        return False
+    return "*" in allowed or diagnostic.rule_id in allowed
+
+
+def split_suppressed(diagnostics: Sequence[Diagnostic],
+                     suppressions: Dict[int, FrozenSet[str]]
+                     ) -> "tuple[list[Diagnostic], list[Diagnostic]]":
+    """``(active, suppressed)`` partition of ``diagnostics``."""
+    active = []
+    suppressed = []
+    for diagnostic in diagnostics:
+        if is_suppressed(diagnostic, suppressions):
+            suppressed.append(diagnostic)
+        else:
+            active.append(diagnostic)
+    return active, suppressed

@@ -209,10 +209,8 @@ class FileSharingSimulation:
         fake_friendly = [pid for pid, peer in self.peers.items()
                          if peer.behavior.wants_fake_copy()]
         for catalog_file in self.catalog:
-            if catalog_file.is_fake and fake_friendly:
-                pool = fake_friendly
-            else:
-                pool = sharers or list(self.peers)
+            pool = (fake_friendly if catalog_file.is_fake and fake_friendly
+                    else sharers or list(self.peers))
             k = min(self.config.initial_replicas, len(pool))
             for holder in self.rng.sample(pool, k):
                 self.registry.add_copy(holder, catalog_file.file_id, 0.0)

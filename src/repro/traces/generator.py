@@ -241,10 +241,9 @@ class MazeTraceGenerator:
         lifetimes: Dict[str, tuple] = {}
         for uid in user_ids:
             join = rng.uniform(0.0, horizon * 0.4)
-            if rng.random() < self.parameters.departure_fraction:
-                leave = rng.uniform(join + horizon * 0.1, horizon)
-            else:
-                leave = horizon
+            leave = (rng.uniform(join + horizon * 0.1, horizon)
+                     if rng.random() < self.parameters.departure_fraction
+                     else horizon)
             lifetimes[uid] = (join, leave)
         return lifetimes
 
@@ -291,10 +290,8 @@ class MazeTraceGenerator:
         day = rng.uniform(0.0, horizon / _DAY_SECONDS)
         day_floor = int(day)
         # Two-component mixture: 70% of actions in the 12h evening block.
-        if rng.random() < 0.7:
-            hour = rng.uniform(12.0, 24.0)
-        else:
-            hour = rng.uniform(0.0, 12.0)
+        hour = (rng.uniform(12.0, 24.0) if rng.random() < 0.7
+                else rng.uniform(0.0, 12.0))
         timestamp = day_floor * _DAY_SECONDS + hour * 3600.0
         return min(timestamp, horizon - 1.0)
 

@@ -146,15 +146,15 @@ class CoverageReplayer:
                             else (downloader_files, uploader_files))
             if any(file_id in large for file_id in small):
                 return True
-        if self.include_volume:
-            # A DM edge uploader -> downloader: the uploader downloaded (and
-            # evaluated) something from this downloader earlier.
-            if record.downloader_id in downloaded_from.get(record.uploader_id, ()):
-                return True
-        if self.include_user:
-            if ((record.uploader_id, record.downloader_id) in ranked
-                    or (record.downloader_id, record.uploader_id) in ranked):
-                return True
+        # A DM edge uploader -> downloader: the uploader downloaded (and
+        # evaluated) something from this downloader earlier.
+        if (self.include_volume and record.downloader_id
+                in downloaded_from.get(record.uploader_id, ())):
+            return True
+        if (self.include_user
+                and ((record.uploader_id, record.downloader_id) in ranked
+                     or (record.downloader_id, record.uploader_id) in ranked)):
+            return True
         return False
 
     def _apply_record(self, record: DownloadRecord,

@@ -99,7 +99,7 @@ class TestRetryPolicy:
         policy = RetryPolicy(base_delay_seconds=1.0, backoff_factor=1.0,
                              max_delay_seconds=1.0, jitter_fraction=0.2)
         rng = random.Random(7)
-        for attempt in range(50):
+        for _ in range(50):
             delay = policy.backoff_delay(0, rng)
             assert 0.8 <= delay <= 1.2
 

@@ -1,0 +1,32 @@
+# lint-path: src/repro/core/fixture_clean.py
+"""A module every rule should pass: the idioms the rules push toward."""
+
+import math
+import random
+from typing import Dict, Iterable
+
+from repro.lint.contracts import check_row_stochastic, check_simplex
+from repro.obs import NULL_RECORDER
+
+
+def build_matrix(pairs: Iterable[tuple], seed: int,
+                 recorder=NULL_RECORDER) -> Dict[str, Dict[str, float]]:
+    rng = random.Random(seed)
+    rows: Dict[str, Dict[str, float]] = {}
+    for a, b in sorted(set(pairs)):
+        rows.setdefault(a, {})[b] = rng.random()
+    for user in sorted(rows):
+        total = math.fsum(rows[user].values())
+        if total > 0.0:
+            rows[user] = {other: value / total
+                          for other, value in rows[user].items()}
+    check_row_stochastic(rows, name="fixture")
+    recorder.event("matrix_built", t=0.0, rows=len(rows))
+    return rows
+
+
+def blend(eta: float = 0.4, rho: float = 0.6) -> float:
+    check_simplex((eta, rho), name="(eta, rho)")
+    if math.isclose(eta + rho, 1.0, abs_tol=1e-9):
+        return eta
+    return rho

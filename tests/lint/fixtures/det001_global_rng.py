@@ -1,0 +1,25 @@
+# lint-path: src/repro/core/fixture_det001.py
+"""DET001 fixture: process-global RNG calls vs seeded instances."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def bad(items):
+    random.shuffle(items)            # expect[DET001]
+    value = random.random()          # expect[DET001]
+    pick = random.choice(items)      # expect[DET001]
+    random.seed(7)                   # expect[DET001]
+    noise = np.random.rand(3)        # expect[DET001]
+    draw = np.random.normal()        # expect[DET001]
+    shuffle(items)                   # expect[DET001]
+    return value, pick, noise, draw
+
+
+def good(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    generator = np.random.default_rng(seed)
+    return rng.random(), generator.normal()

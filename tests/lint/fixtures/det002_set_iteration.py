@@ -1,0 +1,30 @@
+# lint-path: src/repro/simulator/fixture_det002.py
+"""DET002 fixture: hash-order iteration in the deterministic pipeline."""
+
+
+def build_rows(evaluations, extra):
+    for pair in set(evaluations):                  # expect[DET002]
+        print(pair)
+    for key in evaluations.keys():                 # expect[DET002]
+        print(key)
+    for item in {1, 2, 3}:                         # expect[DET002]
+        print(item)
+    for merged in set(evaluations).union(extra):   # expect[DET002]
+        print(merged)
+    ids = {record.user for record in evaluations}  # a set comprehension
+    for user in ids:                               # expect[DET002]
+        print(user)
+    return ids
+
+
+def pinned(evaluations, extra):
+    for pair in sorted(set(evaluations)):
+        print(pair)
+    for key in sorted(evaluations):
+        print(key)
+    ids = {record.user for record in evaluations}
+    for user in sorted(ids):
+        print(user)
+    ids = list(extra)  # rebound to a list: no longer tracked as a set
+    for user in ids:
+        print(user)

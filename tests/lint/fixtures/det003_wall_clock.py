@@ -1,0 +1,21 @@
+# lint-path: src/repro/dht/fixture_det003.py
+"""DET003 fixture: wall-clock / entropy APIs in a DHT hot path."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_message(payload):
+    now = time.time()                  # expect[DET003]
+    tick = time.monotonic()            # expect[DET003]
+    when = datetime.now()              # expect[DET003]
+    token = os.urandom(16)             # expect[DET003]
+    message_id = uuid.uuid4()          # expect[DET003]
+    return now, tick, when, token, message_id
+
+
+def simulated(clock):
+    # Simulation time comes from the engine's clock: fine.
+    return clock()

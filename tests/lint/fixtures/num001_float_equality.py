@@ -1,0 +1,24 @@
+# lint-path: src/repro/analysis/fixture_num001.py
+"""NUM001 fixture: exact float comparisons on trust arithmetic."""
+
+import math
+
+
+def classify(score, threshold, residual):
+    if score == 0.5:                       # expect[NUM001]
+        return "boundary"
+    if residual != 1.0:                    # expect[NUM001]
+        return "unconverged"
+    if 0.25 == threshold:                  # expect[NUM001]
+        return "quarter"
+    return "other"
+
+
+def fine(score, row_sum):
+    # Exact-zero sentinel checks are exempt: the sparse matrix stores
+    # zero as absent, so == 0.0 is a structural test, not arithmetic.
+    if score == 0.0:
+        return "absent"
+    if math.isclose(row_sum, 1.0, abs_tol=1e-9):
+        return "stochastic"
+    return "other"

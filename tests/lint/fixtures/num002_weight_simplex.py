@@ -1,0 +1,23 @@
+# lint-path: src/repro/core/fixture_num002.py
+"""NUM002 fixture: literal weight tuples off the Eq. 1 / Eq. 7 simplex."""
+
+from repro.core import ReputationConfig
+
+
+def bad_configs():
+    broken = ReputationConfig(eta=0.5, rho=0.6)                    # expect[NUM002]
+    skewed = ReputationConfig(alpha=0.5, beta=0.4, gamma=0.3)      # expect[NUM002]
+    swept = ReputationConfig.with_dimension_weights(0.6, 0.3, 0.2)  # expect[NUM002]
+    dimension_weights = (0.5, 0.3, 0.3)                            # expect[NUM002]
+    alpha, beta, gamma = 0.2, 0.2, 0.2                             # expect[NUM002]
+    return broken, skewed, swept, dimension_weights, (alpha, beta, gamma)
+
+
+def good_configs(computed_alpha, computed_beta):
+    on_simplex = ReputationConfig(eta=0.4, rho=0.6)
+    weights = (0.5, 0.3, 0.2)
+    # Computed weights are invisible to the static rule; the runtime
+    # contract (repro.lint.contracts.assert_simplex) covers them.
+    partial = ReputationConfig(alpha=computed_alpha, beta=computed_beta,
+                               gamma=0.2)
+    return on_simplex, weights, partial

@@ -1,0 +1,23 @@
+# lint-path: src/repro/core/fixture_suppressions.py
+"""Suppression fixture: ``# repro: allow[...]`` silences same-line findings."""
+
+import random
+import time
+
+
+def suppressed(items):
+    random.shuffle(items)  # repro: allow[DET001]
+    stamp = time.time()  # repro: allow[DET003]
+    both = (random.random(), time.time())  # repro: allow[DET001,DET003]
+    everything = random.random()  # repro: allow[*]
+    return stamp, both, everything
+
+
+def wrong_id(items):
+    random.shuffle(items)  # repro: allow[DET003]    # expect[DET001]
+    return items
+
+
+def not_a_comment():
+    # A suppression inside a string literal is just a string.
+    return "x = time.time()  # repro: allow[DET003]"

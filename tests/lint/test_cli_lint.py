@@ -1,0 +1,90 @@
+"""The `repro lint` subcommand: output formats, gating, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import JSON_SCHEMA_VERSION
+
+BAD_SNIPPET = "import random\n\nvalue = random.random()\n"
+WARN_SNIPPET = "def f(x):\n    return x == 0.5\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "dirty.py").write_text(BAD_SNIPPET, encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture
+def warning_tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "analysis"
+    package.mkdir(parents=True)
+    (package / "warn.py").write_text(WARN_SNIPPET, encoding="utf-8")
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_error_findings_exit_one_by_default(dirty_tree, capsys):
+    assert main(["lint", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "1 error" in out
+
+
+def test_warning_gating(warning_tree):
+    # Default gate is error: warnings report but do not fail.
+    assert main(["lint", str(warning_tree)]) == 0
+    assert main(["lint", str(warning_tree), "--fail-on", "warning"]) == 1
+    assert main(["lint", str(warning_tree), "--fail-on", "never"]) == 0
+
+
+def test_json_output_schema(dirty_tree, capsys):
+    assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == JSON_SCHEMA_VERSION
+    assert document["counts"]["error"] == 1
+    (entry,) = document["diagnostics"]
+    assert entry["rule"] == "DET001"
+    assert entry["path"].endswith("dirty.py")
+
+
+def test_rule_subset(dirty_tree):
+    assert main(["lint", str(dirty_tree), "--rules", "NUM001"]) == 0
+    assert main(["lint", str(dirty_tree), "--rules", "DET001,NUM001"]) == 1
+
+
+def test_unknown_rule_is_usage_error(dirty_tree, capsys):
+    assert main(["lint", str(dirty_tree), "--rules", "NOPE99"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["lint", "does/not/exist"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003",
+                    "NUM001", "NUM002", "OBS001"):
+        assert rule_id in out
+
+
+def test_repository_gate_matches_ci_invocation(capsys):
+    """`repro lint src --fail-on warning` — exactly what CI runs."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert main(["lint", str(src), "--fail-on", "warning"]) == 0

@@ -1,0 +1,102 @@
+"""Engine behaviour: walking, parse failures, gating, determinism."""
+
+import pytest
+
+from repro.lint import (JSON_SCHEMA_VERSION, PARSE_RULE_ID, Severity,
+                        all_rules, lint_paths, lint_source, result_to_dict,
+                        rules_by_id, should_fail)
+
+BAD_SNIPPET = "import random\n\nvalue = random.random()\n"
+
+
+def test_lint_source_flags_and_positions():
+    result = lint_source(BAD_SNIPPET, "src/repro/core/snippet.py")
+    assert [d.rule_id for d in result.diagnostics] == ["DET001"]
+    diagnostic = result.diagnostics[0]
+    assert (diagnostic.line, diagnostic.col) == (3, 9)
+
+
+def test_parse_error_is_a_diagnostic_not_a_crash():
+    result = lint_source("def broken(:\n", "src/repro/core/broken.py")
+    assert len(result.diagnostics) == 1
+    diagnostic = result.diagnostics[0]
+    assert diagnostic.rule_id == PARSE_RULE_ID
+    assert diagnostic.severity is Severity.ERROR
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    package = tmp_path / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "dirty.py").write_text(BAD_SNIPPET, encoding="utf-8")
+    (package / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+    (package / "notes.txt").write_text("not python", encoding="utf-8")
+    result = lint_paths([str(tmp_path)])
+    assert result.files_checked == 2
+    assert [d.rule_id for d in result.diagnostics] == ["DET001"]
+
+
+def test_lint_paths_is_deterministic(tmp_path):
+    package = tmp_path / "src" / "repro" / "simulator"
+    package.mkdir(parents=True)
+    for name in ("b.py", "a.py", "c.py"):
+        (package / name).write_text(BAD_SNIPPET, encoding="utf-8")
+    first = result_to_dict(lint_paths([str(tmp_path)]))
+    second = result_to_dict(lint_paths([str(tmp_path)]))
+    assert first == second
+    paths = [d["path"] for d in first["diagnostics"]]
+    assert paths == sorted(paths)
+
+
+def test_rule_selection_and_unknown_rule():
+    rules = rules_by_id(["DET001", "NUM001"])
+    assert [rule.rule_id for rule in rules] == ["DET001", "NUM001"]
+    with pytest.raises(ValueError, match="unknown rule"):
+        rules_by_id(["NOPE99"])
+    result = lint_source(BAD_SNIPPET, "src/repro/core/snippet.py",
+                         rules=rules_by_id(["NUM001"]))
+    assert result.diagnostics == []
+
+
+def test_should_fail_thresholds():
+    result = lint_source(BAD_SNIPPET, "src/repro/core/snippet.py")
+    assert should_fail(result, "error")        # DET001 is an error
+    assert should_fail(result, Severity.NOTE)
+    assert not should_fail(result, None)
+    clean = lint_source("VALUE = 1\n", "src/repro/core/ok.py")
+    assert not should_fail(clean, "note")
+
+
+def test_json_document_schema():
+    document = result_to_dict(lint_source(BAD_SNIPPET,
+                                          "src/repro/core/snippet.py"))
+    assert document["version"] == JSON_SCHEMA_VERSION
+    assert document["files_checked"] == 1
+    assert set(document["counts"]) == {"error", "warning", "note"}
+    assert document["counts"]["error"] == 1
+    assert document["suppressed"] == 0
+    (entry,) = document["diagnostics"]
+    assert set(entry) == {"path", "line", "col", "rule", "severity",
+                          "message", "hint"}
+    assert entry["rule"] == "DET001"
+
+
+def test_severity_parse_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.parse("fatal")
+    assert Severity.parse("Warning") is Severity.WARNING
+
+
+def test_every_rule_has_id_summary_and_hint():
+    rules = all_rules()
+    assert len(rules) >= 6
+    for rule in rules:
+        assert rule.rule_id and rule.summary and rule.hint
+
+
+def test_repository_source_tree_is_lint_clean():
+    """The acceptance gate: `repro lint src` exits 0 on this tree."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = lint_paths([str(src)])
+    assert result.diagnostics == [], [d.render() for d in result.diagnostics]

@@ -1,0 +1,98 @@
+"""Fixture harness: every shipped rule demonstrated on real snippets.
+
+Each fixture under ``fixtures/`` is a self-describing module:
+
+* a ``# lint-path: <virtual path>`` header line tells the harness where
+  the snippet should pretend to live (rules are path-aware);
+* a trailing ``# expect[RULE-ID]`` comment marks each line the engine
+  must flag with exactly that rule id.
+
+The harness asserts an exact match in both directions: every expected
+``(line, rule)`` pair is reported, and nothing else is.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_PATH_PATTERN = re.compile(r"#\s*lint-path:\s*(?P<path>\S+)")
+_EXPECT_PATTERN = re.compile(r"#\s*expect\[(?P<ids>[A-Z0-9,\s]+)\]")
+
+
+def load_fixture(name):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    match = _PATH_PATTERN.search(source)
+    assert match is not None, f"{name} has no '# lint-path:' header"
+    expected = set()
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        expect = _EXPECT_PATTERN.search(line)
+        if expect is not None:
+            for rule_id in expect.group("ids").split(","):
+                expected.add((line_number, rule_id.strip()))
+    return source, match.group("path"), expected
+
+
+def fixture_names():
+    return sorted(path.name for path in FIXTURES.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", fixture_names())
+def test_fixture_diagnostics_match_expectations(name):
+    source, virtual_path, expected = load_fixture(name)
+    result = lint_source(source, virtual_path)
+    reported = {(diagnostic.line, diagnostic.rule_id)
+                for diagnostic in result.diagnostics}
+    missing = expected - reported
+    unexpected = reported - expected
+    assert not missing, f"{name}: expected but not reported: {sorted(missing)}"
+    assert not unexpected, f"{name}: reported but not expected: {sorted(unexpected)}"
+
+
+def test_fixture_set_covers_every_shipped_rule():
+    """Each registered rule is demonstrated by at least one failing line."""
+    from repro.lint import RULES
+
+    demonstrated = set()
+    for name in fixture_names():
+        _, _, expected = load_fixture(name)
+        demonstrated.update(rule_id for _, rule_id in expected)
+    assert demonstrated >= set(RULES), (
+        f"rules without a failing fixture: {sorted(set(RULES) - demonstrated)}")
+
+
+def test_diagnostics_carry_position_severity_and_hint():
+    source, virtual_path, _ = load_fixture("det001_global_rng.py")
+    result = lint_source(source, virtual_path)
+    assert result.diagnostics, "fixture should produce diagnostics"
+    for diagnostic in result.diagnostics:
+        assert diagnostic.path == virtual_path
+        assert diagnostic.line >= 1 and diagnostic.col >= 1
+        assert str(diagnostic.severity) in ("note", "warning", "error")
+        assert diagnostic.hint, "every shipped rule ships a fix hint"
+        rendered = diagnostic.render()
+        assert rendered.startswith(f"{virtual_path}:{diagnostic.line}:")
+        assert diagnostic.rule_id in rendered
+
+
+def test_suppression_fixture_reports_suppressed_diagnostics():
+    source, virtual_path, _ = load_fixture("suppressions_inline.py")
+    result = lint_source(source, virtual_path)
+    # Five findings are silenced by allow comments; they surface in the
+    # suppressed channel, not the failing one.
+    assert len(result.suppressed) == 5
+    assert {d.rule_id for d in result.suppressed} == {"DET001", "DET003"}
+
+
+def test_rules_do_not_fire_outside_their_paths():
+    source, _, expected = load_fixture("det003_wall_clock.py")
+    assert expected, "fixture must expect DET003 findings"
+    # The same snippet inside repro.obs (the allowlisted clock owner) or
+    # under tests/ is exempt.
+    for exempt_path in ("src/repro/obs/fixture.py", "tests/dht/fixture.py"):
+        result = lint_source(source, exempt_path)
+        assert not any(d.rule_id == "DET003" for d in result.diagnostics)

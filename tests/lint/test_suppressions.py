@@ -1,0 +1,48 @@
+"""Suppression comment grammar and application."""
+
+from repro.lint import lint_source
+from repro.lint.suppressions import SUPPRESS_PATTERN, collect_suppressions
+
+
+def test_grammar_accepts_reasonable_spacing():
+    for comment in ("# repro: allow[DET001]",
+                    "#repro:allow[DET001]",
+                    "#  repro:  allow[ DET001 , NUM001 ]"):
+        assert SUPPRESS_PATTERN.search(comment), comment
+    assert not SUPPRESS_PATTERN.search("# allow[DET001]")
+    assert not SUPPRESS_PATTERN.search("# repro: allow DET001")
+
+
+def test_collect_maps_lines_to_ids():
+    source = ("import time\n"
+              "a = 1  # repro: allow[DET001]\n"
+              "b = 2  # repro: allow[DET002,NUM001]\n"
+              "c = 3  # repro: allow[*]\n")
+    suppressions = collect_suppressions(source)
+    assert suppressions[2] == frozenset({"DET001"})
+    assert suppressions[3] == frozenset({"DET002", "NUM001"})
+    assert suppressions[4] == frozenset({"*"})
+    assert 1 not in suppressions
+
+
+def test_string_literals_are_not_suppressions():
+    source = 's = "# repro: allow[DET001]"\n'
+    assert collect_suppressions(source) == {}
+
+
+def test_suppression_only_silences_matching_rule_on_same_line():
+    source = ("import random\n"
+              "a = random.random()  # repro: allow[DET001]\n"
+              "b = random.random()  # repro: allow[NUM001]\n"
+              "c = random.random()\n")
+    result = lint_source(source, "src/repro/core/example.py")
+    assert [d.line for d in result.diagnostics] == [3, 4]
+    assert [d.line for d in result.suppressed] == [2]
+
+
+def test_wildcard_silences_every_rule():
+    source = ("import random, time\n"
+              "pair = (random.random(), time.time())  # repro: allow[*]\n")
+    result = lint_source(source, "src/repro/core/example.py")
+    assert result.diagnostics == []
+    assert {d.rule_id for d in result.suppressed} == {"DET001", "DET003"}
