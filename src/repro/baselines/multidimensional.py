@@ -76,7 +76,10 @@ class MultiDimensionalMechanism(ReputationMechanism):
     def refresh(self) -> None:
         with self.recorder.profile("mechanism.refresh"):
             self.system.recompute()
-            self.system.reputation_matrix()
+            # Drives the incremental pipeline: only rows touched by deltas
+            # since the previous tick are re-derived (pipeline_refresh
+            # events carry the per-stage dirty counts).
+            self.system.refresh_view()
         self.recorder.inc("mechanism.refreshes")
 
     def reputation(self, observer: str, target: str) -> float:

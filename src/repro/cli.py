@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the workflows a downstream user actually runs:
+Twelve commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -19,6 +19,10 @@ Ten commands cover the workflows a downstream user actually runs:
 * ``diff-trace``  — compare two traces and flag outcome regressions;
 * ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot
   (``--history`` appends to a JSONL trajectory, ``--max-overhead`` gates);
+* ``bench-pipeline`` — emit a stamped ``BENCH_pipeline.json`` snapshot of
+  the incremental trust pipeline: full-rebuild vs single-event refresh
+  latency per population size, plus sparse vs dense matmul on a dense
+  matrix (``--min-speedup`` gates the incremental win);
 * ``lint``        — project-aware static analysis: determinism,
   stochastic-matrix and weight-simplex invariants (``--format json`` for
   the machine-readable schema, ``--fail-on`` for severity gating,
@@ -51,6 +55,8 @@ from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
                   summarize_trace, summary_to_dict)
 from .obs.bench import (append_history, collect_snapshot, overhead_ratio,
                         write_snapshot)
+from .obs.bench_pipeline import (collect_pipeline_snapshot, dense_speedup,
+                                 incremental_speedup)
 from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
                         SimulationConfig, get_scenario, run_chaos_sweep)
 from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
@@ -179,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the n in RM = TM^n (Eq. 8); n >= 2 emits "
                                "per-iteration convergence residuals into "
                                "the trace (multidimensional only)")
+    simulate.add_argument("--matmul-backend",
+                          choices=("auto", "sparse", "dense"), default=None,
+                          help="matrix-product backend for RM = TM^n: "
+                               "sparse dict-of-dicts, dense numpy, or "
+                               "auto-select by density x size "
+                               "(multidimensional only)")
     _add_observability_flags(simulate)
 
     chaos = commands.add_parser(
@@ -243,6 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RATIO",
                        help="exit 1 when the instrumentation overhead "
                             "ratio exceeds this bound")
+
+    bench_pipeline = commands.add_parser(
+        "bench-pipeline",
+        help="collect a stamped incremental-pipeline perf snapshot")
+    bench_pipeline.add_argument("--out", default="BENCH_pipeline.json",
+                                help="snapshot output path")
+    bench_pipeline.add_argument("--seed", type=int, default=42)
+    bench_pipeline.add_argument("--sizes", type=int, nargs="+",
+                                default=[100, 500, 1000],
+                                help="population sizes (peers) to bench")
+    bench_pipeline.add_argument("--events", type=int, default=20,
+                                help="single-event refreshes averaged per "
+                                     "size")
+    bench_pipeline.add_argument("--history", default=None, metavar="PATH",
+                                help="append the snapshot as one JSONL line "
+                                     "to this trajectory file")
+    bench_pipeline.add_argument("--min-speedup", type=float, default=None,
+                                metavar="RATIO",
+                                help="exit 1 unless the incremental refresh "
+                                     "beats the full rebuild by this factor "
+                                     "at the smallest size (and the dense "
+                                     "backend beats sparse)")
 
     lint = commands.add_parser(
         "lint", help="project-aware static analysis: determinism, "
@@ -365,6 +399,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         reputation_config = {"retention_saturation_seconds": duration / 3}
         if args.multitrust_steps is not None:
             reputation_config["multitrust_steps"] = args.multitrust_steps
+        if args.matmul_backend is not None:
+            reputation_config["matmul_backend"] = args.matmul_backend
         mechanism = MultiDimensionalMechanism(
             ReputationConfig(**reputation_config))
     else:
@@ -637,6 +673,52 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
+    snapshot = collect_pipeline_snapshot(seed=args.seed,
+                                         sizes=tuple(args.sizes),
+                                         events=args.events)
+    write_snapshot(args.out, snapshot)
+    if args.history is not None:
+        append_history(args.history, snapshot)
+        print(f"appended snapshot to {args.history}")
+    print(f"wrote {args.out} (seed={snapshot['seed']}, "
+          f"config={snapshot['config_hash']}, git={snapshot['git_sha']})")
+    rows = []
+    for entry in snapshot["refresh"]:
+        rows.append([entry["peers"], entry["tm_entries"],
+                     f"{entry['full_refresh_seconds'] * 1e3:.1f}",
+                     f"{entry['incremental_refresh_seconds'] * 1e3:.2f}",
+                     f"x{entry['incremental_speedup']:.1f}"])
+    print(render_table(
+        ["peers", "TM entries", "full (ms)", "incremental (ms)", "speedup"],
+        rows, title="Refresh latency: full rebuild vs single-event delta"))
+    backend = snapshot["backend"]
+    print(f"\nbackend bench ({backend['nodes']} nodes, "
+          f"density {backend['density']:.2f}, TM^{backend['steps']}): "
+          f"sparse {backend['sparse_power_seconds'] * 1e3:.1f}ms, "
+          f"dense {backend['dense_power_seconds'] * 1e3:.1f}ms "
+          f"(x{backend['dense_speedup']:.1f}, auto selects "
+          f"{backend['auto_selects']}, max |diff| "
+          f"{backend['results_max_abs_diff']:.1e})")
+    if args.min_speedup is not None:
+        smallest = min(args.sizes)
+        speedup = incremental_speedup(snapshot, smallest)
+        if speedup < args.min_speedup:
+            print(f"incremental speedup x{speedup:.2f} at {smallest} peers "
+                  f"below the x{args.min_speedup:.2f} bound",
+                  file=sys.stderr)
+            return 1
+        if dense_speedup(snapshot) < 1.0:
+            print("dense backend slower than sparse on the "
+                  f"{backend['density']:.0%}-density bench matrix",
+                  file=sys.stderr)
+            return 1
+        print(f"pipeline gate passed (x{speedup:.2f} >= "
+              f"x{args.min_speedup:.2f} at {smallest} peers, dense "
+              f"x{dense_speedup(snapshot):.2f} vs sparse)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         rows = [[rule.rule_id, str(rule.severity), rule.summary]
@@ -685,6 +767,7 @@ _COMMANDS = {
     "dashboard": _cmd_dashboard,
     "diff-trace": _cmd_diff_trace,
     "bench-obs": _cmd_bench_obs,
+    "bench-pipeline": _cmd_bench_pipeline,
     "lint": _cmd_lint,
 }
 

@@ -11,24 +11,29 @@ from .evaluation import EvaluationStore, FileEvaluation, implicit_from_retention
 from .explain import (DimensionContribution, ReputationExplanation,
                       TrustPath, explain_reputation)
 from .file_reputation import FileJudgement, file_reputation, judge_file
-from .file_trust import build_file_trust_matrix, file_trust
+from .file_trust import FileTrustAccumulator, build_file_trust_matrix, file_trust
 from .incentive import (ActionCreditTracker, IncentiveAction,
                         ServiceDifferentiator, ServiceLevel)
 from .integration import (TrustDimension, build_one_step_matrix,
                           integrate_dimensions)
 from .matrix import TrustMatrix
+from .matrix_backend import (DENSE_BACKEND, SPARSE_BACKEND, DenseNumpyBackend,
+                             MatmulBackend, SparseDictBackend, resolve_backend,
+                             select_backend)
 from .multitrust import (MultiTierView, TierAssignment,
                          compute_reputation_matrix, global_reputation_vector,
                          reputation_between)
 from .persistence import (load_system, save_system, system_from_dict,
                           system_to_dict)
+from .pipeline import RefreshStats, TrustPipeline
 from .reputation_system import MultiDimensionalReputationSystem, RefreshView
 from .tuning import (TuningResult, fake_ranking_objective,
                      separation_objective, simplex_grid,
                      sweep_dimension_weights, sweep_eta)
-from .user_trust import UserTrustStore, build_user_trust_matrix
-from .volume_trust import (DownloadLedger, build_volume_trust_matrix,
-                           valid_download_volume)
+from .user_trust import (UserTrustAccumulator, UserTrustStore,
+                         build_user_trust_matrix)
+from .volume_trust import (DownloadLedger, VolumeTrustAccumulator,
+                           build_volume_trust_matrix, valid_download_volume)
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -49,6 +54,7 @@ __all__ = [
     "FileJudgement",
     "file_reputation",
     "judge_file",
+    "FileTrustAccumulator",
     "build_file_trust_matrix",
     "file_trust",
     "ActionCreditTracker",
@@ -59,6 +65,15 @@ __all__ = [
     "build_one_step_matrix",
     "integrate_dimensions",
     "TrustMatrix",
+    "MatmulBackend",
+    "SparseDictBackend",
+    "DenseNumpyBackend",
+    "SPARSE_BACKEND",
+    "DENSE_BACKEND",
+    "select_backend",
+    "resolve_backend",
+    "TrustPipeline",
+    "RefreshStats",
     "MultiTierView",
     "TierAssignment",
     "compute_reputation_matrix",
@@ -77,8 +92,10 @@ __all__ = [
     "sweep_dimension_weights",
     "sweep_eta",
     "UserTrustStore",
+    "UserTrustAccumulator",
     "build_user_trust_matrix",
     "DownloadLedger",
+    "VolumeTrustAccumulator",
     "build_volume_trust_matrix",
     "valid_download_volume",
 ]

@@ -59,6 +59,11 @@ class ReputationConfig:
     # Eq. 8 -- number of multi-trust steps (n).
     multitrust_steps: int = 1
 
+    # Matmul backend for RM = TM^n: "sparse" (dict-of-dicts), "dense"
+    # (numpy bridge) or "auto" (density x size heuristic; see
+    # repro.core.matrix_backend).  Irrelevant while multitrust_steps == 1.
+    matmul_backend: str = "auto"
+
     # Eq. 2 -- distance metric between evaluation vectors.  One of
     # "l1" (paper default), "euclidean", "kl".
     distance_metric: str = "l1"
@@ -112,6 +117,10 @@ class ReputationConfig:
             raise ConfigError(
                 f"unknown distance_metric {self.distance_metric!r}; "
                 "expected 'l1', 'euclidean' or 'kl'")
+        if self.matmul_backend not in ("auto", "sparse", "dense"):
+            raise ConfigError(
+                f"unknown matmul_backend {self.matmul_backend!r}; "
+                "expected 'auto', 'sparse' or 'dense'")
         if self.retention_saturation_seconds <= 0:
             raise ConfigError("retention_saturation_seconds must be positive")
         if self.evaluation_retention_interval <= 0:

@@ -110,6 +110,11 @@ class EvaluationStore:
     config: ReputationConfig = field(default=DEFAULT_CONFIG)
     _by_user: Dict[str, Dict[str, FileEvaluation]] = field(default_factory=dict)
     _by_file: Dict[str, Dict[str, FileEvaluation]] = field(default_factory=dict)
+    #: Files / users whose evaluations changed since the last
+    #: :meth:`clear_dirty` — the delta the incremental pipeline rebuilds
+    #: from, instead of a boolean "something changed" invalidation.
+    _dirty_files: Set[str] = field(default_factory=set)
+    _dirty_users: Set[str] = field(default_factory=set)
 
     # ------------------------------------------------------------------ #
     # Recording                                                          #
@@ -156,6 +161,8 @@ class EvaluationStore:
     def _upsert(self, user_id: str, file_id: str, timestamp: float,
                 implicit: Optional[float] = None,
                 explicit: Optional[float] = None) -> FileEvaluation:
+        self._dirty_files.add(file_id)
+        self._dirty_users.add(user_id)
         per_user = self._by_user.setdefault(user_id, {})
         evaluation = per_user.get(file_id)
         if evaluation is None:
@@ -172,6 +179,8 @@ class EvaluationStore:
 
     def remove(self, user_id: str, file_id: str) -> None:
         """Drop one evaluation (e.g. the user deleted the file long ago)."""
+        self._dirty_files.add(file_id)
+        self._dirty_users.add(user_id)
         per_user = self._by_user.get(user_id)
         if per_user and file_id in per_user:
             del per_user[file_id]
@@ -196,6 +205,27 @@ class EvaluationStore:
         for user_id, file_id in stale:
             self.remove(user_id, file_id)
         return len(stale)
+
+    # ------------------------------------------------------------------ #
+    # Delta tracking                                                     #
+    # ------------------------------------------------------------------ #
+
+    def dirty_files(self) -> Set[str]:
+        """Files touched (upserted/removed) since the last clear."""
+        return set(self._dirty_files)
+
+    def dirty_users(self) -> Set[str]:
+        """Users whose evaluation vectors changed since the last clear."""
+        return set(self._dirty_users)
+
+    @property
+    def has_dirty(self) -> bool:
+        return bool(self._dirty_files) or bool(self._dirty_users)
+
+    def clear_dirty(self) -> None:
+        """Mark the current state as built; next deltas start from here."""
+        self._dirty_files.clear()
+        self._dirty_users.clear()
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #

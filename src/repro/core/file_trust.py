@@ -16,7 +16,8 @@ Figure 1 replay can test edge existence without materialising a full matrix.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from math import fsum
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..lint.contracts import check_row_stochastic
 from .config import DEFAULT_CONFIG, ReputationConfig
@@ -24,7 +25,7 @@ from .distances import get_similarity
 from .evaluation import EvaluationStore
 from .matrix import TrustMatrix
 
-__all__ = ["file_trust", "build_file_trust_matrix"]
+__all__ = ["file_trust", "build_file_trust_matrix", "FileTrustAccumulator"]
 
 
 def file_trust(store: EvaluationStore, user_a: str, user_b: str,
@@ -90,3 +91,109 @@ def build_file_trust_matrix(store: EvaluationStore,
     matrix = raw.row_normalized()
     check_row_stochastic(matrix, name="FM")
     return matrix
+
+
+class FileTrustAccumulator:
+    """Patch-based FM builder keyed by *dirty files*.
+
+    Unlike DM/UM rows, an FM entry couples two users through every file both
+    evaluated, so a single re-evaluation of file ``k`` perturbs every pair
+    that co-evaluated ``k`` — but *only* those pairs.  The accumulator makes
+    that delta invertible by remembering, per pair, the Eq. 2 term each file
+    contributed (``_pair_terms``) and, per file, which pairs it touches
+    (``_file_pairs``).  A refresh retracts the dirty files' old terms,
+    re-derives their new ones, re-finalises exactly the perturbed pairs and
+    re-normalises exactly the perturbed rows.
+
+    Bit-identical to :func:`build_file_trust_matrix` by construction: a
+    pair's total is re-summed left-to-right over its term files in sorted
+    order — the same accumulation sequence the full builder produces by
+    walking ``sorted(store.files())`` — and row normalisation shares the
+    order-independent fsum of :meth:`TrustMatrix.row_normalized`.
+    """
+
+    def __init__(self, config: ReputationConfig = DEFAULT_CONFIG):
+        from .distances import PAIRWISE_ACCUMULATORS
+
+        self._config = config
+        self._term, self._finalize = PAIRWISE_ACCUMULATORS[config.distance_metric]
+        #: pair -> {file_id: Eq. 2 term} for every file both users evaluated.
+        self._pair_terms: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: file_id -> pairs currently holding a term from this file.
+        self._file_pairs: Dict[str, Set[Tuple[str, str]]] = {}
+        #: Un-normalised symmetric FT matrix (Eq. 2 finalised values).
+        self._raw = TrustMatrix()
+        #: Row-normalised FM (Eq. 3).
+        self.matrix = TrustMatrix()
+        #: Rows changed by the most recent :meth:`refresh`.
+        self.last_dirty_rows: Set[str] = set()
+
+    def refresh(self, store: EvaluationStore,
+                dirty_files: Iterable[str]) -> Set[str]:
+        """Re-derive everything downstream of ``dirty_files``; returns rows touched."""
+        changed_pairs: Set[Tuple[str, str]] = set()
+        for file_id in sorted(set(dirty_files)):
+            # Retract the file's previous contribution...
+            for pair in self._file_pairs.pop(file_id, ()):
+                terms = self._pair_terms[pair]
+                del terms[file_id]
+                if not terms:
+                    del self._pair_terms[pair]
+                changed_pairs.add(pair)
+            # ...then contribute its current evaluator set.  No universe
+            # filter: users_evaluating() is always a subset of store.users().
+            evaluators = sorted(store.users_evaluating(file_id))
+            if len(evaluators) < 2:
+                continue
+            values = {u: store.value(u, file_id) for u in evaluators}
+            pairs: Set[Tuple[str, str]] = set()
+            for index, a in enumerate(evaluators):
+                value_a = values[a]
+                for b in evaluators[index + 1:]:
+                    pair = (a, b)
+                    self._pair_terms.setdefault(pair, {})[file_id] = (
+                        self._term(value_a, values[b]))
+                    pairs.add(pair)
+                    changed_pairs.add(pair)
+            self._file_pairs[file_id] = pairs
+
+        touched: Set[str] = set()
+        for pair in sorted(changed_pairs):
+            a, b = pair
+            trust = 0.0
+            terms = self._pair_terms.get(pair)
+            if terms is not None and len(terms) >= self._config.min_overlap:
+                # Left-to-right over sorted files: the exact accumulation
+                # sequence of the full builder's per-pair running total.
+                total = 0.0
+                for term_file in sorted(terms):
+                    total += terms[term_file]
+                trust = self._finalize(total, len(terms))
+            value = trust if trust > 0.0 else 0.0
+            if value != self._raw.get(a, b):
+                self._raw.set(a, b, value)
+                self._raw.set(b, a, value)
+                touched.add(a)
+                touched.add(b)
+
+        for user in sorted(touched):
+            raw_row = self._raw.row_view(user)
+            total = fsum(raw_row.values())
+            if total > 0:
+                self.matrix.replace_row(
+                    user, {j: value / total for j, value in raw_row.items()})
+            else:
+                self.matrix.replace_row(user, {})
+        self.last_dirty_rows = touched
+        check_row_stochastic(self.matrix, name="FM")
+        return touched
+
+    def rebuild(self, store: EvaluationStore) -> Set[str]:
+        """Full pass: forget everything and re-derive from every file."""
+        stale_rows = set(self.matrix.row_ids())
+        self._pair_terms = {}
+        self._file_pairs = {}
+        self._raw = TrustMatrix()
+        self.matrix = TrustMatrix()
+        self.last_dirty_rows = self.refresh(store, store.files()) | stale_rows
+        return self.last_dirty_rows

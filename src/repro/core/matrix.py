@@ -10,6 +10,7 @@ bridge is provided for eigen-analysis and fast matrix powers.
 
 from __future__ import annotations
 
+from math import fsum
 from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,6 +58,40 @@ class TrustMatrix:
         """Increment entry (i, j) by ``delta`` (clamped at zero below)."""
         current = self.get(i, j)
         self.set(i, j, max(current + delta, 0.0))
+
+    def replace_row(self, i: str, values: Mapping[str, float]) -> None:
+        """Replace row ``i`` wholesale; zero/negative entries are dropped.
+
+        The incremental builders patch exactly the rows whose inputs went
+        dirty; replacing the row in one call keeps the "no stored zeros, no
+        empty rows" invariants without touching untouched rows.
+        """
+        row = {j: value for j, value in values.items() if value > 0.0}
+        if row:
+            self._rows[i] = row
+        else:
+            self._rows.pop(i, None)
+
+    def copy_with_rows(self, updates: Mapping[str, Mapping[str, float]]
+                       ) -> "TrustMatrix":
+        """Row-level copy-on-write: a new matrix sharing unchanged rows.
+
+        ``updates`` maps row ids to their new contents (empty mapping =
+        remove the row).  Unchanged rows are *shared by reference* with
+        ``self`` and are never mutated afterwards — each refresh that
+        touches them again replaces them here the same way — so snapshots
+        handed out earlier stay stable while a refresh publishes a fresh
+        matrix identity.
+        """
+        result = TrustMatrix()
+        result._rows = dict(self._rows)
+        for i, values in updates.items():
+            row = {j: value for j, value in values.items() if value > 0.0}
+            if row:
+                result._rows[i] = row
+            else:
+                result._rows.pop(i, None)
+        return result
 
     # ------------------------------------------------------------------ #
     # Access                                                             #
@@ -129,10 +164,16 @@ class TrustMatrix:
     # ------------------------------------------------------------------ #
 
     def row_normalized(self) -> "TrustMatrix":
-        """Return a copy whose non-empty rows sum to 1 (Eqs. 3, 5, 6)."""
+        """Return a copy whose non-empty rows sum to 1 (Eqs. 3, 5, 6).
+
+        Row totals use ``math.fsum`` so the result depends only on the row's
+        *values*, never on dict insertion order — the incremental builders
+        re-derive single rows and must land on the same floats a full
+        rebuild produces.
+        """
         result = TrustMatrix()
         for i, row in self._rows.items():
-            total = sum(row.values())
+            total = fsum(row.values())
             if total <= 0:
                 continue
             for j, value in row.items():
@@ -166,14 +207,21 @@ class TrustMatrix:
         return result
 
     def matmul(self, other: "TrustMatrix") -> "TrustMatrix":
-        """Sparse matrix product ``self @ other``."""
+        """Sparse matrix product ``self @ other``.
+
+        The inner loop walks ``self``'s row keys in sorted order so each
+        output entry accumulates its products in a canonical sequence:
+        value-equal operands give bit-identical products no matter how
+        their row dicts were built (full rebuild vs incremental patch).
+        """
         result = TrustMatrix()
         for i, row in self._rows.items():
             accumulator: Dict[str, float] = {}
-            for k, v_ik in row.items():
+            for k in sorted(row):
                 other_row = other._rows.get(k)
                 if not other_row:
                     continue
+                v_ik = row[k]
                 for j, v_kj in other_row.items():
                     accumulator[j] = accumulator.get(j, 0.0) + v_ik * v_kj
             for j, value in accumulator.items():

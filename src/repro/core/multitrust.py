@@ -19,6 +19,7 @@ from ..lint.contracts import check_row_stochastic
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .matrix import TrustMatrix
+from .matrix_backend import SPARSE_BACKEND, MatmulBackend
 
 __all__ = ["compute_reputation_matrix", "reputation_between",
            "matrix_residual", "convergence_residuals",
@@ -28,12 +29,15 @@ __all__ = ["compute_reputation_matrix", "reputation_between",
 def compute_reputation_matrix(one_step: TrustMatrix,
                               steps: Optional[int] = None,
                               config: ReputationConfig = DEFAULT_CONFIG,
-                              recorder: NullRecorder = NULL_RECORDER
+                              recorder: NullRecorder = NULL_RECORDER,
+                              backend: MatmulBackend = SPARSE_BACKEND
                               ) -> TrustMatrix:
     """Eq. 8: ``RM = TM ** n``; ``steps`` overrides ``config.multitrust_steps``.
 
     With the default :data:`~repro.obs.recorder.NULL_RECORDER` this is the
-    seed's repeated-squaring fast path.  A live recorder switches to plain
+    fast path: one ``backend.power`` call (sparse repeated squaring by
+    default, or the dense numpy product — see
+    :mod:`~repro.core.matrix_backend`).  A live recorder switches to plain
     iterated multiplication so every intermediate power exists, and emits a
     ``multitrust_iteration`` event per step with the L∞ residual between
     successive powers — the paper's convergence-toward-EigenTrust story,
@@ -44,7 +48,7 @@ def compute_reputation_matrix(one_step: TrustMatrix,
     # behind REPRO_CHECK_INVARIANTS on both the input and the result.
     check_row_stochastic(one_step, name="TM", strict=False)
     if not recorder.enabled:
-        result = one_step.power(n)
+        result = backend.power(one_step, n)
         check_row_stochastic(result, name=f"RM=TM^{n}", strict=False)
         return result
     if n < 1:
@@ -53,7 +57,7 @@ def compute_reputation_matrix(one_step: TrustMatrix,
         result = one_step
         for iteration in range(2, n + 1):
             previous = result
-            result = result.matmul(one_step)
+            result = backend.matmul(result, one_step)
             residual = matrix_residual(previous, result)
             recorder.event("multitrust_iteration", iteration=iteration,
                            residual=residual, entries=result.entry_count())
@@ -65,17 +69,21 @@ def compute_reputation_matrix(one_step: TrustMatrix,
 
 
 def matrix_residual(previous: TrustMatrix, current: TrustMatrix) -> float:
-    """L∞ distance between two matrices over the union of their entries."""
+    """L∞ distance between two matrices over the union of their entries.
+
+    Runs on read-only row views — the instrumented power loop calls this
+    once per iteration, and copying every row per call used to dominate the
+    residual's own arithmetic.
+    """
     residual = 0.0
-    seen = set()
-    for i, row in current.rows():
-        previous_row = previous.row(i)
+    for i, row in current.iter_row_views():
+        previous_row = previous.row_view(i)
         for j, value in row.items():
-            seen.add((i, j))
             residual = max(residual, abs(value - previous_row.get(j, 0.0)))
-    for i, row in previous.rows():
+    for i, row in previous.iter_row_views():
+        current_row = current.row_view(i)
         for j, value in row.items():
-            if (i, j) not in seen:
+            if j not in current_row:
                 residual = max(residual, value)
     return residual
 
@@ -180,6 +188,6 @@ def global_reputation_vector(reputation: TrustMatrix,
         return {}
     totals: Dict[str, float] = {}
     for i in ids:
-        for j, value in reputation.row(i).items():
+        for j, value in reputation.row_view(i).items():
             totals[j] = totals.get(j, 0.0) + value
     return {j: total / len(ids) for j, total in totals.items()}

@@ -28,7 +28,7 @@ FORMAT_VERSION = 1
 
 _CONFIG_FIELDS = [
     "eta", "rho", "alpha", "beta", "gamma", "multitrust_steps",
-    "distance_metric", "fake_file_threshold",
+    "matmul_backend", "distance_metric", "fake_file_threshold",
     "retention_saturation_seconds", "evaluation_retention_interval",
     "min_overlap", "max_queue_offset_seconds", "min_bandwidth_quota",
     "max_bandwidth_quota", "upload_credit", "vote_credit", "rank_credit",

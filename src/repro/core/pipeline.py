@@ -1,0 +1,338 @@
+"""The incremental trust pipeline: delta-in, patched-matrices-out.
+
+The seed's façade cached ``TM``/``RM`` behind a boolean "something changed"
+flag: any write threw every matrix away and the next query rebuilt the world.
+:class:`TrustPipeline` replaces that with a delta pipeline:
+
+1. the stores (:class:`~repro.core.evaluation.EvaluationStore`,
+   :class:`~repro.core.volume_trust.DownloadLedger`,
+   :class:`~repro.core.user_trust.UserTrustStore`) accumulate *dirty sets*
+   — which files, downloaders and raters changed since the last refresh;
+2. the per-dimension accumulators (:class:`FileTrustAccumulator`,
+   :class:`VolumeTrustAccumulator`, :class:`UserTrustAccumulator`) re-derive
+   only the rows/pairs incident to that dirt;
+3. the integrated ``TM`` is patched row-wise (Eq. 7 re-applied to exactly
+   the dirty rows) and published copy-on-write, so earlier snapshots stay
+   stable while each refresh has a fresh matrix identity;
+4. ``RM = TM^n`` (Eq. 8) goes through a pluggable
+   :mod:`~repro.core.matrix_backend`; for the paper's default ``n = 1`` it
+   *is* the patched ``TM`` and costs nothing.
+
+The hard bar, enforceable at runtime behind ``REPRO_CHECK_INVARIANTS``:
+an incremental refresh produces matrices **bit-identical** to a full
+rebuild.  Every arithmetic path is shared with or order-canonicalised
+against the full builders (fsum row totals, sorted-key accumulation), so
+equality is exact ``==``, not tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint.contracts import (check_matrices_equal, check_row_stochastic,
+                              check_simplex, contracts_enabled)
+from ..obs.recorder import NULL_RECORDER, NullRecorder
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import EvaluationStore
+from .file_trust import FileTrustAccumulator
+from .matrix import TrustMatrix
+from .matrix_backend import MatmulBackend, resolve_backend
+from .multitrust import compute_reputation_matrix
+from .user_trust import UserTrustAccumulator, UserTrustStore
+from .volume_trust import DownloadLedger, VolumeTrustAccumulator
+
+__all__ = ["TrustPipeline", "RefreshStats", "RefreshView"]
+
+
+@dataclass(frozen=True)
+class RefreshView:
+    """Zero-copy window onto the matrices of one refresh.
+
+    Holds references to the pipeline's published ``TM`` and ``RM`` —
+    building one allocates nothing beyond the dataclass itself, and
+    consumers read rows through :meth:`TrustMatrix.row_view`.  The
+    per-refresh timeline instrumentation samples reputations and trust
+    edges through this view, so observability never copies full matrices.
+    """
+
+    trust: TrustMatrix
+    reputation: TrustMatrix
+
+    def top_trust_edges(self, per_row: int = 6, min_value: float = 1e-9
+                        ) -> Iterator[Tuple[str, str, float]]:
+        """Strongest ``per_row`` out-edges of ``TM`` per truster, sorted.
+
+        Rows iterate in sorted truster order; within a row, edges sort by
+        descending value then trustee id — fully deterministic.
+        """
+        if per_row < 1:
+            raise ValueError(f"per_row must be >= 1, got {per_row}")
+        for truster in sorted(self.trust.row_ids()):
+            row = self.trust.row_view(truster)
+            strongest = sorted(row.items(),
+                               key=lambda item: (-item[1], item[0]))
+            for trustee, value in strongest[:per_row]:
+                if value >= min_value:
+                    yield truster, trustee, value
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """What one :meth:`TrustPipeline.refresh` actually did.
+
+    ``mode`` is ``"full"`` (first refresh or forced), ``"incremental"``
+    (delta-driven patch) or ``"noop"`` (no dirt to consume).  Row counts
+    refer to the integrated ``TM``; ``rebuild_ratio`` is the fraction of
+    its rows the refresh re-derived — the number the incremental design
+    exists to keep small.
+    """
+
+    mode: str
+    backend: str
+    dirty_files: int
+    dirty_rows_file: int
+    dirty_rows_volume: int
+    dirty_rows_user: int
+    rows_rebuilt: int
+    total_rows: int
+
+    @property
+    def rebuild_ratio(self) -> float:
+        if self.total_rows <= 0:
+            return 0.0
+        return min(self.rows_rebuilt / self.total_rows, 1.0)
+
+
+class TrustPipeline:
+    """Owns the incremental compute path from stores to ``TM``/``RM``.
+
+    The pipeline never mutates a published matrix: each refresh patches
+    through :meth:`TrustMatrix.copy_with_rows`, so callers holding a
+    :class:`RefreshView` from an earlier refresh keep a stable snapshot
+    while ``pipeline.trust`` moves on.  ``version`` increments on every
+    refresh that consumed dirt — cache keys for derived structures (tier
+    views, step-overridden RM powers) hang off it.
+    """
+
+    def __init__(self, evaluations: EvaluationStore, ledger: DownloadLedger,
+                 user_trust: UserTrustStore,
+                 config: ReputationConfig = DEFAULT_CONFIG,
+                 recorder: NullRecorder = NULL_RECORDER):
+        self.config = config
+        self.recorder = recorder
+        self.evaluations = evaluations
+        self.ledger = ledger
+        self.user_trust = user_trust
+        self._file: Optional[FileTrustAccumulator] = (
+            FileTrustAccumulator(config) if config.alpha > 0 else None)
+        self._volume: Optional[VolumeTrustAccumulator] = (
+            VolumeTrustAccumulator(config) if config.beta > 0 else None)
+        self._user: Optional[UserTrustAccumulator] = (
+            UserTrustAccumulator() if config.gamma > 0 else None)
+        self._trust = TrustMatrix()
+        self._reputation = TrustMatrix()
+        #: RM powers for step overrides, keyed by ``steps``; cleared by
+        #: every refresh that consumed dirt.
+        self._power_cache: Dict[int, TrustMatrix] = {}
+        self._initialized = False
+        self._force_full = False
+        #: Monotone refresh counter; bumps whenever matrices re-publish.
+        self.version = 0
+        self.last_stats: Optional[RefreshStats] = None
+
+    # ------------------------------------------------------------------ #
+    # Published state                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trust(self) -> TrustMatrix:
+        """The most recently published integrated ``TM`` (Eq. 7)."""
+        return self._trust
+
+    @property
+    def reputation(self) -> TrustMatrix:
+        """The most recently published ``RM = TM^n`` (Eq. 8)."""
+        return self._reputation
+
+    def view(self) -> RefreshView:
+        """Zero-copy view of the current published pair (no refresh)."""
+        return RefreshView(trust=self._trust, reputation=self._reputation)
+
+    @property
+    def has_dirty(self) -> bool:
+        """Whether any store holds unconsumed deltas."""
+        return (not self._initialized or self._force_full
+                or self.evaluations.has_dirty or self.ledger.has_dirty
+                or self.user_trust.has_dirty)
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`refresh` to rebuild from scratch.
+
+        Escape hatch for callers that mutated store internals without
+        going through the dirty-marking mutators.
+        """
+        self._force_full = True
+
+    # ------------------------------------------------------------------ #
+    # Refresh                                                            #
+    # ------------------------------------------------------------------ #
+
+    def refresh(self, force_full: bool = False) -> RefreshView:
+        """Consume all accumulated deltas and publish fresh ``TM``/``RM``.
+
+        With nothing to consume this is a no-op returning the current
+        matrices *by identity*; otherwise both matrices get a new identity
+        (copy-on-write), even if every value survived unchanged — callers
+        use identity to detect "a refresh happened here".
+        """
+        dirty_files = self.evaluations.dirty_files()
+        # A user's DM row re-weights when their evaluations move (Eq. 4
+        # weighs downloaded bytes by the downloader's own evaluations).
+        dirty_downloaders = (self.ledger.dirty_downloaders()
+                             | self.evaluations.dirty_users())
+        dirty_raters = self.user_trust.dirty_raters()
+        full = force_full or self._force_full or not self._initialized
+        if not (full or dirty_files or dirty_downloaders or dirty_raters):
+            self.recorder.inc("pipeline.noop_refreshes")
+            return self.view()
+
+        with self.recorder.profile("pipeline.refresh"):
+            if full:
+                file_rows = (self._file.rebuild(self.evaluations)
+                             if self._file else set())
+                volume_rows = (self._volume.rebuild(self.ledger,
+                                                    self.evaluations)
+                               if self._volume else set())
+                user_rows = (self._user.rebuild(self.user_trust)
+                             if self._user else set())
+            else:
+                file_rows = (self._file.refresh(self.evaluations, dirty_files)
+                             if self._file else set())
+                volume_rows = (self._volume.refresh(
+                    self.ledger, self.evaluations, dirty_downloaders)
+                    if self._volume else set())
+                user_rows = (self._user.refresh(self.user_trust, dirty_raters)
+                             if self._user else set())
+            dirty_rows = file_rows | volume_rows | user_rows
+            self._publish_trust(dirty_rows)
+            backend = resolve_backend(self.config.matmul_backend, self._trust)
+            self._publish_reputation(backend)
+
+        self.evaluations.clear_dirty()
+        self.ledger.clear_dirty()
+        self.user_trust.clear_dirty()
+        self._power_cache.clear()
+        self._power_cache[self.config.multitrust_steps] = self._reputation
+        self._force_full = False
+        self._initialized = True
+        self.version += 1
+
+        stats = RefreshStats(
+            mode="full" if full else "incremental",
+            backend=backend.name,
+            dirty_files=len(dirty_files),
+            dirty_rows_file=len(file_rows),
+            dirty_rows_volume=len(volume_rows),
+            dirty_rows_user=len(user_rows),
+            rows_rebuilt=len(dirty_rows),
+            total_rows=len(self._trust.row_ids()),
+        )
+        self.last_stats = stats
+        self._record(stats)
+        if not full:
+            self._verify_against_full_rebuild()
+        return self.view()
+
+    def reputation_at(self, steps: int) -> TrustMatrix:
+        """``TM^steps`` for a step override, cached until the next refresh."""
+        cached = self._power_cache.get(steps)
+        if cached is None:
+            backend = resolve_backend(self.config.matmul_backend, self._trust)
+            cached = compute_reputation_matrix(
+                self._trust, steps, self.config, recorder=self.recorder,
+                backend=backend)
+            self._power_cache[steps] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _dimensions(self) -> List[Tuple[float, TrustMatrix]]:
+        """Active (weight, one-step matrix) pairs in Eq. 7 order."""
+        dimensions: List[Tuple[float, TrustMatrix]] = []
+        if self._file is not None:
+            dimensions.append((self.config.alpha, self._file.matrix))
+        if self._volume is not None:
+            dimensions.append((self.config.beta, self._volume.matrix))
+        if self._user is not None:
+            dimensions.append((self.config.gamma, self._user.matrix))
+        return dimensions
+
+    def _publish_trust(self, dirty_rows: Set[str]) -> None:
+        """Re-apply Eq. 7 to exactly ``dirty_rows``; publish copy-on-write.
+
+        Per-row accumulation adds the dimensions in FM, DM, UM order —
+        the same per-entry addition sequence
+        :meth:`TrustMatrix.weighted_sum` performs in the full builder, so
+        a patched row carries the same floats.
+        """
+        dimensions = self._dimensions()
+        check_simplex((self.config.alpha, self.config.beta, self.config.gamma),
+                      name="(alpha, beta, gamma)")
+        updates: Dict[str, Dict[str, float]] = {}
+        for i in sorted(dirty_rows):
+            accumulator: Dict[str, float] = {}
+            for weight, matrix in dimensions:
+                for j, value in matrix.row_view(i).items():
+                    accumulator[j] = accumulator.get(j, 0.0) + weight * value
+            updates[i] = accumulator
+        self._trust = self._trust.copy_with_rows(updates)
+        check_row_stochastic(self._trust, name="TM", strict=False)
+
+    def _publish_reputation(self, backend: MatmulBackend) -> None:
+        steps = self.config.multitrust_steps
+        if steps == 1 and not self.recorder.enabled:
+            # power(1) is the identity operation; RM *is* the patched TM.
+            self._reputation = self._trust
+            return
+        self._reputation = compute_reputation_matrix(
+            self._trust, None, self.config, recorder=self.recorder,
+            backend=backend)
+
+    def _verify_against_full_rebuild(self) -> None:
+        """Contracts-gated hard bar: patched state == full rebuild, exactly."""
+        if not contracts_enabled():
+            return
+        from .integration import build_one_step_matrix
+
+        full_trust = build_one_step_matrix(
+            self.evaluations, self.ledger, self.user_trust, self.config)
+        check_matrices_equal(self._trust, full_trust, name="TM(incremental)")
+        # Same backend as the incremental path: sparse and dense products
+        # agree only to tolerance, and the bar here is exact equality.
+        full_reputation = compute_reputation_matrix(
+            full_trust, None, self.config,
+            backend=resolve_backend(self.config.matmul_backend, full_trust))
+        check_matrices_equal(self._reputation, full_reputation,
+                             name="RM(incremental)")
+
+    def _record(self, stats: RefreshStats) -> None:
+        recorder = self.recorder
+        if not recorder.enabled:
+            return
+        recorder.event("pipeline_refresh", mode=stats.mode,
+                       backend=stats.backend, dirty_files=stats.dirty_files,
+                       dirty_rows_file=stats.dirty_rows_file,
+                       dirty_rows_volume=stats.dirty_rows_volume,
+                       dirty_rows_user=stats.dirty_rows_user,
+                       rows_rebuilt=stats.rows_rebuilt,
+                       total_rows=stats.total_rows,
+                       rebuild_ratio=stats.rebuild_ratio)
+        recorder.inc("pipeline.refreshes")
+        if stats.mode == "full":
+            recorder.inc("pipeline.full_rebuilds")
+        recorder.observe("pipeline.rows_rebuilt", stats.rows_rebuilt)
+        recorder.observe("pipeline.rebuild_ratio", stats.rebuild_ratio)
+        recorder.gauge("pipeline.total_rows", stats.total_rows)

@@ -17,14 +17,17 @@ three questions the paper's mechanisms need:
 3. *service level* (Section 3.4): what queue offset and bandwidth does this
    requester deserve?
 
-Matrix construction is cached and invalidated on writes, so bursts of event
-ingestion pay the (dominant) matrix cost once.
+Matrix construction is owned by the :class:`~repro.core.pipeline.TrustPipeline`:
+stores accumulate per-entity dirty sets, and a refresh re-derives only the
+rows those deltas touch, bit-identical to a full rebuild.  The façade keeps
+the staleness policy — with ``auto_refresh`` every write marks the matrices
+stale (always-fresh queries); simulations set it to False and call
+:meth:`recompute` at their maintenance cadence instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
@@ -32,46 +35,13 @@ from .evaluation import EvaluationStore
 from .file_reputation import FileJudgement, judge_file
 from .incentive import (ActionCreditTracker, IncentiveAction,
                         ServiceDifferentiator, ServiceLevel)
-from .integration import build_one_step_matrix
 from .matrix import TrustMatrix
-from .multitrust import (MultiTierView, compute_reputation_matrix,
-                         global_reputation_vector)
+from .multitrust import MultiTierView, global_reputation_vector
+from .pipeline import RefreshView, TrustPipeline
 from .user_trust import UserTrustStore
 from .volume_trust import DownloadLedger
 
 __all__ = ["MultiDimensionalReputationSystem", "RefreshView"]
-
-
-@dataclass(frozen=True)
-class RefreshView:
-    """Zero-copy window onto the matrices of one refresh.
-
-    Holds references to the system's *cached* ``TM`` and ``RM`` — building
-    one allocates nothing beyond the dataclass itself, and consumers read
-    rows through :meth:`TrustMatrix.row_view`.  The per-refresh timeline
-    instrumentation samples reputations and trust edges through this view,
-    so observability never copies full matrices.
-    """
-
-    trust: TrustMatrix
-    reputation: TrustMatrix
-
-    def top_trust_edges(self, per_row: int = 6, min_value: float = 1e-9
-                        ) -> Iterator[Tuple[str, str, float]]:
-        """Strongest ``per_row`` out-edges of ``TM`` per truster, sorted.
-
-        Rows iterate in sorted truster order; within a row, edges sort by
-        descending value then trustee id — fully deterministic.
-        """
-        if per_row < 1:
-            raise ValueError(f"per_row must be >= 1, got {per_row}")
-        for truster in sorted(self.trust.row_ids()):
-            row = self.trust.row_view(truster)
-            strongest = sorted(row.items(),
-                               key=lambda item: (-item[1], item[0]))
-            for trustee, value in strongest[:per_row]:
-                if value >= min_value:
-                    yield truster, trustee, value
 
 #: Weight of global incentive credit relative to pairwise reputation when
 #: computing the effective reputation used for service differentiation.  The
@@ -87,10 +57,9 @@ class MultiDimensionalReputationSystem:
                  auto_refresh: bool = True,
                  recorder: NullRecorder = NULL_RECORDER):
         self.config = config
-        #: Observability sink; the default NULL_RECORDER ignores everything.
-        self.recorder = recorder
-        #: With ``auto_refresh`` every write invalidates the cached matrices
-        #: (always-fresh queries, O(rebuild) per write burst).  Simulations
+        self._recorder = recorder
+        #: With ``auto_refresh`` every write marks the matrices stale
+        #: (always-fresh queries, O(delta) per write burst).  Simulations
         #: ingesting thousands of events set it to False and call
         #: :meth:`recompute` at their maintenance cadence instead.
         self.auto_refresh = auto_refresh
@@ -98,9 +67,24 @@ class MultiDimensionalReputationSystem:
         self.ledger = DownloadLedger()
         self.user_trust = UserTrustStore()
         self.credits = ActionCreditTracker(config=config)
-        self._one_step: Optional[TrustMatrix] = None
-        self._reputation: Optional[TrustMatrix] = None
+        #: The incremental compute path from stores to ``TM``/``RM``.
+        self.pipeline = TrustPipeline(self.evaluations, self.ledger,
+                                      self.user_trust, config, recorder)
+        self._stale = True
         self._tier_view: Optional[MultiTierView] = None
+        self._tier_version = -1
+
+    @property
+    def recorder(self) -> NullRecorder:
+        """Observability sink; the default NULL_RECORDER ignores everything."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, recorder: NullRecorder) -> None:
+        # Mechanisms bind a live recorder after construction; the pipeline
+        # must follow or its pipeline_refresh events vanish into the null.
+        self._recorder = recorder
+        self.pipeline.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # Event ingestion                                                    #
@@ -108,13 +92,16 @@ class MultiDimensionalReputationSystem:
 
     def _invalidate(self) -> None:
         if self.auto_refresh:
-            self.recompute()
+            self._stale = True
 
     def recompute(self) -> None:
-        """Drop cached matrices so the next query rebuilds them."""
-        self._one_step = None
-        self._reputation = None
-        self._tier_view = None
+        """Mark cached matrices stale so the next query refreshes them.
+
+        The stores track their deltas regardless of ``auto_refresh``, so
+        the refresh this triggers re-derives only what actually changed —
+        with results bit-identical to a from-scratch rebuild.
+        """
+        self._stale = True
 
     def record_download(self, downloader: str, uploader: str, file_id: str,
                         size_bytes: float, timestamp: float = 0.0) -> None:
@@ -182,39 +169,44 @@ class MultiDimensionalReputationSystem:
     # Matrices                                                           #
     # ------------------------------------------------------------------ #
 
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self.pipeline.refresh()
+            self._stale = False
+
     def one_step_matrix(self) -> TrustMatrix:
         """The integrated one-step trust matrix ``TM`` (Eq. 7), cached."""
-        if self._one_step is None:
-            self._one_step = build_one_step_matrix(
-                self.evaluations, self.ledger, self.user_trust, self.config)
-        return self._one_step
+        self._ensure_fresh()
+        return self.pipeline.trust
 
     def reputation_matrix(self, steps: Optional[int] = None) -> TrustMatrix:
-        """The multi-trust reputation matrix ``RM = TM^n`` (Eq. 8), cached."""
+        """The multi-trust reputation matrix ``RM = TM^n`` (Eq. 8), cached.
+
+        ``steps`` overrides ``config.multitrust_steps``; overridden powers
+        are cached per step count until the next refresh.
+        """
+        self._ensure_fresh()
         if steps is not None and steps != self.config.multitrust_steps:
-            return compute_reputation_matrix(self.one_step_matrix(), steps,
-                                             self.config,
-                                             recorder=self.recorder)
-        if self._reputation is None:
-            self._reputation = compute_reputation_matrix(
-                self.one_step_matrix(), None, self.config,
-                recorder=self.recorder)
-        return self._reputation
+            return self.pipeline.reputation_at(steps)
+        return self.pipeline.reputation
 
     def refresh_view(self) -> RefreshView:
-        """Zero-copy view of the current cached ``TM``/``RM`` pair.
+        """Zero-copy view of the current ``TM``/``RM`` pair.
 
-        Both matrices come from the caches (building them on first access),
-        so taking a view at every maintenance tick costs nothing beyond the
-        refresh the tick performs anyway.
+        Both matrices come from the pipeline (refreshing them if stale),
+        so taking a view at every maintenance tick costs nothing beyond
+        the refresh the tick performs anyway.
         """
-        return RefreshView(trust=self.one_step_matrix(),
-                           reputation=self.reputation_matrix())
+        self._ensure_fresh()
+        return self.pipeline.view()
 
     def tier_view(self, max_tier: int = 3) -> MultiTierView:
         """Multi-tier view over the current one-step matrix."""
-        if self._tier_view is None or self._tier_view.max_tier != max_tier:
-            self._tier_view = MultiTierView(self.one_step_matrix(), max_tier)
+        self._ensure_fresh()
+        if (self._tier_view is None or self._tier_view.max_tier != max_tier
+                or self._tier_version != self.pipeline.version):
+            self._tier_view = MultiTierView(self.pipeline.trust, max_tier)
+            self._tier_version = self.pipeline.version
         return self._tier_view
 
     # ------------------------------------------------------------------ #
@@ -231,15 +223,10 @@ class MultiDimensionalReputationSystem:
         The bonus bootstraps well-behaved newcomers: voting/ranking/cleanup
         earn service priority even before a trust path exists.
         """
-        pairwise = self.user_reputation(observer, target)
-        balances = self.credits.balances()
-        if not balances:
-            return pairwise
-        max_credit = max(balances.values())
-        if max_credit <= 0:
-            return pairwise
-        bonus = self.credits.credit(target) / max_credit
-        return pairwise + CREDIT_BONUS_WEIGHT * bonus * self._reference(observer)
+        reputation = self.reputation_matrix()
+        return self._effective_reputation(
+            reputation, observer, target, self._max_credit(),
+            self._reference_in(reputation, observer))
 
     def global_reputation(self) -> Dict[str, float]:
         """Column-mean projection of RM (for baseline comparisons)."""
@@ -253,19 +240,49 @@ class MultiDimensionalReputationSystem:
                           observer, file_id, threshold, self.config,
                           accept_when_blind)
 
-    def _reference(self, observer: str) -> float:
+    def _max_credit(self) -> float:
+        """Largest credit balance in the system (0.0 when nobody has any)."""
+        balances = self.credits.balances()
+        if not balances:
+            return 0.0
+        return max(balances.values())
+
+    @staticmethod
+    def _reference_in(reputation: TrustMatrix, observer: str) -> float:
         """Reference reputation scale for the observer (his max row entry)."""
-        row = self.reputation_matrix().row(observer)
+        row: Mapping[str, float] = reputation.row_view(observer)
         if not row:
             return 1.0
         return max(row.values())
 
+    def _reference(self, observer: str) -> float:
+        return self._reference_in(self.reputation_matrix(), observer)
+
+    def _effective_reputation(self, reputation: TrustMatrix, observer: str,
+                              target: str, max_credit: float,
+                              reference: float) -> float:
+        """Shared Eq. + credit-bonus arithmetic over hoisted per-queue state.
+
+        ``max_credit`` and ``reference`` depend only on the system / the
+        observer, so queue ordering computes them once instead of per
+        requester.
+        """
+        pairwise = reputation.get(observer, target)
+        if max_credit <= 0:
+            return pairwise
+        bonus = self.credits.credit(target) / max_credit
+        return pairwise + CREDIT_BONUS_WEIGHT * bonus * reference
+
     def service_level(self, observer: str, requester: str) -> ServiceLevel:
         """Section 3.4: the service ``observer`` should grant ``requester``."""
+        reputation = self.reputation_matrix()
+        reference = self._reference_in(reputation, observer)
         differentiator = ServiceDifferentiator(
-            self.config, reference_reputation=max(self._reference(observer), 1e-12))
+            self.config, reference_reputation=max(reference, 1e-12))
         return differentiator.service_level(
-            requester, self.effective_reputation(observer, requester))
+            requester, self._effective_reputation(
+                reputation, observer, requester, self._max_credit(),
+                reference))
 
     def order_request_queue(self, observer: str,
                             requests: Sequence[Tuple[str, float]]
@@ -273,13 +290,19 @@ class MultiDimensionalReputationSystem:
         """Order ``(requester, arrival_time)`` pairs by effective time.
 
         High-reputation requesters receive a negative offset and move ahead;
-        ties (including all-zero reputations) preserve arrival order.
+        ties (including all-zero reputations) preserve arrival order.  The
+        differentiator, credit maximum and observer reference are computed
+        once for the whole queue, not per requester.
         """
+        reputation = self.reputation_matrix()
+        reference = self._reference_in(reputation, observer)
         differentiator = ServiceDifferentiator(
-            self.config, reference_reputation=max(self._reference(observer), 1e-12))
+            self.config, reference_reputation=max(reference, 1e-12))
+        max_credit = self._max_credit()
         annotated = [
             (requester, arrival,
-             self.effective_reputation(observer, requester))
+             self._effective_reputation(reputation, observer, requester,
+                                        max_credit, reference))
             for requester, arrival in requests
         ]
         return differentiator.order_queue(annotated)

@@ -12,13 +12,14 @@ Eq. 6 row-normalises ``UT`` into the user-based one-step matrix ``UM``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from math import fsum
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..lint.contracts import check_row_stochastic
 from .matrix import TrustMatrix
 
 __all__ = ["UserTrustStore", "build_user_trust_matrix",
-           "FRIEND_TRUST", "DEFAULT_RATING"]
+           "UserTrustAccumulator", "FRIEND_TRUST", "DEFAULT_RATING"]
 
 # Value assigned to friend-list members ("a large UT").
 FRIEND_TRUST = 1.0
@@ -37,6 +38,9 @@ class UserTrustStore:
     _ratings: Dict[Tuple[str, str], float] = field(default_factory=dict)
     _friends: Dict[str, Set[str]] = field(default_factory=dict)
     _blacklists: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Raters whose relationships changed since the last :meth:`clear_dirty`
+    #: — each one names a UM row the incremental pipeline must re-derive.
+    _dirty_raters: Set[str] = field(default_factory=set)
 
     # ------------------------------------------------------------------ #
     # Mutation                                                           #
@@ -49,6 +53,7 @@ class UserTrustStore:
         if not 0.0 <= rating <= 1.0:
             raise ValueError(f"rating must be in [0,1], got {rating}")
         self._ratings[(rater, ratee)] = rating
+        self._dirty_raters.add(rater)
 
     def add_friend(self, user: str, friend: str) -> None:
         if user == friend:
@@ -56,18 +61,37 @@ class UserTrustStore:
         self._friends.setdefault(user, set()).add(friend)
         # Friendship revokes a standing blacklist entry.
         self._blacklists.get(user, set()).discard(friend)
+        self._dirty_raters.add(user)
 
     def add_to_blacklist(self, user: str, target: str) -> None:
         if user == target:
             raise ValueError("a user cannot blacklist itself")
         self._blacklists.setdefault(user, set()).add(target)
         self._friends.get(user, set()).discard(target)
+        self._dirty_raters.add(user)
 
     def remove_friend(self, user: str, friend: str) -> None:
         self._friends.get(user, set()).discard(friend)
+        self._dirty_raters.add(user)
 
     def remove_from_blacklist(self, user: str, target: str) -> None:
         self._blacklists.get(user, set()).discard(target)
+        self._dirty_raters.add(user)
+
+    # ------------------------------------------------------------------ #
+    # Delta tracking                                                     #
+    # ------------------------------------------------------------------ #
+
+    def dirty_raters(self) -> Set[str]:
+        """Raters whose UM row inputs changed since the last clear."""
+        return set(self._dirty_raters)
+
+    @property
+    def has_dirty(self) -> bool:
+        return bool(self._dirty_raters)
+
+    def clear_dirty(self) -> None:
+        self._dirty_raters.clear()
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #
@@ -138,3 +162,47 @@ def build_user_trust_matrix(store: UserTrustStore) -> TrustMatrix:
     matrix = raw.row_normalized()
     check_row_stochastic(matrix, name="UM")
     return matrix
+
+
+class UserTrustAccumulator:
+    """Patch-based UM builder: re-derives only dirty raters' rows.
+
+    A rater's UM row (Eq. 6) depends only on their own ratings, friend list
+    and blacklist, so rows are independent: the accumulator keeps the
+    normalised matrix between refreshes and recomputes exactly the rows
+    named dirty.  Per-row arithmetic mirrors
+    :func:`build_user_trust_matrix` (sorted targets, ``value > 0`` filter,
+    fsum normalisation), so a patched row is bit-identical to a freshly
+    built one.
+    """
+
+    def __init__(self) -> None:
+        self.matrix = TrustMatrix()
+        #: Rows changed by the most recent :meth:`refresh`.
+        self.last_dirty_rows: Set[str] = set()
+
+    def refresh(self, store: UserTrustStore,
+                dirty_raters: Iterable[str]) -> Set[str]:
+        """Re-derive the rows of ``dirty_raters``; returns rows touched."""
+        touched: Set[str] = set()
+        for rater in sorted(set(dirty_raters)):
+            raw_row = {other: value
+                       for other, value in store.relationships_of(rater).items()
+                       if value > 0.0}
+            total = fsum(raw_row.values())
+            if total > 0:
+                self.matrix.replace_row(
+                    rater, {j: value / total for j, value in raw_row.items()})
+            else:
+                self.matrix.replace_row(rater, {})
+            touched.add(rater)
+        self.last_dirty_rows = touched
+        check_row_stochastic(self.matrix, name="UM")
+        return touched
+
+    def rebuild(self, store: UserTrustStore) -> Set[str]:
+        """Full pass: forget everything and re-derive every row."""
+        stale_rows = set(self.matrix.row_ids())
+        self.matrix = TrustMatrix()
+        self.last_dirty_rows = self.refresh(store, store.raters()) | stale_rows
+        return self.last_dirty_rows

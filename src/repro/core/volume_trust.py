@@ -14,14 +14,16 @@ contributes almost nothing, while well-evaluated bytes contribute fully.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from math import fsum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..lint.contracts import check_row_stochastic
 from .config import DEFAULT_CONFIG, ReputationConfig
 from .evaluation import EvaluationStore
 from .matrix import TrustMatrix
 
-__all__ = ["DownloadLedger", "valid_download_volume", "build_volume_trust_matrix"]
+__all__ = ["DownloadLedger", "valid_download_volume",
+           "build_volume_trust_matrix", "VolumeTrustAccumulator"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,12 @@ class DownloadLedger:
     """
 
     _entries: Dict[Tuple[str, str], List[_DownloadEntry]] = field(default_factory=dict)
+    #: Downloader -> uploaders with at least one recorded entry; lets the
+    #: incremental DM builder re-derive one downloader's row without
+    #: scanning every (downloader, uploader) pair in the system.
+    _uploaders: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Downloaders whose entries changed since the last :meth:`clear_dirty`.
+    _dirty_downloaders: Set[str] = field(default_factory=set)
 
     def record_download(self, downloader: str, uploader: str, file_id: str,
                         size_bytes: float, timestamp: float = 0.0) -> None:
@@ -49,6 +57,8 @@ class DownloadLedger:
         self._entries.setdefault((downloader, uploader), []).append(
             _DownloadEntry(file_id=file_id, size_bytes=size_bytes,
                            timestamp=timestamp))
+        self._uploaders.setdefault(downloader, set()).add(uploader)
+        self._dirty_downloaders.add(downloader)
 
     def downloads(self, downloader: str, uploader: str) -> List[Tuple[str, float]]:
         """``(file_id, size)`` pairs downloaded by ``downloader`` from ``uploader``."""
@@ -62,7 +72,8 @@ class DownloadLedger:
                 for entry in self._entries.get((downloader, uploader), ())]
 
     def uploaders_of(self, downloader: str) -> List[str]:
-        return [u for (d, u) in self._entries if d == downloader]
+        """Uploaders this downloader got files from, sorted for determinism."""
+        return sorted(self._uploaders.get(downloader, ()))
 
     def pairs(self) -> Iterable[Tuple[str, str]]:
         return self._entries.keys()
@@ -72,12 +83,37 @@ class DownloadLedger:
         removed = 0
         for key in list(self._entries):
             kept = [e for e in self._entries[key] if e.timestamp >= cutoff_timestamp]
-            removed += len(self._entries[key]) - len(kept)
+            dropped = len(self._entries[key]) - len(kept)
+            if not dropped:
+                continue
+            removed += dropped
+            downloader, uploader = key
+            self._dirty_downloaders.add(downloader)
             if kept:
                 self._entries[key] = kept
             else:
                 del self._entries[key]
+                uploaders = self._uploaders.get(downloader)
+                if uploaders is not None:
+                    uploaders.discard(uploader)
+                    if not uploaders:
+                        del self._uploaders[downloader]
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Delta tracking                                                     #
+    # ------------------------------------------------------------------ #
+
+    def dirty_downloaders(self) -> Set[str]:
+        """Downloaders whose DM row inputs changed since the last clear."""
+        return set(self._dirty_downloaders)
+
+    @property
+    def has_dirty(self) -> bool:
+        return bool(self._dirty_downloaders)
+
+    def clear_dirty(self) -> None:
+        self._dirty_downloaders.clear()
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._entries.values())
@@ -134,3 +170,61 @@ def build_volume_trust_matrix(ledger: DownloadLedger, store: EvaluationStore,
     matrix = raw.row_normalized()
     check_row_stochastic(matrix, name="DM")
     return matrix
+
+
+class VolumeTrustAccumulator:
+    """Patch-based DM builder: re-derives only dirty downloaders' rows.
+
+    A downloader's DM row (Eqs. 4-5) depends only on *their own* download
+    entries and evaluations, so rows are independent: the accumulator keeps
+    the normalised matrix between refreshes and recomputes exactly the rows
+    named dirty.  Per-row arithmetic goes through the same
+    :func:`valid_download_volume` + fsum-normalisation as the full builder,
+    so a patched row is bit-identical to a freshly built one.
+
+    The recency-decayed (``now``/``half_life``) Eq. 4 variant stays on the
+    full :func:`build_volume_trust_matrix` path — under decay every row is a
+    function of ``now``, and there is no delta to exploit.
+    """
+
+    def __init__(self, config: ReputationConfig = DEFAULT_CONFIG):
+        self._config = config
+        self.matrix = TrustMatrix()
+        #: Rows changed by the most recent :meth:`refresh`.
+        self.last_dirty_rows: Set[str] = set()
+
+    def refresh(self, ledger: DownloadLedger, store: EvaluationStore,
+                dirty_downloaders: Iterable[str]) -> Set[str]:
+        """Re-derive the rows of ``dirty_downloaders``; returns rows touched."""
+        touched: Set[str] = set()
+        for downloader in sorted(set(dirty_downloaders)):
+            raw_row: Dict[str, float] = {}
+            for uploader in ledger.uploaders_of(downloader):
+                volume = valid_download_volume(ledger, store, downloader,
+                                               uploader)
+                if volume > 0.0:
+                    raw_row[uploader] = volume
+            self._set_normalized_row(downloader, raw_row)
+            touched.add(downloader)
+        self.last_dirty_rows = touched
+        check_row_stochastic(self.matrix, name="DM")
+        return touched
+
+    def rebuild(self, ledger: DownloadLedger,
+                store: EvaluationStore) -> Set[str]:
+        """Full pass: forget everything and re-derive every row."""
+        stale_rows = set(self.matrix.row_ids())
+        self.matrix = TrustMatrix()
+        downloaders = {downloader for downloader, _ in ledger.pairs()}
+        self.last_dirty_rows = self.refresh(ledger, store,
+                                            downloaders) | stale_rows
+        return self.last_dirty_rows
+
+    def _set_normalized_row(self, downloader: str,
+                            raw_row: Dict[str, float]) -> None:
+        total = fsum(raw_row.values())
+        if total > 0:
+            self.matrix.replace_row(
+                downloader, {j: value / total for j, value in raw_row.items()})
+        else:
+            self.matrix.replace_row(downloader, {})

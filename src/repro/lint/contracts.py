@@ -27,8 +27,10 @@ __all__ = [
     "checking_invariants",
     "assert_simplex",
     "assert_row_stochastic",
+    "assert_matrices_equal",
     "check_simplex",
     "check_row_stochastic",
+    "check_matrices_equal",
 ]
 
 _ENV_FLAG = "REPRO_CHECK_INVARIANTS"
@@ -137,6 +139,39 @@ def assert_row_stochastic(matrix: RowSource, *, name: str = "matrix",
                 "(must be sub-stochastic, Eq. 7)")
 
 
+def assert_matrices_equal(actual: object, expected: object, *,
+                          name: str = "matrix") -> None:
+    """Require two trust matrices to be *exactly* equal (``==``, no tol).
+
+    The incremental pipeline's hard bar: a patched matrix must be
+    bit-identical to a full rebuild.  On mismatch the error names up to
+    three differing entries so the divergent row is findable.
+    """
+    if actual == expected:
+        return
+    details = ""
+    actual_rows = getattr(actual, "row_view", None)
+    expected_iter = getattr(expected, "iter_row_views", None)
+    if callable(actual_rows) and callable(expected_iter):
+        differing = []
+        for i, row in expected.iter_row_views():  # type: ignore[attr-defined]
+            other = actual.row_view(i)  # type: ignore[attr-defined]
+            for j, value in row.items():
+                if other.get(j) != value:
+                    differing.append((i, j, other.get(j), value))
+        for i, row in actual.iter_row_views():  # type: ignore[attr-defined]
+            other = expected.row_view(i)  # type: ignore[attr-defined]
+            for j, value in row.items():
+                if j not in other:
+                    differing.append((i, j, value, None))
+        samples = ", ".join(
+            f"({i!r},{j!r}): got {got!r}, want {want!r}"
+            for i, j, got, want in differing[:3])
+        details = f" — {len(differing)} differing entries, e.g. {samples}"
+    raise ContractViolation(
+        f"{name}: incremental result differs from full rebuild{details}")
+
+
 # --------------------------------------------------------------------- #
 # Flag-guarded wrappers (what instrumented call sites use)              #
 # --------------------------------------------------------------------- #
@@ -154,3 +189,10 @@ def check_row_stochastic(matrix: RowSource, *, name: str = "matrix",
     """:func:`assert_row_stochastic`, gated on :func:`contracts_enabled`."""
     if contracts_enabled():
         assert_row_stochastic(matrix, name=name, tol=tol, strict=strict)
+
+
+def check_matrices_equal(actual: object, expected: object, *,
+                         name: str = "matrix") -> None:
+    """:func:`assert_matrices_equal`, gated on :func:`contracts_enabled`."""
+    if contracts_enabled():
+        assert_matrices_equal(actual, expected, name=name)

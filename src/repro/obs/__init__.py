@@ -11,6 +11,8 @@ The measurement substrate the quantitative claims run on:
   the zero-overhead :data:`~repro.obs.recorder.NULL_RECORDER` default;
 * :mod:`~repro.obs.report` — trace summarisation behind ``repro report``;
 * :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots;
+* :mod:`~repro.obs.bench_pipeline` — stamped ``BENCH_pipeline.json``
+  snapshots of incremental-vs-full refresh and sparse-vs-dense matmul;
 * :mod:`~repro.obs.alerts` — threshold/windowed alert rules and severities;
 * :mod:`~repro.obs.detectors` — streaming anomaly detectors (convergence
   stall, fake outbreak, collusion ring, whitewashing, starvation);

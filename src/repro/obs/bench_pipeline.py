@@ -1,0 +1,208 @@
+"""Pipeline perf snapshots: the ``BENCH_pipeline.json`` trajectory point.
+
+Measures the two claims the incremental pipeline makes:
+
+1. **Incremental beats full.**  For a seeded synthetic population of N
+   peers, one refresh consuming a *single-event* delta must be far cheaper
+   than a forced full rebuild — that ratio is the point of delta tracking.
+2. **Dense beats sparse when TM densifies.**  Past ~30% density the numpy
+   product should beat the dict-of-dicts product (the ``"auto"`` backend
+   heuristic's premise), while agreeing to float tolerance.
+
+Snapshots carry the same provenance stamp as ``BENCH_obs.json`` (seed,
+config hash, git sha — see :mod:`repro.obs.bench`) so CI can gate on the
+speedups and regress them across commits.  Wall-clock numbers live only in
+the timing fields; the workload itself is fully deterministic.
+
+Core imports are deferred into the functions to mirror
+:mod:`repro.obs.bench` (core modules import :mod:`repro.obs.recorder`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Sequence
+
+from .bench import run_stamp
+
+__all__ = ["collect_pipeline_snapshot", "incremental_speedup",
+           "dense_speedup"]
+
+#: Evaluations / downloads / ranks per peer in the synthetic workload.
+_EVALS_PER_PEER = 12
+_DOWNLOADS_PER_PEER = 6
+_RANKS_PER_PEER = 2
+
+#: Backend micro-bench shape: node count and target density (> the 30%
+#: auto-threshold, so the heuristic must pick dense here).
+_BACKEND_NODES = 120
+_BACKEND_DENSITY = 0.5
+_BACKEND_STEPS = 2
+
+
+def _zipf_index(rng: random.Random, n: int) -> int:
+    """Log-uniform index in [0, n): a cheap Zipf-ish popularity skew."""
+    return min(int(n ** rng.random()) - 1, n - 1)
+
+
+def _seed_system(peers: int, seed: int):
+    """A populated reputation system over ``peers`` users, fully refreshed."""
+    from ..core import MultiDimensionalReputationSystem
+
+    rng = random.Random(seed)
+    system = MultiDimensionalReputationSystem(auto_refresh=False)
+    users = [f"u{i:04d}" for i in range(peers)]
+    files = [f"f{i:04d}" for i in range(peers * 2)]
+    for user in users:
+        for _ in range(_EVALS_PER_PEER):
+            file_id = files[_zipf_index(rng, len(files))]
+            system.record_vote(user, file_id, rng.random())
+        for _ in range(_DOWNLOADS_PER_PEER):
+            uploader = users[rng.randrange(peers)]
+            if uploader == user:
+                continue
+            file_id = files[_zipf_index(rng, len(files))]
+            system.record_download(user, uploader, file_id,
+                                   rng.uniform(1e5, 1e7))
+            system.record_vote(user, file_id, rng.random())
+        for _ in range(_RANKS_PER_PEER):
+            ratee = users[rng.randrange(peers)]
+            if ratee != user:
+                system.record_rank(user, ratee, rng.random())
+    system.recompute()
+    system.refresh_view()  # initial full build, outside all timings
+    return system, users, files, rng
+
+
+def _time_full_refresh(system, repeats: int) -> float:
+    """Mean seconds per forced full rebuild."""
+    total = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        system.pipeline.refresh(force_full=True)
+        total += time.perf_counter() - started
+    return total / repeats
+
+
+def _time_incremental_refresh(system, users: Sequence[str],
+                              files: Sequence[str], rng: random.Random,
+                              events: int) -> float:
+    """Mean seconds per single-event delta refresh."""
+    total = 0.0
+    for _ in range(events):
+        user = users[rng.randrange(len(users))]
+        file_id = files[_zipf_index(rng, len(files))]
+        system.record_vote(user, file_id, rng.random())
+        started = time.perf_counter()
+        system.pipeline.refresh()
+        total += time.perf_counter() - started
+    return total / events
+
+
+def _bench_refresh(peers: int, seed: int, events: int) -> Dict[str, object]:
+    system, users, files, rng = _seed_system(peers, seed)
+    trust = system.pipeline.trust
+    full_repeats = max(1, min(5, 500 // peers))
+    full_seconds = _time_full_refresh(system, repeats=full_repeats)
+    incremental_seconds = _time_incremental_refresh(
+        system, users, files, rng, events)
+    return {
+        "peers": peers,
+        "tm_rows": len(trust.row_ids()),
+        "tm_entries": trust.entry_count(),
+        "full_refresh_seconds": full_seconds,
+        "incremental_refresh_seconds": incremental_seconds,
+        "incremental_speedup": (full_seconds / incremental_seconds
+                                if incremental_seconds > 0 else 0.0),
+    }
+
+
+def _dense_matrix(seed: int):
+    """A random row-stochastic matrix at the backend bench's density."""
+    from ..core import TrustMatrix
+
+    rng = random.Random(seed)
+    matrix = TrustMatrix()
+    ids = [f"n{i:03d}" for i in range(_BACKEND_NODES)]
+    per_row = max(1, int(_BACKEND_DENSITY * (_BACKEND_NODES - 1)))
+    for i in ids:
+        targets = rng.sample([j for j in ids if j != i], per_row)
+        values = {j: rng.random() for j in targets}
+        total = sum(values.values())
+        for j, value in values.items():
+            matrix.set(i, j, value / total)
+    return matrix
+
+
+def _bench_backends(seed: int) -> Dict[str, object]:
+    from ..core import (DENSE_BACKEND, SPARSE_BACKEND, TrustMatrix,
+                        select_backend)
+
+    matrix = _dense_matrix(seed)
+    ids = matrix.node_ids()
+
+    def best_of(backend) -> "tuple":
+        best = float("inf")
+        result: TrustMatrix = TrustMatrix()
+        for _ in range(3):
+            started = time.perf_counter()
+            result = backend.power(matrix, _BACKEND_STEPS)
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    sparse_seconds, sparse_result = best_of(SPARSE_BACKEND)
+    dense_seconds, dense_result = best_of(DENSE_BACKEND)
+    max_abs_diff = max(
+        (abs(sparse_result.get(i, j) - dense_result.get(i, j))
+         for i in ids for j in ids), default=0.0)
+    return {
+        "nodes": _BACKEND_NODES,
+        "density": matrix.density(ids),
+        "steps": _BACKEND_STEPS,
+        "sparse_power_seconds": sparse_seconds,
+        "dense_power_seconds": dense_seconds,
+        "dense_speedup": (sparse_seconds / dense_seconds
+                          if dense_seconds > 0 else 0.0),
+        "results_max_abs_diff": max_abs_diff,
+        "auto_selects": select_backend(matrix).name,
+    }
+
+
+def collect_pipeline_snapshot(seed: int = 42,
+                              sizes: Sequence[int] = (100, 500, 1000),
+                              events: int = 20) -> Dict[str, object]:
+    """Run the pipeline bench workload and return the stamped snapshot."""
+    config = {
+        "sizes": list(sizes),
+        "events": events,
+        "evals_per_peer": _EVALS_PER_PEER,
+        "downloads_per_peer": _DOWNLOADS_PER_PEER,
+        "ranks_per_peer": _RANKS_PER_PEER,
+        "backend_nodes": _BACKEND_NODES,
+        "backend_density": _BACKEND_DENSITY,
+    }
+    refresh: List[Dict[str, object]] = [
+        _bench_refresh(peers, seed, events) for peers in sizes]
+    return {
+        **run_stamp(seed, config),
+        "refresh": refresh,
+        "backend": _bench_backends(seed),
+    }
+
+
+def incremental_speedup(snapshot: Dict[str, object],
+                        peers: int) -> float:
+    """The full/incremental refresh ratio recorded for a population size."""
+    for entry in snapshot.get("refresh", ()):  # type: ignore[union-attr]
+        if isinstance(entry, dict) and entry.get("peers") == peers:
+            return float(entry.get("incremental_speedup", 0.0))
+    return 0.0
+
+
+def dense_speedup(snapshot: Dict[str, object]) -> float:
+    """The sparse/dense power ratio on the >30%-density bench matrix."""
+    backend = snapshot.get("backend", {})
+    if not isinstance(backend, dict):
+        return 0.0
+    return float(backend.get("dense_speedup", 0.0))

@@ -39,7 +39,7 @@ KNOWN_EVENT_KINDS = frozenset({
     "fake_removal", "peer_join", "peer_leave", "whitewash", "maintenance",
     "reputation_snapshot", "trust_edge",
     # core
-    "multitrust_iteration",
+    "multitrust_iteration", "pipeline_refresh",
     # DHT / chaos
     "dht_lookup", "dht_publish", "dht_retrieve", "dht_repair",
     "dht_node_join", "chaos_cell_start", "chaos_cell_end",
@@ -67,6 +67,11 @@ class TraceSummary:
     outcomes_by_class: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: Multitrust iteration number -> residual summary across computations.
     multitrust_residuals: Dict[int, Summary] = field(default_factory=dict)
+    #: Incremental-pipeline refresh behaviour: refresh mode -> count, plus
+    #: distributions of rows rebuilt and rebuild ratio per refresh.
+    pipeline_refresh_modes: Dict[str, int] = field(default_factory=dict)
+    pipeline_rows_rebuilt: Summary = field(default_factory=dict)
+    pipeline_rebuild_ratio: Summary = field(default_factory=dict)
     #: DHT lookup hop / retry distributions and failure count.
     dht_hops: Summary = field(default_factory=dict)
     dht_retries: Summary = field(default_factory=dict)
@@ -88,6 +93,9 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
     waits: Dict[str, List[float]] = {}
     outcomes: Dict[str, Dict[str, int]] = {}
     residuals: Dict[int, List[float]] = {}
+    refresh_modes: Dict[str, int] = {}
+    rows_rebuilt: List[float] = []
+    rebuild_ratios: List[float] = []
     hops: List[float] = []
     retries: List[float] = []
     failed_lookups = 0
@@ -122,6 +130,15 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
             residual = event.get("residual")
             if isinstance(residual, (int, float)):
                 residuals.setdefault(iteration, []).append(float(residual))
+        elif kind == "pipeline_refresh":
+            mode = str(event.get("mode", "unknown"))
+            refresh_modes[mode] = refresh_modes.get(mode, 0) + 1
+            rebuilt = event.get("rows_rebuilt")
+            if isinstance(rebuilt, (int, float)):
+                rows_rebuilt.append(float(rebuilt))
+            ratio = event.get("rebuild_ratio")
+            if isinstance(ratio, (int, float)):
+                rebuild_ratios.append(float(ratio))
         elif kind == "dht_lookup":
             hops.append(float(event.get("hops", 0)))
             retries.append(float(event.get("retries", 0)))
@@ -151,6 +168,9 @@ def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
         multitrust_residuals={iteration: summarize(values)
                               for iteration, values
                               in sorted(residuals.items())},
+        pipeline_refresh_modes=dict(sorted(refresh_modes.items())),
+        pipeline_rows_rebuilt=summarize(rows_rebuilt),
+        pipeline_rebuild_ratio=summarize(rebuild_ratios),
         dht_hops=summarize(hops),
         dht_retries=summarize(retries),
         dht_failed_lookups=failed_lookups,
@@ -181,6 +201,11 @@ def summary_to_dict(summary: TraceSummary) -> Dict[str, object]:
         "multitrust_residuals": {str(iteration): dict(values)
                                  for iteration, values
                                  in summary.multitrust_residuals.items()},
+        "pipeline": {
+            "refresh_modes": dict(summary.pipeline_refresh_modes),
+            "rows_rebuilt": dict(summary.pipeline_rows_rebuilt),
+            "rebuild_ratio": dict(summary.pipeline_rebuild_ratio),
+        },
         "dht": {
             "hops": dict(summary.dht_hops),
             "retries": dict(summary.dht_retries),

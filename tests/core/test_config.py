@@ -117,6 +117,18 @@ class TestOtherKnobs:
         with pytest.raises(ConfigError, match="vote_credit"):
             ReputationConfig(vote_credit=-0.1)
 
+    def test_default_matmul_backend_is_auto(self):
+        assert ReputationConfig().matmul_backend == "auto"
+
+    def test_known_matmul_backends_accepted(self):
+        for spec in ("auto", "sparse", "dense"):
+            assert ReputationConfig(matmul_backend=spec).matmul_backend \
+                == spec
+
+    def test_unknown_matmul_backend_rejected(self):
+        with pytest.raises(ConfigError, match="matmul_backend"):
+            ReputationConfig(matmul_backend="blas")
+
 
 class TestReplace:
     def test_replace_returns_new_validated_config(self):

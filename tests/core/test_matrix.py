@@ -75,6 +75,32 @@ class TestBasicOps:
         assert TrustMatrix({"a": {"b": 1.0}}) != TrustMatrix()
 
 
+class TestRowPatching:
+    def test_replace_row_drops_stale_entries(self):
+        matrix = TrustMatrix({"a": {"b": 0.5, "c": 0.5}})
+        matrix.replace_row("a", {"d": 1.0})
+        assert matrix.row("a") == {"d": 1.0}
+
+    def test_replace_row_with_empty_removes_row(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}})
+        matrix.replace_row("a", {})
+        assert "a" not in matrix.row_ids()
+
+    def test_copy_with_rows_new_identity_shared_untouched_rows(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}, "c": {"d": 1.0}})
+        patched = matrix.copy_with_rows({"a": {"b": 0.25, "e": 0.75}})
+        assert patched is not matrix
+        assert patched.get("a", "e") == 0.75
+        assert matrix.get("a", "e") == 0.0
+        assert patched.row_view("c") == matrix.row_view("c")
+
+    def test_copy_with_rows_empty_patch_removes_row(self):
+        matrix = TrustMatrix({"a": {"b": 1.0}, "c": {"d": 1.0}})
+        patched = matrix.copy_with_rows({"a": {}})
+        assert "a" not in patched.row_ids()
+        assert "a" in matrix.row_ids()
+
+
 class TestNormalization:
     def test_rows_sum_to_one(self):
         matrix = TrustMatrix({"a": {"b": 2.0, "c": 6.0}})

@@ -1,0 +1,108 @@
+"""Tests for repro.core.matrix_backend: the pluggable matmul seam."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DENSE_BACKEND, SPARSE_BACKEND, DenseNumpyBackend,
+                        SparseDictBackend, TrustMatrix, resolve_backend,
+                        select_backend)
+from repro.core.matrix_backend import DENSE_MIN_NODES
+
+
+def _random_stochastic(nodes: int, per_row: int, seed: int = 3) -> TrustMatrix:
+    import random
+    rng = random.Random(seed)
+    ids = [f"n{i:03d}" for i in range(nodes)]
+    matrix = TrustMatrix()
+    for i in ids:
+        targets = rng.sample([j for j in ids if j != i],
+                             min(per_row, nodes - 1))
+        raw = {j: rng.random() for j in targets}
+        total = sum(raw.values())
+        for j, value in raw.items():
+            matrix.set(i, j, value / total)
+    return matrix
+
+
+class TestBackendEquivalence:
+    def test_matmul_agrees_with_sparse(self):
+        left = _random_stochastic(20, 8, seed=1)
+        right = _random_stochastic(20, 8, seed=2)
+        sparse = SPARSE_BACKEND.matmul(left, right)
+        dense = DENSE_BACKEND.matmul(left, right)
+        ids = sorted(set(sparse.node_ids()) | set(dense.node_ids()))
+        for i in ids:
+            for j in ids:
+                assert dense.get(i, j) == pytest.approx(
+                    sparse.get(i, j), abs=1e-12)
+
+    def test_power_agrees_with_sparse(self):
+        matrix = _random_stochastic(16, 10)
+        sparse = SPARSE_BACKEND.power(matrix, 3)
+        dense = DENSE_BACKEND.power(matrix, 3)
+        for i in matrix.node_ids():
+            for j in matrix.node_ids():
+                assert dense.get(i, j) == pytest.approx(
+                    sparse.get(i, j), abs=1e-12)
+
+    def test_power_agrees_with_numpy(self):
+        matrix = _random_stochastic(12, 6)
+        ids = matrix.node_ids()
+        expected = np.linalg.matrix_power(matrix.to_dense(ids)[0], 2)
+        result = DENSE_BACKEND.power(matrix, 2)
+        for a, i in enumerate(ids):
+            for b, j in enumerate(ids):
+                assert result.get(i, j) == pytest.approx(
+                    expected[a, b], abs=1e-12)
+
+
+class TestDensePower:
+    def test_power_one_returns_same_object(self):
+        matrix = _random_stochastic(8, 3)
+        assert DENSE_BACKEND.power(matrix, 1) is matrix
+
+    def test_power_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DENSE_BACKEND.power(TrustMatrix(), 0)
+
+    def test_empty_matrix_power(self):
+        assert DENSE_BACKEND.power(TrustMatrix(), 2) == TrustMatrix()
+
+    def test_empty_matmul(self):
+        assert DENSE_BACKEND.matmul(TrustMatrix(),
+                                    TrustMatrix()) == TrustMatrix()
+
+
+class TestSelection:
+    def test_small_matrix_stays_sparse_even_when_dense(self):
+        matrix = _random_stochastic(DENSE_MIN_NODES - 2,
+                                    DENSE_MIN_NODES - 3)
+        assert select_backend(matrix) is SPARSE_BACKEND
+
+    def test_large_dense_matrix_selects_dense(self):
+        matrix = _random_stochastic(DENSE_MIN_NODES + 8,
+                                    DENSE_MIN_NODES)
+        assert select_backend(matrix) is DENSE_BACKEND
+
+    def test_large_sparse_matrix_stays_sparse(self):
+        matrix = _random_stochastic(100, 3)
+        assert select_backend(matrix) is SPARSE_BACKEND
+
+    def test_resolve_forced_spellings(self):
+        matrix = TrustMatrix()
+        assert resolve_backend("sparse", matrix) is SPARSE_BACKEND
+        assert resolve_backend("dense", matrix) is DENSE_BACKEND
+
+    def test_resolve_auto_delegates_to_heuristic(self):
+        dense_matrix = _random_stochastic(DENSE_MIN_NODES + 8,
+                                          DENSE_MIN_NODES)
+        assert resolve_backend("auto", dense_matrix) is DENSE_BACKEND
+        assert resolve_backend("auto", TrustMatrix()) is SPARSE_BACKEND
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown matmul backend"):
+            resolve_backend("blas", TrustMatrix())
+
+    def test_backend_names(self):
+        assert SparseDictBackend().name == "sparse"
+        assert DenseNumpyBackend().name == "dense"

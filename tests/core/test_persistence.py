@@ -43,6 +43,13 @@ class TestRoundTrip:
         restored = system_from_dict(system_to_dict(populated_system))
         assert restored.config == populated_system.config
 
+    def test_matmul_backend_round_trips(self):
+        system = MultiDimensionalReputationSystem(
+            ReputationConfig(matmul_backend="dense"))
+        system.record_vote("alice", "f1", 0.9)
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.config.matmul_backend == "dense"
+
     def test_evaluation_channels_restored(self, populated_system):
         restored = system_from_dict(system_to_dict(populated_system))
         original = populated_system.evaluations.get("alice", "f2")

@@ -368,6 +368,42 @@ class TestDiffTraceCommand:
                      str(tmp_path / "absent.jsonl")]) == 1
 
 
+class TestBenchPipeline:
+    _SMALL = ["--sizes", "20", "--events", "5", "--seed", "5"]
+
+    def test_writes_stamped_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_pipeline.json"
+        assert main(["bench-pipeline", "--out", str(out)]
+                    + self._SMALL) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["seed"] == 5
+        assert {"config_hash", "git_sha", "refresh", "backend"} \
+            <= set(snapshot)
+        assert snapshot["refresh"][0]["peers"] == 20
+        assert snapshot["backend"]["density"] > 0.3
+        assert "Refresh latency" in capsys.readouterr().out
+
+    def test_history_appended_and_generous_gate_passes(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "BENCH_pipeline.json"
+        history = tmp_path / "BENCH_pipeline_history.jsonl"
+        code = main(["bench-pipeline", "--out", str(out),
+                     "--history", str(history), "--min-speedup", "0.001"]
+                    + self._SMALL)
+        assert code == 0
+        assert "pipeline gate passed" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["seed"] == 5
+
+    def test_impossible_gate_fails(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_pipeline.json"
+        code = main(["bench-pipeline", "--out", str(out),
+                     "--min-speedup", "1e9"] + self._SMALL)
+        assert code == 1
+        assert "below" in capsys.readouterr().err
+
+
 class TestBenchObsGate:
     def test_history_appended_and_generous_gate_passes(self, tmp_path,
                                                        capsys):
