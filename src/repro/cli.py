@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve commands cover the workflows a downstream user actually runs:
+Fifteen commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -23,6 +23,14 @@ Twelve commands cover the workflows a downstream user actually runs:
   the incremental trust pipeline: full-rebuild vs single-event refresh
   latency per population size, plus sparse vs dense matmul on a dense
   matrix (``--min-speedup`` gates the incremental win);
+* ``recover``     — rebuild trust state from a durability directory
+  (latest good snapshot + WAL-tail replay); ``--repair`` truncates a torn
+  tail, ``--out`` writes the recovered state as a v2 JSON document;
+* ``wal-inspect`` — decode a write-ahead log: record counts by kind,
+  valid-prefix length, truncation reason (``--records`` lists frames);
+* ``bench-wal``   — emit a stamped ``BENCH_wal.json`` snapshot of ingest
+  throughput with the journal off / buffered / batch-fsync / fsync-always
+  (``--max-overhead`` gates the buffered slowdown);
 * ``lint``        — project-aware static analysis: determinism,
   stochastic-matrix and weight-simplex invariants (``--format json`` for
   the machine-readable schema, ``--fail-on`` for severity gating,
@@ -48,6 +56,9 @@ from typing import Optional, Sequence
 from .analysis import render_table
 from .baselines import ALL_MECHANISMS, MultiDimensionalMechanism
 from .core import ReputationConfig
+from .core.durability import (WAL_FILENAME, DurabilityManager,
+                              SimulatedCrash, read_wal, recover)
+from .core.persistence import save_system
 from .lint import (all_rules, lint_paths, result_to_dict, rules_by_id,
                    should_fail)
 from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
@@ -191,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
                                "sparse dict-of-dicts, dense numpy, or "
                                "auto-select by density x size "
                                "(multidimensional only)")
+    simulate.add_argument("--wal-out", default=None, metavar="DIR",
+                          help="journal every trust-state mutation to a "
+                               "write-ahead log + snapshots in this "
+                               "directory (multidimensional only); "
+                               "recover later with 'repro recover DIR'")
+    simulate.add_argument("--snapshot-every", type=int, default=500,
+                          metavar="N",
+                          help="cut a snapshot generation after N journal "
+                               "records, checked at each maintenance tick "
+                               "(0 = baseline generation only)")
+    simulate.add_argument("--wal-fsync", choices=("none", "batch", "always"),
+                          default="batch",
+                          help="WAL durability policy: never fsync, fsync "
+                               "per maintenance tick, or fsync per record")
+    simulate.add_argument("--crash-at", type=float, default=None,
+                          metavar="SECONDS",
+                          help="inject a simulated process death at this "
+                               "simulation time (exit code 3; the WAL "
+                               "directory is left exactly as a kill "
+                               "would leave it)")
     _add_observability_flags(simulate)
 
     chaos = commands.add_parser(
@@ -277,6 +308,46 @@ def build_parser() -> argparse.ArgumentParser:
                                      "beats the full rebuild by this factor "
                                      "at the smallest size (and the dense "
                                      "backend beats sparse)")
+
+    recover_parser = commands.add_parser(
+        "recover", help="rebuild trust state from a durability directory "
+                        "(latest good snapshot + WAL-tail replay)")
+    recover_parser.add_argument("directory",
+                                help="directory written by simulate "
+                                     "--wal-out")
+    recover_parser.add_argument("--out", default=None, metavar="PATH",
+                                help="write the recovered state as a v2 "
+                                     "JSON document here")
+    recover_parser.add_argument("--repair", action="store_true",
+                                help="truncate a torn WAL tail back to the "
+                                     "last valid record")
+    recover_parser.add_argument("--json", action="store_true",
+                                help="emit a machine-readable recovery "
+                                     "summary instead of text")
+
+    wal_inspect = commands.add_parser(
+        "wal-inspect", help="decode a write-ahead log and report its "
+                            "valid prefix")
+    wal_inspect.add_argument("path",
+                             help="WAL file, or a durability directory "
+                                  f"containing {WAL_FILENAME}")
+    wal_inspect.add_argument("--records", action="store_true",
+                             help="list every decoded record")
+    wal_inspect.add_argument("--json", action="store_true",
+                             help="emit the scan as JSON")
+
+    bench_wal = commands.add_parser(
+        "bench-wal", help="collect a stamped WAL-throughput perf snapshot")
+    bench_wal.add_argument("--out", default="BENCH_wal.json",
+                           help="snapshot output path")
+    bench_wal.add_argument("--seed", type=int, default=42)
+    bench_wal.add_argument("--history", default=None, metavar="PATH",
+                           help="append the snapshot as one JSONL line to "
+                                "this trajectory file")
+    bench_wal.add_argument("--max-overhead", type=float, default=None,
+                           metavar="RATIO",
+                           help="exit 1 when the buffered-journal slowdown "
+                                "exceeds this ratio (CI gate: 1.25)")
 
     lint = commands.add_parser(
         "lint", help="project-aware static analysis: determinism, "
@@ -406,8 +477,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         mechanism = ALL_MECHANISMS[args.mechanism]()
     recorder, live_monitor = _make_recorder(args)
-    metrics = FileSharingSimulation(config, mechanism,
-                                    recorder=recorder).run()
+
+    durability = None
+    if args.wal_out is not None:
+        if args.mechanism != "multidimensional":
+            print("--wal-out journals the multidimensional trust state; "
+                  f"mechanism {args.mechanism!r} has none", file=sys.stderr)
+            return 2
+        durability = DurabilityManager(
+            mechanism.system, args.wal_out, fsync=args.wal_fsync,
+            snapshot_every=args.snapshot_every, recorder=recorder)
+
+    simulation = FileSharingSimulation(config, mechanism,
+                                       recorder=recorder,
+                                       durability=durability)
+    if args.crash_at is not None:
+        simulation.engine.schedule_crash(args.crash_at)
+    try:
+        metrics = simulation.run()
+    except SimulatedCrash as crash:
+        # Process-death semantics: nothing is flushed or closed; the
+        # durability directory holds exactly what had reached the OS.
+        print(f"simulated crash: {crash}", file=sys.stderr)
+        return 3
+    if durability is not None:
+        durability.close(final_snapshot=True)
+        print(f"journalled {durability.last_seq} records to "
+              f"{args.wal_out} (fsync={args.wal_fsync})")
 
     rows = []
     for label in metrics.class_labels():
@@ -719,6 +815,141 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    try:
+        result = recover(args.directory, repair=args.repair)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        document = {
+            "directory": args.directory,
+            "snapshot": result.snapshot_path.name,
+            "snapshot_seq": result.snapshot_seq,
+            "replayed_records": result.replayed_records,
+            "last_seq": result.last_seq,
+            "truncated_tail_bytes": result.truncated_tail_bytes,
+            "truncation_reason": result.truncation_reason,
+            "repaired": result.repaired,
+            "quarantined": [
+                {"file": entry.quarantined.name, "reason": entry.reason}
+                for entry in result.quarantined],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["snapshot", result.snapshot_path.name],
+            ["snapshot seq", result.snapshot_seq],
+            ["replayed records", result.replayed_records],
+            ["recovered through seq", result.last_seq],
+            ["torn tail (bytes)", result.truncated_tail_bytes],
+            ["stop reason", result.truncation_reason or "clean end"],
+            ["tail repaired", "yes" if result.repaired else "no"],
+        ]
+        print(render_table(["step", "value"], rows,
+                           title=f"Recovery: {args.directory}"))
+        for entry in result.quarantined:
+            print(f"quarantined {entry.quarantined.name}: {entry.reason}")
+
+    if args.out is not None:
+        save_system(result.system, args.out, last_seq=result.last_seq)
+        print(f"wrote recovered state to {args.out} "
+              f"(seq {result.last_seq})")
+    return 0
+
+
+def _cmd_wal_inspect(args: argparse.Namespace) -> int:
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, WAL_FILENAME)
+    try:
+        scan = read_wal(path)
+    except OSError as error:
+        print(f"cannot read WAL {path}: {error}", file=sys.stderr)
+        return 1
+
+    kinds: dict = {}
+    for record in scan.records:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+
+    if args.json:
+        document = {
+            "path": path,
+            "records": len(scan.records),
+            "last_seq": scan.last_seq,
+            "valid_bytes": scan.valid_bytes,
+            "file_bytes": scan.file_bytes,
+            "truncated": scan.truncated,
+            "reason": scan.reason,
+            "kinds": dict(sorted(kinds.items())),
+        }
+        if args.records:
+            document["frames"] = [
+                {"seq": record.seq, "kind": record.kind,
+                 "offset": record.offset, "bytes": record.frame_bytes,
+                 "data": record.payload}
+                for record in scan.records]
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    print(f"WAL: {path}")
+    print(f"records: {len(scan.records)} (last seq {scan.last_seq}), "
+          f"valid prefix {scan.valid_bytes}/{scan.file_bytes} bytes")
+    if scan.truncated:
+        print(f"TRUNCATED after byte {scan.valid_bytes}: {scan.reason} "
+              f"({scan.tail_bytes} bytes unrecoverable)")
+    if kinds:
+        print(render_table(
+            ["kind", "records"],
+            [[kind, count] for kind, count in sorted(kinds.items())],
+            title="Records by kind"))
+    if args.records:
+        for record in scan.records:
+            payload = json.dumps(record.payload, sort_keys=True,
+                                 separators=(",", ":"))
+            print(f"  #{record.seq:>6} @{record.offset:>8} "
+                  f"{record.kind:<16} {payload}")
+    return 0
+
+
+def _cmd_bench_wal(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .obs.bench_wal import buffered_overhead, collect_wal_snapshot
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
+        snapshot = collect_wal_snapshot(workdir, seed=args.seed)
+    write_snapshot(args.out, snapshot)
+    if args.history is not None:
+        append_history(args.history, snapshot)
+        print(f"appended snapshot to {args.history}")
+    print(f"wrote {args.out} (seed={snapshot['seed']}, "
+          f"config={snapshot['config_hash']}, git={snapshot['git_sha']})")
+    modes = snapshot["modes"]
+    rows = [[mode, f"{entry['events_per_second']:.0f}",
+             int(entry["wal_records"]),
+             f"x{entry['slowdown_vs_off']:.2f}"]
+            for mode, entry in modes.items()]
+    engine_events = modes["off"]["engine_events"]
+    print(render_table(
+        ["mode", "events/s", "WAL records", "slowdown vs off"], rows,
+        title=f"WAL cost on the simulator workload "
+              f"({engine_events} engine events per mode)"))
+    if not snapshot["matches_baseline"]:
+        print("WARNING: journalled runs diverged from the baseline "
+              "outcomes — durability is not supposed to touch any RNG",
+              file=sys.stderr)
+    if args.max_overhead is not None:
+        ratio = buffered_overhead(snapshot)
+        if ratio > args.max_overhead:
+            print(f"buffered-journal slowdown x{ratio:.2f} exceeds the "
+                  f"x{args.max_overhead:.2f} bound", file=sys.stderr)
+            return 1
+        print(f"WAL overhead gate passed (x{ratio:.2f} <= "
+              f"x{args.max_overhead:.2f})")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         rows = [[rule.rule_id, str(rule.severity), rule.summary]
@@ -768,6 +999,9 @@ _COMMANDS = {
     "diff-trace": _cmd_diff_trace,
     "bench-obs": _cmd_bench_obs,
     "bench-pipeline": _cmd_bench_pipeline,
+    "recover": _cmd_recover,
+    "wal-inspect": _cmd_wal_inspect,
+    "bench-wal": _cmd_bench_wal,
     "lint": _cmd_lint,
 }
 

@@ -1,0 +1,154 @@
+"""Storage fault injection for the durability tests.
+
+The crash-recovery guarantee is only as good as the crashes it is tested
+against, so this module makes the ugly ones cheap to stage:
+
+* :class:`FaultyFile` wraps the WAL's file object and executes a
+  :class:`CrashPlan` — die before/after the Nth ``write``, tear the Nth
+  write in half, die before/after the Nth ``fsync``.  Because
+  :class:`~repro.core.durability.wal.WalWriter` calls the file's own
+  ``fsync`` method when one exists, every fsync boundary in the writer is
+  interceptable without monkeypatching.
+* :class:`SimulatedCrash` is what an injected death raises; tests (and the
+  simulator's ``schedule_crash``) catch exactly it.
+* :func:`flip_byte` / :func:`truncate_file` mangle files post-hoc, for
+  bit-rot and torn-tail scenarios that happen *after* a clean shutdown.
+
+Everything here is deterministic: a plan says exactly which operation dies
+and how, so a failing case replays byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["SimulatedCrash", "CrashPlan", "FaultyFile", "flip_byte",
+           "truncate_file"]
+
+
+class SimulatedCrash(Exception):
+    """An injected process death (torn write, kill at fsync, scheduled kill)."""
+
+
+@dataclass
+class CrashPlan:
+    """Which I/O operation dies, and how.  Indices are 1-based; ``None``
+    disables that fault.  At most one fault fires per plan — the first
+    whose condition is met."""
+
+    #: Die before the Nth ``write`` touches the file (nothing lands).
+    crash_before_write: Optional[int] = None
+    #: Die after the Nth ``write`` completed (buffered, flushed, unfsynced).
+    crash_after_write: Optional[int] = None
+    #: Tear the Nth ``write``: only a prefix of its bytes land, then die.
+    torn_write_at: Optional[int] = None
+    #: Bytes of the torn write that do land (default: half, at least 1).
+    torn_write_keep: Optional[int] = None
+    #: Die before the Nth ``fsync`` syncs (buffers flushed, not durable).
+    crash_before_fsync: Optional[int] = None
+    #: Die after the Nth ``fsync`` completed (everything so far durable).
+    crash_after_fsync: Optional[int] = None
+
+
+class FaultyFile:
+    """A binary append file that executes a :class:`CrashPlan`.
+
+    Duck-types the subset of the file API
+    :class:`~repro.core.durability.wal.WalWriter` uses (``write``,
+    ``flush``, ``tell``, ``close``, ``fileno``) plus ``fsync`` so the
+    writer routes sync calls through the plan.  After an injected death the
+    underlying file is closed — exactly like a killed process, later disk
+    state is whatever the OS had.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 plan: Optional[CrashPlan] = None) -> None:
+        self.path = Path(path)
+        self.plan = plan if plan is not None else CrashPlan()
+        self.writes = 0
+        self.fsyncs = 0
+        self._file = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ #
+    # File API used by WalWriter                                         #
+    # ------------------------------------------------------------------ #
+
+    def write(self, data: bytes) -> int:
+        plan = self.plan
+        self.writes += 1
+        if plan.crash_before_write == self.writes:
+            self._die(f"crash before write #{self.writes}")
+        if plan.torn_write_at == self.writes:
+            keep = plan.torn_write_keep
+            if keep is None:
+                keep = max(1, len(data) // 2)
+            keep = max(0, min(keep, len(data)))
+            self._file.write(data[:keep])
+            self._file.flush()
+            self._die(f"torn write #{self.writes}: "
+                      f"{keep}/{len(data)} bytes landed")
+        self._file.write(data)
+        if plan.crash_after_write == self.writes:
+            self._file.flush()
+            self._die(f"crash after write #{self.writes}")
+        return len(data)
+
+    def fsync(self) -> None:
+        plan = self.plan
+        self.fsyncs += 1
+        if plan.crash_before_fsync == self.fsyncs:
+            self._file.flush()
+            self._die(f"crash before fsync #{self.fsyncs}")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        if plan.crash_after_fsync == self.fsyncs:
+            self._die(f"crash after fsync #{self.fsyncs}")
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def _die(self, reason: str) -> None:
+        self._file.close()
+        raise SimulatedCrash(reason)
+
+
+def flip_byte(path: Union[str, Path], offset: int, mask: int = 0xFF) -> None:
+    """XOR one byte of ``path`` in place (bit-rot injection)."""
+    if not 1 <= mask <= 0xFF:
+        raise ValueError(f"mask must be in [1, 255], got {mask}")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if len(original) != 1:
+            raise ValueError(f"offset {offset} is past the end of {path}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ mask]))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def truncate_file(path: Union[str, Path], size: int) -> None:
+    """Cut ``path`` to ``size`` bytes (post-hoc torn tail)."""
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+        handle.flush()
+        os.fsync(handle.fileno())

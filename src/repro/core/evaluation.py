@@ -22,7 +22,7 @@ preserve the evaluations within an interval").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from .config import DEFAULT_CONFIG, ReputationConfig
 
@@ -30,7 +30,16 @@ __all__ = [
     "FileEvaluation",
     "implicit_from_retention",
     "EvaluationStore",
+    "JournalSink",
 ]
+
+#: Journal hook signature shared by every store: ``sink(kind, payload)``.
+#: Payloads are JSON-safe dicts; a write-ahead log appends them before the
+#: mutation lands, so replaying them through :meth:`EvaluationStore
+#: .apply_record` (and the other stores' dispatchers) reproduces the store
+#: exactly — including its dirty sets, which is what lets the incremental
+#: pipeline patch during recovery.
+JournalSink = Callable[[str, Dict[str, Any]], None]
 
 
 def implicit_from_retention(retention_seconds: float,
@@ -115,6 +124,11 @@ class EvaluationStore:
     #: from, instead of a boolean "something changed" invalidation.
     _dirty_files: Set[str] = field(default_factory=set)
     _dirty_users: Set[str] = field(default_factory=set)
+    #: Optional write-ahead hook: public mutators emit one JSON-safe record
+    #: (after validating, before mutating) describing the call, so a WAL
+    #: can persist it and :meth:`apply_record` can replay it verbatim.
+    journal: Optional[JournalSink] = field(default=None, repr=False,
+                                           compare=False)
 
     # ------------------------------------------------------------------ #
     # Recording                                                          #
@@ -126,6 +140,11 @@ class EvaluationStore:
         """Record/refresh the implicit evaluation from retention time."""
         implicit = implicit_from_retention(
             retention_seconds, self.config.retention_saturation_seconds)
+        if self.journal is not None:
+            self.journal("eval.retention", {
+                "user": user_id, "file": file_id,
+                "retention_seconds": retention_seconds,
+                "timestamp": timestamp})
         return self._upsert(user_id, file_id, timestamp, implicit=implicit)
 
     def record_vote(self, user_id: str, file_id: str, vote: float,
@@ -133,6 +152,10 @@ class EvaluationStore:
         """Record an explicit vote in [0, 1]."""
         if not 0.0 <= vote <= 1.0:
             raise ValueError(f"vote must be in [0,1], got {vote}")
+        if self.journal is not None:
+            self.journal("eval.vote", {
+                "user": user_id, "file": file_id, "vote": vote,
+                "timestamp": timestamp})
         return self._upsert(user_id, file_id, timestamp, explicit=vote)
 
     def record_implicit(self, user_id: str, file_id: str, implicit: float,
@@ -140,6 +163,10 @@ class EvaluationStore:
         """Record an already-normalised implicit evaluation directly."""
         if not 0.0 <= implicit <= 1.0:
             raise ValueError(f"implicit must be in [0,1], got {implicit}")
+        if self.journal is not None:
+            self.journal("eval.implicit", {
+                "user": user_id, "file": file_id, "implicit": implicit,
+                "timestamp": timestamp})
         return self._upsert(user_id, file_id, timestamp, implicit=implicit)
 
     def record_play(self, user_id: str, file_id: str, play_fraction: float,
@@ -152,6 +179,10 @@ class EvaluationStore:
         if not 0.0 <= play_fraction <= 1.0:
             raise ValueError(
                 f"play_fraction must be in [0,1], got {play_fraction}")
+        if self.journal is not None:
+            self.journal("eval.play", {
+                "user": user_id, "file": file_id,
+                "play_fraction": play_fraction, "timestamp": timestamp})
         evaluation = self._upsert(user_id, file_id, timestamp)
         if (evaluation.play_fraction is None
                 or play_fraction > evaluation.play_fraction):
@@ -179,6 +210,8 @@ class EvaluationStore:
 
     def remove(self, user_id: str, file_id: str) -> None:
         """Drop one evaluation (e.g. the user deleted the file long ago)."""
+        if self.journal is not None:
+            self.journal("eval.remove", {"user": user_id, "file": file_id})
         self._dirty_files.add(file_id)
         self._dirty_users.add(user_id)
         per_user = self._by_user.get(user_id)
@@ -226,6 +259,36 @@ class EvaluationStore:
         """Mark the current state as built; next deltas start from here."""
         self._dirty_files.clear()
         self._dirty_users.clear()
+
+    # ------------------------------------------------------------------ #
+    # Journal replay                                                     #
+    # ------------------------------------------------------------------ #
+
+    def apply_record(self, kind: str, payload: Mapping[str, Any]) -> None:
+        """Replay one journalled mutation through the live ingest path.
+
+        Each record re-enters the public mutator that emitted it, so replay
+        marks the same dirty sets and produces bit-identical state — note
+        :meth:`prune_older_than` journals as the individual ``eval.remove``
+        records it performs, so there is no prune kind here.
+        """
+        if kind == "eval.retention":
+            self.record_retention(payload["user"], payload["file"],
+                                  payload["retention_seconds"],
+                                  payload["timestamp"])
+        elif kind == "eval.vote":
+            self.record_vote(payload["user"], payload["file"],
+                             payload["vote"], payload["timestamp"])
+        elif kind == "eval.implicit":
+            self.record_implicit(payload["user"], payload["file"],
+                                 payload["implicit"], payload["timestamp"])
+        elif kind == "eval.play":
+            self.record_play(payload["user"], payload["file"],
+                             payload["play_fraction"], payload["timestamp"])
+        elif kind == "eval.remove":
+            self.remove(payload["user"], payload["file"])
+        else:
+            raise ValueError(f"unknown evaluation record kind {kind!r}")
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import JournalSink
 
 __all__ = ["ServiceDifferentiator", "ServiceLevel", "IncentiveAction",
            "ActionCreditTracker"]
@@ -119,12 +120,20 @@ class ActionCreditTracker:
     config: ReputationConfig = field(default=DEFAULT_CONFIG)
     _credits: Dict[str, float] = field(default_factory=dict)
     _counts: Dict[Tuple[str, IncentiveAction], int] = field(default_factory=dict)
+    #: Optional write-ahead hook (see :data:`~repro.core.evaluation
+    #: .JournalSink`): :meth:`record` emits before the balance moves.
+    journal: Optional[JournalSink] = field(default=None, repr=False,
+                                           compare=False)
 
     def record(self, user_id: str, action: IncentiveAction,
                magnitude: float = 1.0) -> float:
         """Credit ``user_id`` for one ``action``; returns the new balance."""
         if magnitude < 0:
             raise ValueError(f"magnitude must be >= 0, got {magnitude}")
+        if self.journal is not None:
+            self.journal("credit.record", {
+                "user": user_id, "action": action.value,
+                "magnitude": magnitude})
         credit = magnitude * {
             IncentiveAction.UPLOAD_REAL_FILE: self.config.upload_credit,
             IncentiveAction.VOTE: self.config.vote_credit,
@@ -135,6 +144,13 @@ class ActionCreditTracker:
         key = (user_id, action)
         self._counts[key] = self._counts.get(key, 0) + 1
         return self._credits[user_id]
+
+    def apply_record(self, kind: str, payload: Mapping[str, Any]) -> None:
+        """Replay one journalled credit through the live ingest path."""
+        if kind != "credit.record":
+            raise ValueError(f"unknown credit record kind {kind!r}")
+        self.record(payload["user"], IncentiveAction(payload["action"]),
+                    payload["magnitude"])
 
     def credit(self, user_id: str) -> float:
         return self._credits.get(user_id, 0.0)

@@ -10,6 +10,8 @@ bridge is provided for eigen-analysis and fast matrix powers.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from math import fsum
 from types import MappingProxyType
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -137,6 +139,23 @@ class TrustMatrix:
         for row in self._rows.values():
             ids.update(row)
         return sorted(ids)
+
+    def checksum(self) -> str:
+        """Bit-exact sha256 digest of the matrix contents.
+
+        Entries are hashed in sorted (row, column) order with each value's
+        IEEE-754 byte representation, so two matrices have equal checksums
+        iff they are exactly ``==`` — the digest recovery tests compare
+        instead of shipping whole matrices around.
+        """
+        digest = hashlib.sha256()
+        for i in sorted(self._rows):
+            row = self._rows[i]
+            digest.update(i.encode("utf-8") + b"\x00")
+            for j in sorted(row):
+                digest.update(j.encode("utf-8") + b"\x00")
+                digest.update(struct.pack("<d", row[j]))
+        return digest.hexdigest()
 
     def has_edge(self, i: str, j: str) -> bool:
         return self.get(i, j) > 0.0

@@ -7,24 +7,40 @@ incentive credits — into one JSON document, and restores an equivalent
 system from it.  Matrices are *not* persisted: they are derived state and
 are rebuilt lazily on first query after restore.
 
-The format is versioned; loading rejects unknown versions loudly rather
-than guessing.
+The format is versioned.  Version 2 (current) adds two durability fields on
+top of version 1:
+
+* ``"wal": {"last_seq": N}`` — the journal sequence number the snapshot is
+  current through, letting :mod:`repro.core.durability.recovery` replay
+  exactly the WAL records the snapshot has not absorbed;
+* ``"checksum"`` — SHA-256 over the canonical dump (sorted keys, compact
+  separators, checksum key excluded), so a bit-rotted or hand-mangled
+  snapshot is rejected before any of it is trusted.
+
+Version-1 documents (no ``wal``, no ``checksum``) still load.  Unknown
+versions, unknown/missing sections and unknown/missing config fields are
+all rejected loudly — and the error names the offending field or section,
+not just "bad file".
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from .config import ReputationConfig
 from .incentive import IncentiveAction
 from .reputation_system import MultiDimensionalReputationSystem
 
 __all__ = ["system_to_dict", "system_from_dict", "save_system",
-           "load_system", "FORMAT_VERSION"]
+           "load_system", "snapshot_checksum", "wal_last_seq",
+           "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :func:`system_from_dict` accepts (older ones load unchanged).
+SUPPORTED_VERSIONS = (1, 2)
 
 _CONFIG_FIELDS = [
     "eta", "rho", "alpha", "beta", "gamma", "multitrust_steps",
@@ -35,9 +51,40 @@ _CONFIG_FIELDS = [
     "delete_fake_credit",
 ]
 
+#: Sections every version must carry; their absence names the gap.
+_REQUIRED_SECTIONS = ["config", "evaluations", "downloads", "user_trust",
+                      "credits"]
+#: Everything a v2 document may contain at the top level.
+_KNOWN_KEYS = frozenset(_REQUIRED_SECTIONS) | {
+    "format_version", "auto_refresh", "wal", "checksum"}
 
-def system_to_dict(system: MultiDimensionalReputationSystem) -> dict:
-    """Serialise the system's behavioural state to a JSON-safe dict."""
+
+def snapshot_checksum(data: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical dump of ``data`` minus its checksum key."""
+    stripped = {key: value for key, value in data.items() if key != "checksum"}
+    canonical = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def wal_last_seq(data: Dict[str, Any]) -> int:
+    """Journal sequence the snapshot covers (0 for v1 / unjournalled)."""
+    wal = data.get("wal")
+    if wal is None:
+        return 0
+    if not isinstance(wal, dict) or not isinstance(wal.get("last_seq"), int):
+        raise ValueError("snapshot section 'wal' must be an object with an "
+                         "integer 'last_seq'")
+    return wal["last_seq"]
+
+
+def system_to_dict(system: MultiDimensionalReputationSystem,
+                   last_seq: Optional[int] = None) -> dict:
+    """Serialise the system's behavioural state to a JSON-safe dict.
+
+    ``last_seq`` stamps the document as current through that journal
+    sequence number; pass it whenever the system is journalled so recovery
+    knows where snapshot coverage ends and WAL replay begins.
+    """
     evaluations: List[dict] = []
     for evaluation in system.evaluations:
         evaluations.append({
@@ -84,7 +131,7 @@ def system_to_dict(system: MultiDimensionalReputationSystem) -> dict:
         ],
     }
 
-    return {
+    data: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "config": {field: getattr(system.config, field)
                    for field in _CONFIG_FIELDS},
@@ -94,15 +141,56 @@ def system_to_dict(system: MultiDimensionalReputationSystem) -> dict:
         "user_trust": user_trust,
         "credits": credits,
     }
+    if last_seq is not None:
+        data["wal"] = {"last_seq": last_seq}
+    data["checksum"] = snapshot_checksum(data)
+    return data
+
+
+def _validate_document(data: Dict[str, Any]) -> None:
+    """Reject a malformed document with an error naming the exact gap."""
+    version = data.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported format_version {version!r}; this build reads "
+            f"versions {', '.join(str(v) for v in SUPPORTED_VERSIONS)}")
+
+    missing_sections = [section for section in _REQUIRED_SECTIONS
+                        if section not in data]
+    if missing_sections:
+        raise ValueError("snapshot is missing required section(s): "
+                         + ", ".join(repr(s) for s in missing_sections))
+    unknown_keys = sorted(set(data) - _KNOWN_KEYS)
+    if unknown_keys:
+        raise ValueError("snapshot contains unknown top-level section(s): "
+                         + ", ".join(repr(k) for k in unknown_keys))
+
+    config = data["config"]
+    if not isinstance(config, dict):
+        raise ValueError("snapshot section 'config' must be an object")
+    unknown_fields = sorted(set(config) - set(_CONFIG_FIELDS))
+    if unknown_fields:
+        raise ValueError("config contains unknown field(s): "
+                         + ", ".join(repr(f) for f in unknown_fields))
+    missing_fields = [f for f in _CONFIG_FIELDS if f not in config]
+    if missing_fields:
+        raise ValueError("config is missing field(s): "
+                         + ", ".join(repr(f) for f in missing_fields))
+
+    checksum = data.get("checksum")
+    if checksum is not None:
+        expected = snapshot_checksum(data)
+        if checksum != expected:
+            raise ValueError(
+                f"snapshot checksum mismatch: stored {checksum[:12]}…, "
+                f"recomputed {expected[:12]}… — the file is corrupt or was "
+                f"edited without re-stamping")
 
 
 def system_from_dict(data: dict) -> MultiDimensionalReputationSystem:
     """Restore a system from :func:`system_to_dict` output."""
-    version = data.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported format_version {version!r}; "
-            f"this build reads version {FORMAT_VERSION}")
+    _validate_document(data)
+    wal_last_seq(data)  # shape check; the value matters only to recovery
 
     config = ReputationConfig(**data["config"])
     system = MultiDimensionalReputationSystem(
@@ -141,10 +229,12 @@ def system_from_dict(data: dict) -> MultiDimensionalReputationSystem:
 
 
 def save_system(system: MultiDimensionalReputationSystem,
-                path: Union[str, Path]) -> None:
+                path: Union[str, Path],
+                last_seq: Optional[int] = None) -> None:
     """Write the system state as JSON to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(system_to_dict(system), handle, indent=1, sort_keys=True)
+        json.dump(system_to_dict(system, last_seq=last_seq), handle,
+                  indent=1, sort_keys=True)
 
 
 def load_system(path: Union[str, Path]) -> MultiDimensionalReputationSystem:

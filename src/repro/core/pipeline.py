@@ -244,6 +244,17 @@ class TrustPipeline:
             self._verify_against_full_rebuild()
         return self.view()
 
+    def checksums(self) -> Dict[str, str]:
+        """Bit-exact digests of the published ``TM``/``RM`` pair.
+
+        Two pipelines agree on these iff their matrices are exactly equal —
+        the recovery tooling compares digests instead of shipping matrices,
+        and ``repro recover`` prints them so a recovered node can be
+        checked against a live one from the command line.
+        """
+        return {"trust": self._trust.checksum(),
+                "reputation": self._reputation.checksum()}
+
     def reputation_at(self, steps: int) -> TrustMatrix:
         """``TM^steps`` for a step override, cached until the next refresh."""
         cached = self._power_cache.get(steps)

@@ -27,7 +27,7 @@ stale (always-fresh queries); simulations set it to False and call
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .config import DEFAULT_CONFIG, ReputationConfig
@@ -155,6 +155,29 @@ class MultiDimensionalReputationSystem:
         """The user deleted a fake file: credit + implicit evaluation of 0."""
         self.credits.record(user_id, IncentiveAction.DELETE_FAKE_FILE)
         self.evaluations.record_implicit(user_id, file_id, 0.0, timestamp)
+        self._invalidate()
+
+    def apply_record(self, kind: str, payload: Mapping[str, Any]) -> None:
+        """Apply one journalled store mutation through the live ingest path.
+
+        Records are routed by kind prefix to the store that emitted them
+        (``eval.`` / ``ledger.`` / ``user.`` / ``credit.``), re-entering the
+        exact mutators a live system runs — dirty sets and all — so WAL
+        replay drives the incremental pipeline identically to never having
+        crashed.  Credit records do not touch the matrices and therefore do
+        not invalidate them, mirroring the live write paths.
+        """
+        if kind.startswith("eval."):
+            self.evaluations.apply_record(kind, payload)
+        elif kind.startswith("ledger."):
+            self.ledger.apply_record(kind, payload)
+        elif kind.startswith("user."):
+            self.user_trust.apply_record(kind, payload)
+        elif kind.startswith("credit."):
+            self.credits.apply_record(kind, payload)
+            return
+        else:
+            raise ValueError(f"unknown journal record kind {kind!r}")
         self._invalidate()
 
     def prune_before(self, cutoff_timestamp: float) -> int:

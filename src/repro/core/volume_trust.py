@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import fsum
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..lint.contracts import check_row_stochastic
 from .config import DEFAULT_CONFIG, ReputationConfig
-from .evaluation import EvaluationStore
+from .evaluation import EvaluationStore, JournalSink
 from .matrix import TrustMatrix
 
 __all__ = ["DownloadLedger", "valid_download_volume",
@@ -47,6 +47,10 @@ class DownloadLedger:
     _uploaders: Dict[str, Set[str]] = field(default_factory=dict)
     #: Downloaders whose entries changed since the last :meth:`clear_dirty`.
     _dirty_downloaders: Set[str] = field(default_factory=set)
+    #: Optional write-ahead hook (see :data:`~repro.core.evaluation
+    #: .JournalSink`): mutators emit a record before the mutation lands.
+    journal: Optional[JournalSink] = field(default=None, repr=False,
+                                           compare=False)
 
     def record_download(self, downloader: str, uploader: str, file_id: str,
                         size_bytes: float, timestamp: float = 0.0) -> None:
@@ -54,6 +58,10 @@ class DownloadLedger:
             raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
         if downloader == uploader:
             raise ValueError("a user cannot download from itself")
+        if self.journal is not None:
+            self.journal("ledger.download", {
+                "downloader": downloader, "uploader": uploader,
+                "file": file_id, "size": size_bytes, "timestamp": timestamp})
         self._entries.setdefault((downloader, uploader), []).append(
             _DownloadEntry(file_id=file_id, size_bytes=size_bytes,
                            timestamp=timestamp))
@@ -80,6 +88,8 @@ class DownloadLedger:
 
     def prune_older_than(self, cutoff_timestamp: float) -> int:
         """Drop download records last seen before ``cutoff_timestamp``."""
+        if self.journal is not None:
+            self.journal("ledger.prune", {"cutoff": cutoff_timestamp})
         removed = 0
         for key in list(self._entries):
             kept = [e for e in self._entries[key] if e.timestamp >= cutoff_timestamp]
@@ -114,6 +124,27 @@ class DownloadLedger:
 
     def clear_dirty(self) -> None:
         self._dirty_downloaders.clear()
+
+    # ------------------------------------------------------------------ #
+    # Journal replay                                                     #
+    # ------------------------------------------------------------------ #
+
+    def apply_record(self, kind: str, payload: Mapping[str, Any]) -> None:
+        """Replay one journalled mutation through the live ingest path.
+
+        ``ledger.prune`` is journalled as the *call* (cutoff), not the
+        individual deletions: pruning is a pure function of the entries
+        already reconstructed by earlier records, so replaying the call
+        deletes exactly the same ones.
+        """
+        if kind == "ledger.download":
+            self.record_download(payload["downloader"], payload["uploader"],
+                                 payload["file"], payload["size"],
+                                 payload["timestamp"])
+        elif kind == "ledger.prune":
+            self.prune_older_than(payload["cutoff"])
+        else:
+            raise ValueError(f"unknown ledger record kind {kind!r}")
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._entries.values())

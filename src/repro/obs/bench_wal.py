@@ -1,0 +1,122 @@
+"""WAL perf snapshots: the ``BENCH_wal.json`` trajectory point.
+
+Measures what durability costs a *real* run.  The standard simulator
+workload (same shape as :mod:`repro.obs.bench`, smaller) executes four
+times — identical seed, identical event stream — under four durability
+policies:
+
+* ``off``      — no journal attached (the baseline);
+* ``buffered`` — WAL attached, ``fsync="none"`` (framing + write() only);
+* ``batch``    — WAL attached, ``fsync="batch"`` (the default: one fsync
+  per simulator maintenance tick);
+* ``always``   — WAL attached, ``fsync="always"`` (one fsync per record).
+
+Each mode reports simulator events/second plus its slowdown relative to
+``off``.  CI gates on the ``buffered`` slowdown: journalling that is not
+actively fsyncing must stay within 1.25x of the bare run, otherwise the
+write-ahead hooks have crept into the hot path.  Because the durability
+layer never touches an RNG, all four runs must also produce identical
+outcome metrics — the snapshot records that check under
+``matches_baseline``.
+
+Snapshots carry the same provenance stamp as the other BENCH files (seed,
+config hash, git sha — see :mod:`repro.obs.bench`).  Core/simulator
+imports are deferred into the functions to mirror :mod:`repro.obs.bench`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .bench import run_stamp
+
+__all__ = ["collect_wal_snapshot", "buffered_overhead"]
+
+#: The simulate workload each mode runs (identical across modes).
+#: ``snapshot_every=0``: the bench isolates the WAL *policy* cost — only
+#: the baseline generation is written, never mid-run ones, so the modes
+#: differ exclusively in append/fsync behaviour.
+_SIM_CONFIG = dict(honest=10, free_riders=3, polluters=3, catalog=60,
+                   fake_ratio=0.25, days=0.75, request_rate=0.02,
+                   snapshot_every=0)
+
+_MODE_FSYNC = {"buffered": "none", "batch": "batch", "always": "always"}
+
+
+def _run_mode(mode: str, seed: int,
+              directory: Path) -> Dict[str, object]:
+    """One simulator run under one durability policy."""
+    from ..baselines import MultiDimensionalMechanism
+    from ..core import ReputationConfig
+    from ..core.durability import DurabilityManager
+    from ..simulator import (FileSharingSimulation, ScenarioSpec,
+                             SimulationConfig)
+
+    duration = _SIM_CONFIG["days"] * 24 * 3600.0
+    config = SimulationConfig(
+        scenario=ScenarioSpec(honest=_SIM_CONFIG["honest"],
+                              free_riders=_SIM_CONFIG["free_riders"],
+                              polluters=_SIM_CONFIG["polluters"]),
+        duration_seconds=duration,
+        num_files=_SIM_CONFIG["catalog"],
+        fake_ratio=_SIM_CONFIG["fake_ratio"],
+        request_rate=_SIM_CONFIG["request_rate"],
+        seed=seed)
+    mechanism = MultiDimensionalMechanism(ReputationConfig(
+        retention_saturation_seconds=duration / 3))
+
+    manager: Optional[DurabilityManager] = None
+    if mode != "off":
+        manager = DurabilityManager(
+            mechanism.system, directory / mode, fsync=_MODE_FSYNC[mode],
+            snapshot_every=_SIM_CONFIG["snapshot_every"])
+    simulation = FileSharingSimulation(config, mechanism,
+                                       durability=manager)
+    started = time.perf_counter()
+    metrics = simulation.run()
+    elapsed = time.perf_counter() - started
+    wal_records = manager.last_seq if manager is not None else 0
+    if manager is not None:
+        manager.close(final_snapshot=True)
+    events = simulation.engine.events_processed
+    return {
+        "seconds": elapsed,
+        "engine_events": events,
+        "events_per_second": events / elapsed if elapsed > 0 else 0.0,
+        "wal_records": wal_records,
+        "total_requests": metrics.total_requests,
+        "overall_fake_fraction": metrics.overall_fake_fraction,
+    }
+
+
+def collect_wal_snapshot(directory: str,
+                         seed: int = 42) -> Dict[str, object]:
+    """One stamped BENCH_wal measurement over all four durability modes."""
+    workdir = Path(directory)
+    workdir.mkdir(parents=True, exist_ok=True)
+    modes: Dict[str, Dict[str, object]] = {}
+    for mode in ("off", "buffered", "batch", "always"):
+        modes[mode] = _run_mode(mode, seed, workdir)
+    baseline = modes["off"]
+    for entry in modes.values():
+        entry["slowdown_vs_off"] = (
+            float(entry["seconds"]) / float(baseline["seconds"])
+            if float(baseline["seconds"]) > 0 else float("inf"))
+    matches = all(
+        entry["total_requests"] == baseline["total_requests"]
+        and entry["overall_fake_fraction"]
+        == baseline["overall_fake_fraction"]
+        and entry["engine_events"] == baseline["engine_events"]
+        for entry in modes.values())
+    snapshot: Dict[str, object] = run_stamp(seed, dict(_SIM_CONFIG))
+    snapshot["modes"] = modes
+    snapshot["matches_baseline"] = matches
+    return snapshot
+
+
+def buffered_overhead(snapshot: Dict[str, object]) -> float:
+    """The buffered-journal slowdown ratio CI gates on (1.0 = free)."""
+    modes = snapshot["modes"]
+    return float(modes["buffered"]["slowdown_vs_off"])

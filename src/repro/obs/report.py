@@ -46,6 +46,8 @@ KNOWN_EVENT_KINDS = frozenset({
     "churn_crash", "churn_rejoin",
     # monitoring
     "alert",
+    # durability (WAL + crash recovery)
+    "wal.snapshot", "recovery.complete", "recovery.quarantined",
 })
 
 

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..core.durability.faults import SimulatedCrash
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["EventEngine", "ScheduledEvent"]
@@ -85,6 +86,20 @@ class EventEngine:
     def stop(self) -> None:
         """Stop the run after the current callback returns."""
         self._stopped = True
+
+    def schedule_crash(self, at_time: float,
+                       reason: str = "scheduled crash") -> ScheduledEvent:
+        """Kill the run at ``at_time`` by raising :class:`SimulatedCrash`.
+
+        The exception propagates out of :meth:`run` exactly like a process
+        death would cut the call stack: no later events fire, no cleanup
+        hooks run, and whatever a journalled system had persisted by then
+        is all recovery gets — which is precisely what the crash-recovery
+        tests need to stage deterministically.
+        """
+        def _crash(engine: "EventEngine") -> None:
+            raise SimulatedCrash(f"{reason} at t={engine.now:.0f}s")
+        return self.schedule_at(at_time, _crash)
 
     # ------------------------------------------------------------------ #
     # Running                                                            #

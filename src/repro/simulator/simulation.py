@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.base import ReputationMechanism
 from ..baselines.null import NullMechanism
+from ..core.durability.journal import DurabilityManager
 from ..obs.recorder import NULL_RECORDER, NullRecorder
 from ..traces.catalog import FileCatalog
 from .behaviors import (CamouflagedPolluterBehavior, ColluderBehavior,
@@ -111,8 +112,16 @@ class FileSharingSimulation:
 
     def __init__(self, config: SimulationConfig,
                  mechanism: Optional[ReputationMechanism] = None,
-                 recorder: NullRecorder = NULL_RECORDER):
+                 recorder: NullRecorder = NULL_RECORDER,
+                 durability: Optional[DurabilityManager] = None):
         self.config = config
+        #: Optional crash safety: when set, :meth:`run` attaches the
+        #: journal before the first event and every maintenance tick is a
+        #: durability safe point (WAL fsync + possible snapshot).  The
+        #: *owner* of the manager closes it — the simulation never does,
+        #: so a SimulatedCrash propagating out of ``run`` leaves the
+        #: directory exactly as a killed process would.
+        self.durability = durability
         self.mechanism = mechanism if mechanism is not None else NullMechanism()
         self.rng = random.Random(config.seed)
         #: Observability sink; events are keyed by ``engine.now`` and the
@@ -224,6 +233,8 @@ class FileSharingSimulation:
 
     def run(self) -> SimulationMetrics:
         """Execute the configured run and return the collected metrics."""
+        if self.durability is not None:
+            self.durability.attach()
         self._schedule_joins()
         self.engine.schedule(self.workload.next_interarrival(),
                              self._on_request_arrival)
@@ -580,6 +591,11 @@ class FileSharingSimulation:
             self.mechanism.refresh()
             if self.recorder.enabled:
                 self._emit_refresh_snapshot()
+            if self.durability is not None:
+                # Safe point: every journalled record's mutation has
+                # applied, so a snapshot's last_seq is truthful here.
+                self.durability.sync()
+                self.durability.maybe_snapshot()
         engine.schedule(self.config.maintenance_interval_seconds,
                         self._on_maintenance)
 

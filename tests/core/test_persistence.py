@@ -7,6 +7,8 @@ import pytest
 from repro.core import (MultiDimensionalReputationSystem, ReputationConfig,
                         load_system, save_system, system_from_dict,
                         system_to_dict)
+from repro.core.persistence import (FORMAT_VERSION, snapshot_checksum,
+                                    wal_last_seq)
 
 DAY = 24 * 3600.0
 
@@ -93,7 +95,7 @@ class TestFileRoundTrip:
         path = tmp_path / "state.json"
         save_system(populated_system, path)
         data = json.loads(path.read_text())
-        assert data["format_version"] == 1
+        assert data["format_version"] == FORMAT_VERSION
 
     def test_save_is_deterministic(self, populated_system, tmp_path):
         a, b = tmp_path / "a.json", tmp_path / "b.json"
@@ -113,4 +115,105 @@ class TestVersioning:
         data = system_to_dict(populated_system)
         del data["format_version"]
         with pytest.raises(ValueError):
+            system_from_dict(data)
+
+
+def _as_v1(data):
+    """Rewrite a current-format dump as a faithful version-1 document."""
+    v1 = {key: value for key, value in data.items()
+          if key not in ("wal", "checksum")}
+    v1["format_version"] = 1
+    return v1
+
+
+class TestV1Migration:
+    """Version-1 documents (pre-WAL, pre-checksum) must keep loading."""
+
+    def test_v1_document_loads(self, populated_system):
+        v1 = _as_v1(system_to_dict(populated_system))
+        restored = system_from_dict(v1)
+        users = ("alice", "bob", "mallory")
+        for observer in users:
+            for target in users:
+                assert restored.user_reputation(observer, target) == \
+                    pytest.approx(
+                        populated_system.user_reputation(observer, target))
+
+    def test_v1_has_no_wal_coverage(self, populated_system):
+        v1 = _as_v1(system_to_dict(populated_system))
+        assert wal_last_seq(v1) == 0
+
+    def test_v1_json_file_loads(self, populated_system, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(_as_v1(system_to_dict(populated_system))))
+        restored = load_system(path)
+        assert restored.user_trust.is_friend("bob", "alice")
+
+
+class TestV2Metadata:
+    def test_wal_seq_round_trips(self, populated_system):
+        data = system_to_dict(populated_system, last_seq=42)
+        assert wal_last_seq(data) == 42
+        system_from_dict(data)  # still restores with the wal section
+
+    def test_checksum_is_stamped_and_verifies(self, populated_system):
+        data = system_to_dict(populated_system)
+        assert data["checksum"] == snapshot_checksum(data)
+        system_from_dict(data)
+
+    def test_checksum_mismatch_rejected(self, populated_system):
+        data = system_to_dict(populated_system)
+        data["auto_refresh"] = not data["auto_refresh"]
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            system_from_dict(data)
+
+    def test_malformed_wal_section_rejected(self, populated_system):
+        data = system_to_dict(populated_system, last_seq=7)
+        data["wal"] = {"last_seq": "seven"}
+        data["checksum"] = snapshot_checksum(data)
+        with pytest.raises(ValueError, match="'wal'"):
+            system_from_dict(data)
+
+
+class TestPreciseErrors:
+    """Rejections must name the offending field or section."""
+
+    def _unstamped(self, populated_system, mutate):
+        data = system_to_dict(populated_system)
+        mutate(data)
+        data["checksum"] = snapshot_checksum(data)
+        return data
+
+    def test_missing_section_is_named(self, populated_system):
+        data = self._unstamped(populated_system,
+                               lambda d: d.pop("downloads"))
+        with pytest.raises(ValueError, match="'downloads'"):
+            system_from_dict(data)
+
+    def test_unknown_section_is_named(self, populated_system):
+        data = self._unstamped(
+            populated_system,
+            lambda d: d.__setitem__("telemetry", {}))
+        with pytest.raises(ValueError, match="'telemetry'"):
+            system_from_dict(data)
+
+    def test_unknown_config_field_is_named(self, populated_system):
+        data = self._unstamped(
+            populated_system,
+            lambda d: d["config"].__setitem__("warp_factor", 9))
+        with pytest.raises(ValueError, match="'warp_factor'"):
+            system_from_dict(data)
+
+    def test_missing_config_field_is_named(self, populated_system):
+        data = self._unstamped(populated_system,
+                               lambda d: d["config"].pop("eta"))
+        with pytest.raises(ValueError, match="'eta'"):
+            system_from_dict(data)
+
+    def test_multiple_missing_fields_all_named(self, populated_system):
+        def mutate(d):
+            d["config"].pop("eta")
+            d["config"].pop("rho")
+        data = self._unstamped(populated_system, mutate)
+        with pytest.raises(ValueError, match="'eta'.*'rho'"):
             system_from_dict(data)

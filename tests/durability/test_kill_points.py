@@ -1,0 +1,136 @@
+"""Kill-point matrix: die at EVERY write/fsync boundary, always recover.
+
+A clean journalled run is profiled once to count its write() and fsync()
+operations; the matrix then re-runs the identical workload once per
+boundary with a :class:`CrashPlan` that kills exactly there.  After every
+crash, recovery must produce a state exactly equal to a from-scratch
+replay of the WAL's surviving record prefix — no exception, no silent
+loss beyond the torn tail.  (The ``crash-recovery`` CI job runs this
+with ``REPRO_CHECK_INVARIANTS=1`` for in-refresh self-checks on top.)
+"""
+
+import pytest
+
+from repro.core import MultiDimensionalReputationSystem
+from repro.core.durability import (CrashPlan, DurabilityManager, FaultyFile,
+                                   SimulatedCrash, recover)
+
+from tests.durability.helpers import assert_identical, drive, replay_reference
+
+STEPS = 9  # small on purpose: the matrix runs the workload ~dozens of times
+
+
+def _run(directory, plan=None, fsync="batch"):
+    """One journalled workload run; returns (faulty_file, crashed)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    faulty = FaultyFile(directory / "journal.wal", plan)
+    system = MultiDimensionalReputationSystem()
+    try:
+        # Inside the try: the very first write (the WAL header) happens
+        # in the constructor and is a legitimate kill point too.
+        manager = DurabilityManager(system, directory, fsync=fsync,
+                                    fileobj=faulty)
+        manager.attach()
+        drive(system, STEPS)
+        manager.sync()
+        drive(system, STEPS, start=STEPS)
+        manager.close(final_snapshot=True)
+    except SimulatedCrash:
+        return faulty, True
+    return faulty, False
+
+
+def _assert_recovers_prefix(directory, crashed):
+    """Recovery after a kill yields exactly the WAL's valid prefix."""
+    try:
+        result = recover(directory)
+    except FileNotFoundError:
+        # Killed before the baseline generation became durable: there is
+        # no state to recover — and none was ever claimed durable.
+        assert crashed
+        assert not list(directory.glob("snapshot-*.json"))
+        return
+    assert result.wal_scan is not None
+    assert_identical(result.system, replay_reference(result.wal_scan.records))
+
+
+def _boundary_counts(tmp_path):
+    """(writes, fsyncs) of one clean run per fsync policy."""
+    counts = {}
+    for policy in ("batch", "always"):
+        faulty, crashed = _run(tmp_path / f"clean-{policy}", fsync=policy)
+        assert not crashed
+        counts[policy] = (faulty.writes, faulty.fsyncs)
+    return counts
+
+
+def test_clean_control_run_recovers_identically(tmp_path):
+    directory = tmp_path / "control"
+    _, crashed = _run(directory)
+    assert not crashed
+    result = recover(directory)
+    assert result.truncated_tail_bytes == 0
+    assert_identical(result.system, replay_reference(result.wal_scan.records))
+
+
+@pytest.mark.parametrize("fault", ["before", "after", "torn"])
+def test_kill_at_every_write(tmp_path, fault):
+    writes, _ = _boundary_counts(tmp_path)["batch"]
+    assert writes > 10
+    for n in range(1, writes + 1):
+        plan = {"before": CrashPlan(crash_before_write=n),
+                "after": CrashPlan(crash_after_write=n),
+                "torn": CrashPlan(torn_write_at=n)}[fault]
+        directory = tmp_path / f"{fault}-w{n}"
+        _, crashed = _run(directory, plan)
+        assert crashed
+        _assert_recovers_prefix(directory, crashed)
+
+
+@pytest.mark.parametrize("fsync,fault", [
+    ("batch", "before"), ("batch", "after"),
+    ("always", "before"), ("always", "after"),
+])
+def test_kill_at_every_fsync(tmp_path, fsync, fault):
+    _, fsyncs = _boundary_counts(tmp_path)[fsync]
+    assert fsyncs > (2 if fsync == "batch" else 10)
+    for n in range(1, fsyncs + 1):
+        plan = (CrashPlan(crash_before_fsync=n) if fault == "before"
+                else CrashPlan(crash_after_fsync=n))
+        directory = tmp_path / f"{fsync}-{fault}-f{n}"
+        _, crashed = _run(directory, plan, fsync=fsync)
+        assert crashed
+        _assert_recovers_prefix(directory, crashed)
+
+
+def test_torn_write_single_byte_lands(tmp_path):
+    """The meanest tear: exactly one byte of a record frame survives."""
+    directory = tmp_path / "onebyte"
+    _, crashed = _run(directory, CrashPlan(torn_write_at=5,
+                                           torn_write_keep=1))
+    assert crashed
+    _assert_recovers_prefix(directory, crashed)
+
+
+def test_crash_then_resume_then_crash_again(tmp_path):
+    """Recovery → repaired WAL → resumed journalling → second crash →
+    recovery again.  The full crash-restart-crash lifecycle."""
+    directory = tmp_path / "twice"
+    _, crashed = _run(directory, CrashPlan(torn_write_at=8))
+    assert crashed
+    first = recover(directory, repair=True)
+    assert first.repaired or first.truncated_tail_bytes == 0
+
+    # Resume journalling from the recovered state and crash again.
+    faulty = FaultyFile(directory / "journal.wal",
+                        CrashPlan(crash_after_write=4))
+    manager = DurabilityManager(first.system, directory,
+                                start_seq=first.last_seq, fileobj=faulty)
+    with pytest.raises(SimulatedCrash):
+        manager.attach()
+        drive(first.system, STEPS, start=2 * STEPS)
+
+    second = recover(directory)
+    assert second.last_seq > first.last_seq
+    assert_identical(second.system,
+                     replay_reference(second.wal_scan.records))

@@ -1,0 +1,167 @@
+"""End-to-end recovery tests: snapshot + WAL replay = exact state.
+
+The assertions here are exact-equality on their own; running the suite
+with ``REPRO_CHECK_INVARIANTS=1`` (the ``crash-recovery`` CI job does)
+additionally self-checks every replayed refresh against a full rebuild.
+"""
+
+import pytest
+
+from repro.core import MultiDimensionalReputationSystem
+from repro.core.durability import (DurabilityManager, flip_byte, read_wal,
+                                   recover, truncate_file)
+from repro.obs.recorder import Recorder
+
+from tests.durability.helpers import assert_identical, drive, replay_reference
+
+
+def journalled_run(tmp_path, steps, snapshot_every=0, subdir="state"):
+    system = MultiDimensionalReputationSystem()
+    manager = DurabilityManager(system, tmp_path / subdir,
+                                snapshot_every=snapshot_every)
+    manager.attach()
+    drive(system, steps)
+    manager.maybe_snapshot()
+    manager.close()
+    return system, tmp_path / subdir
+
+
+def live_reference(steps):
+    """An unjournalled system fed the same event prefix."""
+    system = MultiDimensionalReputationSystem()
+    drive(system, steps)
+    return system
+
+
+class TestCleanRecovery:
+    def test_recovery_is_bit_identical(self, tmp_path):
+        live, directory = journalled_run(tmp_path, steps=30)
+        result = recover(directory)
+        assert result.replayed_records > 0
+        assert result.truncated_tail_bytes == 0
+        assert not result.quarantined
+        assert_identical(result.system, live)
+
+    def test_mid_run_snapshots_shorten_replay(self, tmp_path):
+        live, directory = journalled_run(tmp_path, steps=30,
+                                         snapshot_every=10)
+        full_scan = read_wal(directory / "journal.wal")
+        result = recover(directory)
+        assert result.snapshot_seq > 0
+        assert result.replayed_records < len(full_scan.records)
+        assert result.last_seq == full_scan.last_seq
+        assert_identical(result.system, live)
+
+    def test_replay_reuses_ingest_path_checksums(self, tmp_path):
+        """Replay must go through the same mutators, so the recovered
+        document checksum equals an unjournalled run of the same events."""
+        _, directory = journalled_run(tmp_path, steps=24)
+        result = recover(directory)
+        assert_identical(result.system, live_reference(24))
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nothing to recover"):
+            recover(tmp_path / "void")
+
+
+class TestCorruptRecovery:
+    def test_torn_tail_recovers_prefix(self, tmp_path):
+        _, directory = journalled_run(tmp_path, steps=30)
+        wal = directory / "journal.wal"
+        scan = read_wal(wal)
+        # Tear mid-way through the final record.
+        truncate_file(wal, scan.records[-1].offset + 7)
+        result = recover(directory)
+        assert result.truncated_tail_bytes == 7
+        assert result.truncation_reason is not None
+        assert result.last_seq == scan.last_seq - 1
+        assert not result.repaired
+
+    def test_repair_truncates_the_tail(self, tmp_path):
+        _, directory = journalled_run(tmp_path, steps=30)
+        wal = directory / "journal.wal"
+        scan = read_wal(wal)
+        truncate_file(wal, scan.records[-1].offset + 7)
+        result = recover(directory, repair=True)
+        assert result.repaired
+        healed = read_wal(wal)
+        assert not healed.truncated
+        assert healed.last_seq == result.last_seq
+
+    def test_bit_flip_recovers_records_before_it(self, tmp_path):
+        _, directory = journalled_run(tmp_path, steps=30)
+        wal = directory / "journal.wal"
+        scan = read_wal(wal)
+        victim = scan.records[20]
+        flip_byte(wal, victim.offset + victim.frame_bytes // 2)
+        result = recover(directory)
+        assert result.last_seq == scan.records[19].seq
+        # Snapshot + tail replay must equal a pure from-scratch replay of
+        # the surviving record prefix (no snapshot involved).
+        assert_identical(result.system, replay_reference(scan.records[:20]))
+
+    def test_corrupt_snapshot_falls_back_and_replays_further(self, tmp_path):
+        live, directory = journalled_run(tmp_path, steps=30,
+                                         snapshot_every=10)
+        generations = sorted(directory.glob("snapshot-*.json"))
+        flip_byte(generations[-1], 300)
+        result = recover(directory)
+        assert len(result.quarantined) == 1
+        assert result.snapshot_seq < read_wal(directory / "journal.wal").last_seq
+        assert_identical(result.system, live)
+
+    def test_wal_missing_recovers_snapshot_only(self, tmp_path):
+        live, directory = journalled_run(tmp_path, steps=12)
+        # Force a final generation so the snapshot alone holds everything.
+        system = MultiDimensionalReputationSystem()
+        manager = DurabilityManager(system, tmp_path / "snaponly")
+        manager.attach()
+        drive(system, 12)
+        manager.close(final_snapshot=True)
+        (tmp_path / "snaponly" / "journal.wal").unlink()
+        result = recover(tmp_path / "snaponly")
+        assert result.wal_scan is None
+        assert result.replayed_records == 0
+        assert_identical(result.system, live)
+
+
+class TestObservability:
+    def test_recovery_metrics_and_events(self, tmp_path):
+        _, directory = journalled_run(tmp_path, steps=18)
+        wal = directory / "journal.wal"
+        scan = read_wal(wal)
+        truncate_file(wal, scan.valid_bytes - 3)
+        recorder = Recorder()
+        result = recover(directory, recorder=recorder)
+        replayed = recorder.registry.counter("recovery.replayed_records")
+        truncated = recorder.registry.counter("recovery.truncated_tail")
+        assert replayed.value == result.replayed_records > 0
+        assert truncated.value == result.truncated_tail_bytes > 0
+        complete = recorder.trace.of_kind("recovery.complete")
+        assert len(complete) == 1
+        assert complete[0]["last_seq"] == result.last_seq
+
+    def test_live_run_counts_appends_and_snapshots(self, tmp_path):
+        recorder = Recorder()
+        system = MultiDimensionalReputationSystem()
+        manager = DurabilityManager(system, tmp_path / "obs",
+                                    snapshot_every=5, recorder=recorder)
+        manager.attach()
+        drive(system, 12)
+        manager.maybe_snapshot()
+        manager.close()
+        appended = recorder.registry.counter("wal.appended")
+        assert appended.value == manager.last_seq > 0
+        snapshots = recorder.registry.counter("wal.snapshots")
+        assert snapshots.value >= 2  # baseline + at least one periodic
+        assert recorder.trace.of_kind("wal.snapshot")
+
+    def test_quarantine_event_emitted(self, tmp_path):
+        _, directory = journalled_run(tmp_path, steps=20, snapshot_every=8)
+        generations = sorted(directory.glob("snapshot-*.json"))
+        flip_byte(generations[-1], 300)
+        recorder = Recorder()
+        recover(directory, recorder=recorder)
+        events = recorder.trace.of_kind("recovery.quarantined")
+        assert len(events) == 1
+        assert events[0]["file"] == generations[-1].name

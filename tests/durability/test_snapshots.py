@@ -1,0 +1,108 @@
+"""Tests for snapshot generations: atomicity, pruning, quarantine."""
+
+import json
+
+import pytest
+
+from repro.core import MultiDimensionalReputationSystem
+from repro.core.durability import SnapshotStore, flip_byte, truncate_file
+
+
+def _system(marker: float = 0.9):
+    system = MultiDimensionalReputationSystem()
+    system.record_vote("alice", "f1", marker, timestamp=1.0)
+    system.record_download("alice", "bob", "f1", 1e6, timestamp=2.0)
+    return system
+
+
+class TestWrite:
+    def test_write_names_generation_by_seq(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.write(_system(), last_seq=17)
+        assert path.name == f"snapshot-{17:020d}.json"
+        assert json.loads(path.read_text())["wal"]["last_seq"] == 17
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(), last_seq=1)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_prunes_to_keep_count(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in (1, 2, 3, 4):
+            store.write(_system(), last_seq=seq)
+        seqs = [seq for seq, _ in store.generations()]
+        assert seqs == [3, 4]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SnapshotStore(tmp_path, keep=0)
+
+
+class TestLoad:
+    def test_loads_newest_generation(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(0.2), last_seq=1)
+        store.write(_system(0.9), last_seq=2)
+        loaded = store.load_latest()
+        assert loaded.last_seq == 2
+        vote = loaded.system.evaluations.get("alice", "f1")
+        assert vote.explicit == 0.9
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load_latest() is None
+        assert SnapshotStore(tmp_path / "missing").load_latest() is None
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(0.2), last_seq=1)
+        newest = store.write(_system(0.9), last_seq=2)
+        flip_byte(newest, 300)
+        loaded = store.load_latest()
+        assert loaded.last_seq == 1
+        assert loaded.system.evaluations.get("alice", "f1").explicit == 0.2
+
+    def test_corrupt_generation_is_quarantined(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(0.2), last_seq=1)
+        newest = store.write(_system(0.9), last_seq=2)
+        flip_byte(newest, 300)
+        loaded = store.load_latest()
+        assert len(loaded.quarantined) == 1
+        entry = loaded.quarantined[0]
+        assert entry.quarantined.name.endswith(".corrupt")
+        assert entry.quarantined.exists()
+        assert not newest.exists()
+        # A quarantined file is never re-read as a generation.
+        assert [seq for seq, _ in store.generations()] == [1]
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(0.2), last_seq=1)
+        newest = store.write(_system(0.9), last_seq=2)
+        truncate_file(newest, newest.stat().st_size // 2)
+        loaded = store.load_latest()
+        assert loaded.last_seq == 1
+        assert len(loaded.quarantined) == 1
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        first = store.write(_system(0.2), last_seq=1)
+        second = store.write(_system(0.9), last_seq=2)
+        flip_byte(first, 300)
+        flip_byte(second, 300)
+        with pytest.raises(ValueError, match="every snapshot generation"):
+            store.load_latest()
+        # Both preserved for post-mortem, neither trusted.
+        assert len(list(tmp_path.glob("*.corrupt"))) == 2
+
+    def test_checksum_catches_silent_field_edit(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(_system(0.2), last_seq=1)
+        newest = store.write(_system(0.9), last_seq=2)
+        data = json.loads(newest.read_text())
+        data["auto_refresh"] = not data["auto_refresh"]
+        newest.write_text(json.dumps(data, indent=1, sort_keys=True))
+        loaded = store.load_latest()
+        assert loaded.last_seq == 1
+        assert "checksum" in loaded.quarantined[0].reason
