@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Fifteen commands cover the workflows a downstream user actually runs:
+Seventeen commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -10,13 +10,21 @@ Fifteen commands cover the workflows a downstream user actually runs:
 * ``chaos``       — sweep message-loss × churn over the DHT evaluation
   overlay and report availability, hop inflation and ranking stability
   (the Section 4.3 resilience claim under an actually hostile network);
-* ``report``      — summarise an ``events.jsonl`` observability trace:
-  per-class wait percentiles, multitrust convergence residuals, DHT
-  hop/retry distributions (``--json`` for the machine-readable schema);
+* ``report``      — summarise an observability trace: per-class wait
+  percentiles, multitrust convergence residuals, DHT hop/retry
+  distributions (``--json`` for the machine-readable schema, ``--profile``
+  to fold a ``--profile-out`` capture into it);
 * ``monitor``     — replay a trace through the streaming anomaly detectors
   and alert rules; verifies any recorded live alerts are reproduced;
 * ``dashboard``   — render a trace into one self-contained HTML file;
 * ``diff-trace``  — compare two traces and flag outcome regressions;
+* ``trace``       — work with trace files directly: ``inspect`` (header /
+  chunk / kind bookkeeping, corruption-tolerant), ``convert`` (binary <->
+  JSONL, canonical bytes), ``query`` (kind/time filters + column
+  projection as JSONL) and ``compact`` (rechunk a trace);
+* ``bench-trace`` — emit a stamped ``BENCH_trace.json`` snapshot of trace
+  write/scan throughput, binary vs JSONL (``--min-throughput`` and
+  ``--min-scan-ratio`` gate);
 * ``bench-obs``   — emit a stamped ``BENCH_obs.json`` perf snapshot
   (``--history`` appends to a JSONL trajectory, ``--max-overhead`` gates);
 * ``bench-pipeline`` — emit a stamped ``BENCH_pipeline.json`` snapshot of
@@ -36,11 +44,16 @@ Fifteen commands cover the workflows a downstream user actually runs:
   the machine-readable schema, ``--fail-on`` for severity gating,
   ``--list-rules`` for the catalogue).
 
-``simulate`` and ``chaos`` accept ``--trace-out events.jsonl``,
-``--metrics-out metrics.json`` and ``--alerts-out alerts.jsonl`` (which also
-attaches the live monitor, so alerts interleave into the trace); all
-artefacts are keyed by simulation time only, so two runs at the same seed
-produce byte-identical files.
+``simulate`` and ``chaos`` accept ``--trace-out PATH`` (``.bin``/``.trc``
+selects the binary columnar format, anything else canonical JSONL; either
+way events *stream* to disk instead of buffering the run),
+``--metrics-out metrics.json``, ``--alerts-out alerts.jsonl`` (which also
+attaches the live monitor, so alerts interleave into the trace) and
+``--profile-out profile.json`` (wall-clock phase timings — the one
+artefact that is *not* deterministic).  Trace artefacts are keyed by
+simulation time only, so two runs at the same seed produce byte-identical
+files; every trace consumer accepts JSONL and binary interchangeably (the
+format is sniffed from the first bytes, not the extension).
 
 All commands are seeded and print fixed-width tables to stdout.
 """
@@ -62,12 +75,16 @@ from .core.persistence import save_system
 from .lint import (all_rules, lint_paths, result_to_dict, rules_by_id,
                    should_fail)
 from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
-                  monitor_events, read_events, render_dashboard,
-                  summarize_trace, summary_to_dict)
+                  monitor_events, render_dashboard, summarize_trace,
+                  summary_to_dict)
 from .obs.bench import (append_history, collect_snapshot, overhead_ratio,
                         write_snapshot)
 from .obs.bench_pipeline import (collect_pipeline_snapshot, dense_speedup,
                                  incremental_speedup)
+from .obs.bench_trace import (collect_trace_snapshot, scan_ratio,
+                              scan_throughput, write_throughput)
+from .obs.traceio import (DEFAULT_CHUNK_EVENTS, TraceWriter, canonical_line,
+                          iter_trace_events, open_trace_sink, trace_info)
 from .simulator import (SCENARIOS, FileSharingSimulation, ScenarioSpec,
                         SimulationConfig, get_scenario, run_chaos_sweep)
 from .traces import (CoverageReplayer, MazeTraceGenerator, TraceParameters,
@@ -81,25 +98,36 @@ _DAY = 24 * 3600.0
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
-                        help="write a structured JSONL event trace here")
+                        help="stream a structured event trace here "
+                             "(.bin/.trc = binary columnar, otherwise "
+                             "canonical JSONL)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write a metrics-registry JSON snapshot here")
     parser.add_argument("--alerts-out", default=None, metavar="PATH",
                         help="attach the live monitor and write its alert "
                              "stream (JSONL) here; alerts also interleave "
                              "into --trace-out")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="write the wall-clock profiler snapshot "
+                             "(JSON) here; feed it to 'repro report "
+                             "--profile'")
 
 
 def _make_recorder(args: argparse.Namespace):
     """A live recorder (plus monitor) when observability was requested.
 
     Returns ``(recorder, monitor_or_None)``; the monitor is attached only
-    when ``--alerts-out`` asked for live alerting.
+    when ``--alerts-out`` asked for live alerting.  A ``--trace-out`` path
+    becomes a *streaming* sink the recorder spills into (binary for
+    ``.bin``/``.trc``, canonical JSONL otherwise), so the trace never
+    buffers in memory.
     """
     if (args.trace_out is None and args.metrics_out is None
-            and args.alerts_out is None):
+            and args.alerts_out is None and args.profile_out is None):
         return NULL_RECORDER, None
-    recorder = Recorder()
+    sink = (open_trace_sink(args.trace_out)
+            if args.trace_out is not None else None)
+    recorder = Recorder(trace_sink=sink)
     monitor = None
     if args.alerts_out is not None:
         monitor = Monitor.default().attach(recorder)
@@ -121,11 +149,12 @@ def _write_observability(recorder, args: argparse.Namespace,
         return
     if monitor is not None:
         # Flush end-of-stream detector state so the final alerts land in
-        # the trace before it is written.
+        # the trace before the sink is closed.
         monitor.finish()
     if args.trace_out is not None:
-        written = recorder.write_trace(args.trace_out)
-        print(f"wrote {written} events to {args.trace_out}")
+        sink = recorder.trace_sink
+        sink.close()
+        print(f"wrote {sink.events_written} events to {args.trace_out}")
     if args.metrics_out is not None:
         recorder.write_metrics(args.metrics_out)
         print(f"wrote {len(recorder.registry)} metrics to "
@@ -133,6 +162,13 @@ def _write_observability(recorder, args: argparse.Namespace,
     if monitor is not None and args.alerts_out is not None:
         _write_alerts(args.alerts_out, monitor.alerts)
         print(f"wrote {len(monitor.alerts)} alerts to {args.alerts_out}")
+    if args.profile_out is not None:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            json.dump(recorder.profiler.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(recorder.profiler)} profiled phases to "
+              f"{args.profile_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,24 +277,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(chaos)
 
     report = commands.add_parser(
-        "report", help="summarise an events.jsonl observability trace")
-    report.add_argument("trace", help="JSONL trace written by --trace-out")
+        "report", help="summarise an observability trace (JSONL or binary)")
+    report.add_argument("trace", help="trace written by --trace-out")
     report.add_argument("--json", action="store_true",
                         help="emit the machine-readable summary schema "
                              "instead of tables")
+    report.add_argument("--profile", default=None, metavar="PATH",
+                        help="fold a --profile-out capture (wall-clock "
+                             "phase percentiles) into the report")
 
     monitor = commands.add_parser(
         "monitor", help="replay a trace through the streaming anomaly "
                         "detectors and alert rules")
-    monitor.add_argument("trace", help="JSONL trace written by --trace-out")
+    monitor.add_argument("trace", help="trace written by --trace-out")
     monitor.add_argument("--alerts-out", default=None, metavar="PATH",
                          help="also write the alert stream (JSONL) here")
 
     dashboard = commands.add_parser(
         "dashboard", help="render a trace into one self-contained HTML "
                           "dashboard (no network dependencies)")
-    dashboard.add_argument("trace", help="JSONL trace written by "
-                                         "--trace-out")
+    dashboard.add_argument("trace", help="trace written by --trace-out")
     dashboard.add_argument("-o", "--out", default="dash.html",
                            help="HTML output path")
 
@@ -273,6 +311,83 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the full diff document as JSON")
     diff.add_argument("--fail-on-regression", action="store_true",
                       help="exit 1 when any regression is flagged")
+
+    trace = commands.add_parser(
+        "trace", help="inspect, convert, query or compact trace files "
+                      "(JSONL or binary columnar)")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+
+    trace_inspect = trace_commands.add_parser(
+        "inspect", help="header, chunk and event-kind bookkeeping; "
+                        "reports the longest valid prefix of a corrupt "
+                        "file instead of failing")
+    trace_inspect.add_argument("trace", help="trace path")
+    trace_inspect.add_argument("--json", action="store_true",
+                               help="emit the inspection as JSON")
+
+    trace_convert = trace_commands.add_parser(
+        "convert", help="convert between binary and canonical JSONL; "
+                        "binary -> JSONL is byte-identical to the direct "
+                        "JSONL export of the same run")
+    trace_convert.add_argument("source", help="input trace (format "
+                                              "sniffed from its bytes)")
+    trace_convert.add_argument("dest", help="output path (.bin/.trc = "
+                                            "binary, otherwise JSONL)")
+    trace_convert.add_argument("--chunk-events", type=int,
+                               default=DEFAULT_CHUNK_EVENTS,
+                               help="events per chunk when writing binary")
+
+    trace_query = trace_commands.add_parser(
+        "query", help="filter a trace by event kind / time range and "
+                      "project columns; emits canonical JSONL on stdout")
+    trace_query.add_argument("trace", help="trace path")
+    trace_query.add_argument("--kind", action="append", default=None,
+                             metavar="KIND",
+                             help="keep only this event kind (repeatable)")
+    trace_query.add_argument("--since", type=float, default=None,
+                             metavar="T",
+                             help="keep events with t >= T (simulation "
+                                  "seconds)")
+    trace_query.add_argument("--until", type=float, default=None,
+                             metavar="T",
+                             help="keep events with t < T")
+    trace_query.add_argument("--columns", default=None, metavar="NAMES",
+                             help="comma-separated fields to keep "
+                                  "('event' is always kept)")
+    trace_query.add_argument("--limit", type=int, default=None, metavar="N",
+                             help="stop after N matching events")
+
+    trace_compact = trace_commands.add_parser(
+        "compact", help="rewrite a trace as binary with a chosen chunk "
+                        "size (re-chunks and re-dictionaries)")
+    trace_compact.add_argument("source", help="input trace")
+    trace_compact.add_argument("dest", help="binary output path")
+    trace_compact.add_argument("--chunk-events", type=int,
+                               default=DEFAULT_CHUNK_EVENTS,
+                               help="events per chunk in the output")
+
+    bench_trace = commands.add_parser(
+        "bench-trace", help="collect a stamped trace-format perf snapshot "
+                            "(binary vs JSONL write/scan throughput)")
+    bench_trace.add_argument("--out", default="BENCH_trace.json",
+                             help="snapshot output path")
+    bench_trace.add_argument("--events", type=int, default=1_000_000,
+                             help="synthetic events to bench")
+    bench_trace.add_argument("--seed", type=int, default=7)
+    bench_trace.add_argument("--chunk-events", type=int,
+                             default=DEFAULT_CHUNK_EVENTS)
+    bench_trace.add_argument("--history", default=None, metavar="PATH",
+                             help="append the snapshot as one JSONL line "
+                                  "to this trajectory file")
+    bench_trace.add_argument("--min-throughput", type=float, default=None,
+                             metavar="EVENTS_PER_S",
+                             help="exit 1 unless binary write AND scan "
+                                  "both sustain this many events/s")
+    bench_trace.add_argument("--min-scan-ratio", type=float, default=None,
+                             metavar="RATIO",
+                             help="exit 1 unless the binary scan beats "
+                                  "the JSONL scan by this factor")
 
     bench = commands.add_parser(
         "bench-obs", help="collect a stamped observability perf snapshot")
@@ -567,25 +682,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _load_profile(path: str):
+    """A ``--profile-out`` capture as a dict, or None on error."""
     try:
-        events = read_events(args.trace)
+        with open(path, encoding="utf-8") as handle:
+            profile = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read profile {path}: {error}", file=sys.stderr)
+        return None
+    if not isinstance(profile, dict):
+        print(f"profile {path} is not a JSON object", file=sys.stderr)
+        return None
+    return profile
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    profile = None
+    if args.profile is not None:
+        profile = _load_profile(args.profile)
+        if profile is None:
+            return 1
+    try:
+        # One streaming pass; JSONL or binary, sniffed from the bytes.
+        summary = summarize_trace(iter_trace_events(args.trace))
     except (OSError, ValueError) as error:
         print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
         return 1
-    if not events:
-        print("trace is empty", file=sys.stderr)
-        return 1
-    summary = summarize_trace(events)
 
     if args.json:
-        print(json.dumps(summary_to_dict(summary), indent=2,
-                         sort_keys=True))
+        print(json.dumps(summary_to_dict(summary, profile=profile),
+                         indent=2, sort_keys=True))
         return 0
 
     print(f"trace: {args.trace}")
     print(f"events: {summary.total_events}, simulated span: "
           f"{summary.start_time:.0f}s .. {summary.end_time:.0f}s\n")
+    if not summary.total_events:
+        print("trace is empty: no events to summarise")
+        return 0
     print(render_table(
         ["event", "count"],
         [[kind, count] for kind, count in summary.event_counts.items()],
@@ -633,6 +767,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"fake-removal latency: n={latency['count']}, "
               f"mean={latency['mean']:.0f}s, p95={latency['p95']:.0f}s")
 
+    if profile:
+        rows = []
+        for name, stats in sorted(profile.items()):
+            if not isinstance(stats, dict):
+                continue
+            rows.append([
+                name, stats.get("calls", 0),
+                f"{float(stats.get('total_seconds', 0.0)) * 1e3:.1f}",
+                f"{float(stats.get('p50_seconds', 0.0)) * 1e3:.2f}",
+                f"{float(stats.get('p95_seconds', 0.0)) * 1e3:.2f}",
+                f"{float(stats.get('p99_seconds', 0.0)) * 1e3:.2f}"])
+        print("\n" + render_table(
+            ["phase", "calls", "total (ms)", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)"], rows,
+            title=f"Profiled sections (wall clock): {args.profile}"))
+
     if summary.unrecognized:
         kinds = ", ".join(f"{kind} ({count})" for kind, count
                           in summary.unrecognized.items())
@@ -644,24 +794,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_trace_events(path: str):
-    """Shared trace loading for monitor/dashboard/diff (None on error)."""
-    try:
-        events = read_events(path)
-    except (OSError, ValueError) as error:
-        print(f"cannot read trace {path}: {error}", file=sys.stderr)
-        return None
-    if not events:
-        print(f"trace {path} is empty", file=sys.stderr)
-        return None
-    return events
-
-
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    events = _read_trace_events(args.trace)
-    if events is None:
+    try:
+        result = monitor_events(iter_trace_events(args.trace))
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
         return 1
-    result = monitor_events(events)
 
     print(f"trace: {args.trace} ({result.events_seen} events)")
     if result.alerts:
@@ -692,24 +830,33 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
-    events = _read_trace_events(args.trace)
-    if events is None:
+    try:
+        document = render_dashboard(iter_trace_events(args.trace),
+                                    title=f"repro dashboard: {args.trace}")
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
         return 1
-    document = render_dashboard(events,
-                                title=f"repro dashboard: {args.trace}")
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(document)
     print(f"wrote {len(document)} bytes of HTML to {args.out}")
     return 0
 
 
+def _summarize_path(path: str):
+    """One streaming summarisation pass over a trace (None on error)."""
+    try:
+        return summarize_trace(iter_trace_events(path))
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {path}: {error}", file=sys.stderr)
+        return None
+
+
 def _cmd_diff_trace(args: argparse.Namespace) -> int:
-    events_a = _read_trace_events(args.trace_a)
-    events_b = _read_trace_events(args.trace_b)
-    if events_a is None or events_b is None:
+    summary_a = _summarize_path(args.trace_a)
+    summary_b = _summarize_path(args.trace_b)
+    if summary_a is None or summary_b is None:
         return 1
-    diff = diff_summaries(summarize_trace(events_a),
-                          summarize_trace(events_b),
+    diff = diff_summaries(summary_a, summary_b,
                           label_a=args.label_a, label_b=args.label_b)
     regressions = diff["regressions"]
 
@@ -742,6 +889,202 @@ def _cmd_diff_trace(args: argparse.Namespace) -> int:
 
     if regressions and args.fail_on_regression:
         return 1
+    return 0
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    try:
+        info = trace_info(args.trace)
+    except OSError as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+
+    rows = [["format", info["format"]]]
+    if "version" in info:
+        rows.append(["version", info["version"]])
+    rows.extend([
+        ["file bytes", info["file_bytes"]],
+        ["events", info["events"]],
+    ])
+    if info["format"] == "binary":
+        rows.append(["chunks", info["chunks"]])
+    rows.append(["time span", f"{info['start_time']:.0f}s .. "
+                              f"{info['end_time']:.0f}s"])
+    print(render_table(["property", "value"], rows,
+                       title=f"Trace: {args.trace}"))
+    if info["kinds"]:
+        print("\n" + render_table(
+            ["event", "count"],
+            [[kind, count] for kind, count in info["kinds"].items()],
+            title="Event counts"))
+    if info["truncated"]:
+        print(f"\nTRUNCATED after {info['events']} events: "
+              f"{info['error']}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    if args.chunk_events < 1:
+        print(f"--chunk-events must be >= 1, got {args.chunk_events}",
+              file=sys.stderr)
+        return 2
+    try:
+        sink = open_trace_sink(args.dest, chunk_events=args.chunk_events)
+    except OSError as error:
+        print(f"cannot write {args.dest}: {error}", file=sys.stderr)
+        return 1
+    try:
+        with sink:
+            for event in iter_trace_events(args.source):
+                sink.append(event)
+    except (OSError, ValueError) as error:
+        print(f"convert failed: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {sink.events_written} events to {args.dest}")
+    return 0
+
+
+def _cmd_trace_query(args: argparse.Namespace) -> int:
+    kinds = set(args.kind) if args.kind else None
+    columns = None
+    if args.columns is not None:
+        columns = [name.strip() for name in args.columns.split(",")
+                   if name.strip()]
+    if args.limit is not None and args.limit < 0:
+        print(f"--limit must be >= 0, got {args.limit}", file=sys.stderr)
+        return 2
+    matched = 0
+    out = sys.stdout
+    try:
+        for event in iter_trace_events(args.trace):
+            if args.limit is not None and matched >= args.limit:
+                break
+            if kinds is not None and event.get("event") not in kinds:
+                continue
+            if args.since is not None or args.until is not None:
+                t = event.get("t")
+                if not isinstance(t, (int, float)):
+                    continue
+                if args.since is not None and t < args.since:
+                    continue
+                if args.until is not None and t >= args.until:
+                    continue
+            if columns is not None:
+                event = {"event": event.get("event", "unknown"),
+                         **{name: event[name] for name in columns
+                            if name in event}}
+            out.write(canonical_line(event) + "\n")
+            matched += 1
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    # Keep stdout pipeable: the bookkeeping goes to stderr.
+    print(f"matched {matched} events", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_compact(args: argparse.Namespace) -> int:
+    if args.chunk_events < 1:
+        print(f"--chunk-events must be >= 1, got {args.chunk_events}",
+              file=sys.stderr)
+        return 2
+    try:
+        writer = TraceWriter(args.dest, chunk_events=args.chunk_events)
+    except OSError as error:
+        print(f"cannot write {args.dest}: {error}", file=sys.stderr)
+        return 1
+    try:
+        with writer:
+            for event in iter_trace_events(args.source):
+                writer.append(event)
+    except (OSError, ValueError) as error:
+        print(f"compact failed: {error}", file=sys.stderr)
+        return 1
+    in_bytes = os.path.getsize(args.source)
+    out_bytes = os.path.getsize(args.dest)
+    print(f"wrote {writer.events_written} events in "
+          f"{writer.chunks_written} chunks to {args.dest} "
+          f"({in_bytes} -> {out_bytes} bytes)")
+    return 0
+
+
+_TRACE_COMMANDS = {
+    "inspect": _cmd_trace_inspect,
+    "convert": _cmd_trace_convert,
+    "query": _cmd_trace_query,
+    "compact": _cmd_trace_compact,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
+
+
+def _cmd_bench_trace(args: argparse.Namespace) -> int:
+    if args.events < 1:
+        print(f"--events must be >= 1, got {args.events}", file=sys.stderr)
+        return 2
+    if args.chunk_events < 1:
+        print(f"--chunk-events must be >= 1, got {args.chunk_events}",
+              file=sys.stderr)
+        return 2
+    snapshot = collect_trace_snapshot(events=args.events, seed=args.seed,
+                                      chunk_events=args.chunk_events)
+    write_snapshot(args.out, snapshot)
+    if args.history is not None:
+        append_history(args.history, snapshot)
+        print(f"appended snapshot to {args.history}")
+    print(f"wrote {args.out} (seed={snapshot['seed']}, "
+          f"config={snapshot['config_hash']}, git={snapshot['git_sha']})")
+    rows = []
+    for fmt in ("binary", "jsonl"):
+        entry = snapshot[fmt]
+        rows.append([fmt,
+                     f"{entry['write_events_per_s']:,.0f}",
+                     f"{entry['scan_events_per_s']:,.0f}",
+                     f"{entry['file_bytes'] / (1024.0 * 1024.0):.1f}"])
+    print(render_table(
+        ["format", "write events/s", "scan events/s", "file MiB"], rows,
+        title=f"Trace throughput: {snapshot['events']} synthetic events, "
+              f"chunk={snapshot['chunk_events']}"))
+    print(f"\nbinary/JSONL size ratio: {snapshot['size_ratio']:.2f}, "
+          f"scan speedup: x{snapshot['scan_ratio']:.1f}")
+
+    if not snapshot["scan_aggregates_match"]:
+        print("binary and JSONL scans disagree on the aggregates — the "
+              "speedup is meaningless", file=sys.stderr)
+        return 1
+    if not snapshot["roundtrip_identical"]:
+        print("binary -> JSONL round-trip is not byte-identical",
+              file=sys.stderr)
+        return 1
+    print("fidelity checks passed (aggregates match, round-trip "
+          "byte-identical)")
+    if args.min_throughput is not None:
+        write_rate = write_throughput(snapshot, "binary")
+        scan_rate = scan_throughput(snapshot, "binary")
+        slowest = min(write_rate, scan_rate)
+        if slowest < args.min_throughput:
+            print(f"binary throughput {slowest:,.0f} events/s below the "
+                  f"{args.min_throughput:,.0f} events/s bound "
+                  f"(write {write_rate:,.0f}, scan {scan_rate:,.0f})",
+                  file=sys.stderr)
+            return 1
+        print(f"throughput gate passed ({slowest:,.0f} >= "
+              f"{args.min_throughput:,.0f} events/s)")
+    if args.min_scan_ratio is not None:
+        ratio = scan_ratio(snapshot)
+        if ratio < args.min_scan_ratio:
+            print(f"binary scan only x{ratio:.2f} faster than JSONL, "
+                  f"below the x{args.min_scan_ratio:.2f} bound",
+                  file=sys.stderr)
+            return 1
+        print(f"scan-ratio gate passed (x{ratio:.2f} >= "
+              f"x{args.min_scan_ratio:.2f})")
     return 0
 
 
@@ -997,6 +1340,8 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "dashboard": _cmd_dashboard,
     "diff-trace": _cmd_diff_trace,
+    "trace": _cmd_trace,
+    "bench-trace": _cmd_bench_trace,
     "bench-obs": _cmd_bench_obs,
     "bench-pipeline": _cmd_bench_pipeline,
     "recover": _cmd_recover,

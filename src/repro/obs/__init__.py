@@ -2,9 +2,14 @@
 
 The measurement substrate the quantitative claims run on:
 
-* :mod:`~repro.obs.stats` — shared mean/percentile helpers (p50/p95/p99);
+* :mod:`~repro.obs.stats` — shared mean/percentile helpers (p50/p95/p99)
+  plus the streaming accumulators (:class:`~repro.obs.stats.RunningStats`,
+  :class:`~repro.obs.stats.QuantileSketch`) single-pass consumers use;
 * :mod:`~repro.obs.registry` — labelled Counter/Gauge/Histogram registry;
 * :mod:`~repro.obs.events` — JSONL event tracing keyed by simulation time;
+* :mod:`~repro.obs.traceio` — the binary columnar trace format (chunked,
+  CRC-framed, dictionary-encoded) with streaming writer/reader and the
+  unified :func:`~repro.obs.traceio.iter_trace_events` front door;
 * :mod:`~repro.obs.profiling` — wall-clock phase timers (perf snapshots
   only, never in deterministic artefacts);
 * :mod:`~repro.obs.recorder` — the facade instrumented code talks to, with
@@ -13,6 +18,8 @@ The measurement substrate the quantitative claims run on:
 * :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots;
 * :mod:`~repro.obs.bench_pipeline` — stamped ``BENCH_pipeline.json``
   snapshots of incremental-vs-full refresh and sparse-vs-dense matmul;
+* :mod:`~repro.obs.bench_trace` — stamped ``BENCH_trace.json`` snapshots
+  of trace write/scan throughput, binary vs JSONL;
 * :mod:`~repro.obs.alerts` — threshold/windowed alert rules and severities;
 * :mod:`~repro.obs.detectors` — streaming anomaly detectors (convergence
   stall, fake outbreak, collusion ring, whitewashing, starvation);
@@ -25,6 +32,8 @@ Design rule: with the default ``NULL_RECORDER`` every instrumented path is
 behaviourally identical to the uninstrumented seed code; with a live
 :class:`~repro.obs.recorder.Recorder`, two runs at the same seed export
 byte-identical traces and metrics (simulation time only, no wall clock).
+Trace consumers stream — they accept lazy readers and never materialise
+the full event list.
 """
 
 from .alerts import (Alert, RulesEngine, Severity, ThresholdRule,
@@ -37,11 +46,16 @@ from .monitor import Monitor, MonitorResult, monitor_events
 from .profiling import PhaseStats, Profiler
 from .recorder import NULL_RECORDER, NullRecorder, Recorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .report import TraceSummary, summarize_trace, summary_to_dict
-from .stats import (DEFAULT_QUANTILES, mean, percentile, percentiles,
-                    summarize)
-from .timeline import (PeerSample, PeerTimeline, build_timelines,
-                       class_mean_series, fake_fraction_series)
+from .report import (TraceSummarizer, TraceSummary, summarize_trace,
+                     summary_to_dict)
+from .stats import (DEFAULT_QUANTILES, QuantileSketch, RunningStats, mean,
+                    percentile, percentiles, summarize)
+from .timeline import (FakeFractionAccumulator, PeerSample, PeerTimeline,
+                       TimelineBuilder, build_timelines, class_mean_series,
+                       fake_fraction_series)
+from .traceio import (JsonlTraceWriter, TraceFormatError, TraceReader,
+                      TraceWriter, is_binary_trace, iter_trace_events,
+                      open_trace_sink, trace_info)
 
 __all__ = [
     "Alert",
@@ -56,6 +70,14 @@ __all__ = [
     "diff_summaries",
     "EventTrace",
     "read_events",
+    "JsonlTraceWriter",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceWriter",
+    "is_binary_trace",
+    "iter_trace_events",
+    "open_trace_sink",
+    "trace_info",
     "Monitor",
     "MonitorResult",
     "monitor_events",
@@ -68,15 +90,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TraceSummarizer",
     "TraceSummary",
     "summarize_trace",
     "summary_to_dict",
     "PeerSample",
     "PeerTimeline",
+    "TimelineBuilder",
+    "FakeFractionAccumulator",
     "build_timelines",
     "class_mean_series",
     "fake_fraction_series",
     "DEFAULT_QUANTILES",
+    "QuantileSketch",
+    "RunningStats",
     "mean",
     "percentile",
     "percentiles",

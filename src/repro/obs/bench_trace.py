@@ -1,0 +1,258 @@
+"""Trace-format perf snapshots: the ``BENCH_trace.json`` trajectory point.
+
+Measures what the binary columnar trace core actually buys over JSONL on a
+large synthetic trace: write throughput (events/s into each sink), scan
+throughput (a realistic single-pass aggregation over each format), file
+sizes, and — because speed without fidelity is worthless — a canonical
+round-trip identity check on a sample of the same event stream.
+
+The **scan** workload is the one every ``repro report``-shaped consumer
+runs: count events by kind and fold numeric columns into running sums.
+The binary side aggregates straight off column batches
+(:meth:`~repro.obs.traceio.TraceReader.batches`); the JSONL side does the
+same arithmetic over ``json.loads``-decoded dicts.  Both sides' aggregates
+are cross-checked for equality, so the speedup CI gates on
+(``scan_ratio``) is a comparison of two scans that provably did the same
+work.
+
+Wall-clock numbers live *only* here; trace artefacts stay deterministic.
+The synthetic workload itself is seeded and platform-stable
+(``random.Random``), so two machines bench the exact same byte stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .bench import run_stamp
+from .events import read_events
+from .traceio import (DEFAULT_CHUNK_EVENTS, JsonlTraceWriter, TraceReader,
+                      TraceWriter, canonical_line)
+
+__all__ = ["synthetic_events", "collect_trace_snapshot", "scan_ratio",
+           "write_throughput", "scan_throughput"]
+
+#: Behaviour classes the synthetic downloads cycle through.
+_CLASSES = ("honest", "free_rider", "polluter")
+
+#: Events in the round-trip identity sample (regenerated from the seed).
+ROUNDTRIP_SAMPLE = 20_000
+
+
+def synthetic_events(count: int, seed: int = 7) -> Iterator[Dict[str, Any]]:
+    """A deterministic, realistically-shaped stream of ``count`` events.
+
+    Mimics a simulator trace: mostly downloads and requests with string,
+    float, int and bool fields, a steady trickle of DHT lookups,
+    reputation snapshots, multitrust iterations and pipeline refreshes,
+    plus occasional irregular records (a null field) so the JSON fallback
+    column is exercised, not just the fast paths.
+    """
+    rng = random.Random(seed)
+    t = 0.0
+    for seq in range(count):
+        t += rng.random() * 2.0
+        record: Dict[str, Any] = {"seq": seq, "t": t}
+        roll = rng.random()
+        if roll < 0.45:
+            record.update(
+                event="download",
+                peer=f"peer-{rng.randrange(256):03d}",
+                cls=_CLASSES[rng.randrange(3)],
+                file=rng.randrange(4096),
+                wait=rng.random() * 30.0,
+                fake=rng.random() < 0.2,
+            )
+        elif roll < 0.70:
+            record.update(
+                event="request",
+                peer=f"peer-{rng.randrange(256):03d}",
+                file=rng.randrange(4096),
+            )
+        elif roll < 0.82:
+            record.update(
+                event="dht_lookup",
+                hops=rng.randrange(1, 9),
+                retries=rng.randrange(0, 3),
+                ok=rng.random() > 0.05,
+            )
+        elif roll < 0.92:
+            record.update(
+                event="reputation_snapshot",
+                peer=f"peer-{rng.randrange(256):03d}",
+                cls=_CLASSES[rng.randrange(3)],
+                score=rng.random(),
+                norm=rng.random(),
+                service_class=rng.randrange(4),
+                bytes_up=float(rng.randrange(1 << 24)),
+                bytes_down=float(rng.randrange(1 << 24)),
+                fakes_served=rng.randrange(8),
+                online=rng.random() > 0.1,
+            )
+        elif roll < 0.97:
+            record.update(
+                event="multitrust_iteration",
+                iteration=rng.randrange(1, 40),
+                residual=rng.random() * 1e-2,
+            )
+        else:
+            # Irregular on purpose: ``detail`` is sometimes null, which
+            # forces that column through the JSON fallback encoding.
+            record.update(
+                event="maintenance",
+                removed=rng.randrange(4),
+                detail=None if rng.random() < 0.5 else "sweep",
+            )
+        yield record
+
+
+def _scan_binary(path: Union[str, Path]) -> Dict[str, Any]:
+    """The columnar aggregation pass: counts by kind + numeric sums."""
+    kinds: Counter = Counter()
+    wait_sum = 0.0
+    hops_sum = 0.0
+    events = 0
+    with TraceReader(path) as reader:
+        for batch in reader.batches():
+            events += batch.n_events
+            kinds.update(batch.kind_counts())
+            wait_sum += sum(batch.column_values("wait"))
+            hops_sum += sum(batch.column_values("hops"))
+    return {"events": events, "kinds": dict(sorted(kinds.items())),
+            "wait_sum": wait_sum, "hops_sum": hops_sum}
+
+
+def _scan_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
+    """The same aggregation over ``json.loads``-decoded JSONL records."""
+    kinds: Counter = Counter()
+    wait_sum = 0.0
+    hops_sum = 0.0
+    events = 0
+    for record in read_events(str(path)):
+        events += 1
+        kinds[record["event"]] += 1
+        wait = record.get("wait")
+        if wait is not None:
+            wait_sum += wait
+        hops = record.get("hops")
+        if hops is not None:
+            hops_sum += hops
+    return {"events": events, "kinds": dict(sorted(kinds.items())),
+            "wait_sum": wait_sum, "hops_sum": hops_sum}
+
+
+def _aggregates_match(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Equality up to float summation order (chunked vs per-event)."""
+    return (a["events"] == b["events"] and a["kinds"] == b["kinds"]
+            and math.isclose(a["wait_sum"], b["wait_sum"], rel_tol=1e-9)
+            and math.isclose(a["hops_sum"], b["hops_sum"], rel_tol=1e-9))
+
+
+def _roundtrip_identical(workdir: Path, seed: int,
+                         chunk_events: int) -> bool:
+    """Binary -> canonical JSONL must equal the direct JSONL export."""
+    binary_path = workdir / "roundtrip.bin"
+    with TraceWriter(binary_path, chunk_events=chunk_events) as writer:
+        writer.extend(synthetic_events(ROUNDTRIP_SAMPLE, seed))
+    direct = "".join(canonical_line(event) + "\n"
+                     for event in synthetic_events(ROUNDTRIP_SAMPLE, seed))
+    with TraceReader(binary_path) as reader:
+        converted = "".join(canonical_line(event) + "\n"
+                            for event in reader)
+    return converted == direct
+
+
+def write_throughput(snapshot: Dict[str, Any], fmt: str = "binary") -> float:
+    """Events/s written for one format, from a snapshot."""
+    return float(snapshot.get(fmt, {}).get("write_events_per_s", 0.0))
+
+
+def scan_throughput(snapshot: Dict[str, Any], fmt: str = "binary") -> float:
+    """Events/s scanned for one format, from a snapshot."""
+    return float(snapshot.get(fmt, {}).get("scan_events_per_s", 0.0))
+
+
+def scan_ratio(snapshot: Dict[str, Any]) -> float:
+    """Binary-over-JSONL scan speedup — the number CI gates on."""
+    jsonl = scan_throughput(snapshot, "jsonl")
+    if jsonl <= 0.0:
+        return 0.0
+    return scan_throughput(snapshot, "binary") / jsonl
+
+
+def collect_trace_snapshot(events: int = 1_000_000, seed: int = 7,
+                           chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                           workdir: Optional[Union[str, Path]] = None
+                           ) -> Dict[str, Any]:
+    """Bench both formats on one synthetic stream; returns the snapshot.
+
+    ``workdir`` is where the trace files are written (a temp directory by
+    default); the writer/reader streaming keeps peak memory bounded
+    regardless of ``events``.
+    """
+    if events < 1:
+        raise ValueError(f"events must be >= 1, got {events}")
+    if workdir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+            return collect_trace_snapshot(events, seed, chunk_events, tmp)
+    workdir = Path(workdir)
+
+    binary_path = workdir / "bench.bin"
+    jsonl_path = workdir / "bench.jsonl"
+
+    started = time.perf_counter()
+    with TraceWriter(binary_path, chunk_events=chunk_events) as writer:
+        writer.extend(synthetic_events(events, seed))
+    binary_write_s = time.perf_counter() - started
+    binary_chunks = writer.chunks_written
+
+    started = time.perf_counter()
+    with JsonlTraceWriter(jsonl_path) as jsonl_writer:
+        for record in synthetic_events(events, seed):
+            jsonl_writer.append(record)
+    jsonl_write_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    binary_agg = _scan_binary(binary_path)
+    binary_scan_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    jsonl_agg = _scan_jsonl(jsonl_path)
+    jsonl_scan_s = time.perf_counter() - started
+
+    binary_bytes = binary_path.stat().st_size
+    jsonl_bytes = jsonl_path.stat().st_size
+
+    snapshot: Dict[str, Any] = {
+        **run_stamp(seed, {"bench": "trace", "events": events,
+                           "chunk_events": chunk_events}),
+        "events": events,
+        "chunk_events": chunk_events,
+        "binary": {
+            "file_bytes": binary_bytes,
+            "chunks": binary_chunks,
+            "write_seconds": binary_write_s,
+            "write_events_per_s": events / binary_write_s,
+            "scan_seconds": binary_scan_s,
+            "scan_events_per_s": events / binary_scan_s,
+        },
+        "jsonl": {
+            "file_bytes": jsonl_bytes,
+            "write_seconds": jsonl_write_s,
+            "write_events_per_s": events / jsonl_write_s,
+            "scan_seconds": jsonl_scan_s,
+            "scan_events_per_s": events / jsonl_scan_s,
+        },
+        "size_ratio": (binary_bytes / jsonl_bytes) if jsonl_bytes else 0.0,
+        "scan_aggregates_match": _aggregates_match(binary_agg, jsonl_agg),
+        "roundtrip_identical": _roundtrip_identical(
+            workdir, seed, chunk_events),
+    }
+    snapshot["scan_ratio"] = scan_ratio(snapshot)
+    return snapshot

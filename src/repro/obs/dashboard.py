@@ -8,6 +8,12 @@ no JavaScript frameworks, no network fetches — so the file can be archived
 as a CI artifact and opened anywhere.
 
 Rendering is deterministic: same trace bytes in, same HTML bytes out.
+
+The trace is consumed in a **single streaming pass**: one loop feeds the
+monitor replay, the summariser, the timeline builder and the fake-fraction
+windows simultaneously, so the dashboard never materialises the event list
+and renders million-event binary traces in bounded memory (timelines keep
+one sample per reputation snapshot — sparse by construction).
 """
 
 from __future__ import annotations
@@ -15,10 +21,11 @@ from __future__ import annotations
 import html
 from typing import Iterable, List, Mapping, Sequence, Tuple
 
-from .monitor import MonitorResult, monitor_events
-from .report import summarize_trace
-from .timeline import (PeerTimeline, build_timelines, class_mean_series,
-                       fake_fraction_series)
+from .alerts import Alert
+from .monitor import Monitor, MonitorResult
+from .report import TraceSummarizer, TraceSummary
+from .timeline import (FakeFractionAccumulator, PeerTimeline,
+                       TimelineBuilder, class_mean_series)
 
 __all__ = ["render_dashboard"]
 
@@ -115,9 +122,8 @@ def _line_chart(series: Mapping[str, List[Tuple[float, float]]],
     return "".join(parts)
 
 
-def _summary_section(events: Sequence[Mapping],
+def _summary_section(summary: TraceSummary,
                      result: MonitorResult) -> str:
-    summary = summarize_trace(events)
     by_severity = result.counts_by_severity()
     alerts = " · ".join(f"{count} {severity}"
                         for severity, count in by_severity.items()) or "none"
@@ -182,18 +188,36 @@ def _peer_table(timelines: Mapping[str, PeerTimeline],
 
 def render_dashboard(events: Iterable[Mapping],
                      title: str = "repro reputation dashboard") -> str:
-    """The whole dashboard as one self-contained HTML document."""
-    events = list(events)
-    result = monitor_events(events)
-    timelines = build_timelines(events)
-    fake_series = fake_fraction_series(events)
+    """The whole dashboard as one self-contained HTML document.
+
+    ``events`` may be any iterable — including the lazy trace readers —
+    and is consumed exactly once.
+    """
+    monitor = Monitor.default()
+    result = MonitorResult()
+    summarizer = TraceSummarizer()
+    timeline_builder = TimelineBuilder()
+    fake_windows = FakeFractionAccumulator()
+    for event in events:
+        result.events_seen += 1
+        if event.get("event") == "alert":
+            result.recorded_alerts.append(Alert.from_event(event))
+        else:
+            result.alerts.extend(monitor.feed(event))
+        summarizer.feed(event)
+        timeline_builder.feed(event)
+        fake_windows.feed(event)
+    result.alerts.extend(monitor.finish())
+    summary = summarizer.finish()
+    timelines = timeline_builder.finish()
+    fake_series = fake_windows.finish()
     sections = [
         "<!DOCTYPE html>",
         "<html lang='en'><head><meta charset='utf-8'>",
         f"<title>{html.escape(title)}</title>",
         f"<style>{_CSS}</style></head><body>",
         f"<h1>{html.escape(title)}</h1>",
-        _summary_section(events, result),
+        _summary_section(summary, result),
         _line_chart(class_mean_series(timelines, "norm"),
                     "Mean normalised reputation by behaviour class",
                     "reputation"),

@@ -1,16 +1,33 @@
-"""Structured event tracing: append-only, simulation-time-keyed JSONL.
+"""Structured event tracing: append-only, simulation-time-keyed records.
 
 Every event is a flat dict with three reserved fields — ``seq`` (emission
 order), ``t`` (*simulation* time, never wall clock) and ``event`` (the kind)
 — plus arbitrary caller fields.  Records serialise with sorted keys, so two
 runs at the same seed produce byte-identical trace files; that determinism
 is what lets CI diff a trace instead of eyeballing it.
+
+Two storage modes:
+
+* **buffered** (the default): events accumulate in memory and are exported
+  at the end via :meth:`EventTrace.write` — convenient for tests and short
+  runs;
+* **spilled**: construct the trace with a ``spill`` sink (any object with
+  ``append(record)`` — e.g. :class:`repro.obs.traceio.TraceWriter` or
+  :class:`repro.obs.traceio.JsonlTraceWriter`) and every record streams
+  straight out instead of buffering, so a 10⁶-event run holds at most one
+  chunk of events in memory.  Kind counts and the record count stay
+  available; whole-trace introspection (``of_kind``, iteration, export)
+  does not, because the events are already on disk.
+
+:func:`read_events` is a *generator*: consumers stream a JSONL trace one
+record at a time instead of materialising it (``list(read_events(p))``
+restores the old behaviour where needed).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 __all__ = ["EventTrace", "read_events"]
 
@@ -18,10 +35,13 @@ FieldValue = Union[str, int, float, bool, None]
 
 
 class EventTrace:
-    """In-memory event buffer with JSONL export."""
+    """Event buffer with JSONL export, or a pass-through to a spill sink."""
 
-    def __init__(self) -> None:
+    def __init__(self, spill: Optional[object] = None) -> None:
         self._events: List[Dict[str, FieldValue]] = []
+        self._spill = spill
+        self._count = 0
+        self._kinds: Dict[str, int] = {}
 
     def record(self, kind: str, t: float,
                **fields: FieldValue) -> Dict[str, FieldValue]:
@@ -30,44 +50,64 @@ class EventTrace:
             if reserved in fields:
                 raise ValueError(f"field name {reserved!r} is reserved")
         record: Dict[str, FieldValue] = {
-            "seq": len(self._events), "t": float(t), "event": kind}
+            "seq": self._count, "t": float(t), "event": kind}
         record.update(fields)
-        self._events.append(record)
+        self._count += 1
+        self._kinds[kind] = self._kinds.get(kind, 0) + 1
+        if self._spill is not None:
+            self._spill.append(record)
+        else:
+            self._events.append(record)
         return record
 
+    @property
+    def spilled(self) -> bool:
+        """True when records stream to a sink instead of buffering."""
+        return self._spill is not None
+
+    def _require_buffered(self, what: str) -> None:
+        if self._spill is not None:
+            raise ValueError(
+                f"{what} needs the in-memory buffer, but this trace spills "
+                "to a sink; read the events back from the sink's file")
+
     def __len__(self) -> int:
-        return len(self._events)
+        return self._count
 
     def __iter__(self) -> Iterator[Dict[str, FieldValue]]:
+        self._require_buffered("iteration")
         return iter(self._events)
 
     def of_kind(self, kind: str) -> List[Dict[str, FieldValue]]:
+        self._require_buffered("of_kind")
         return [event for event in self._events if event["event"] == kind]
 
     def kinds(self) -> Dict[str, int]:
         """Event-kind -> occurrence count, sorted by kind."""
-        counts: Dict[str, int] = {}
-        for event in self._events:
-            kind = str(event["event"])
-            counts[kind] = counts.get(kind, 0) + 1
-        return dict(sorted(counts.items()))
+        return dict(sorted(self._kinds.items()))
 
     def lines(self) -> Iterator[str]:
         """One canonical JSON line per event (sorted keys)."""
+        self._require_buffered("lines")
         for event in self._events:
             yield json.dumps(event, sort_keys=True, separators=(",", ":"))
 
     def write(self, path: str) -> int:
         """Write the trace as JSONL; returns the number of records."""
+        self._require_buffered("write")
         with open(path, "w", encoding="utf-8") as handle:
             for line in self.lines():
                 handle.write(line + "\n")
-        return len(self._events)
+        return self._count
 
 
-def read_events(path: str) -> List[Dict[str, FieldValue]]:
-    """Load a JSONL event trace written by :meth:`EventTrace.write`."""
-    events: List[Dict[str, FieldValue]] = []
+def read_events(path: str) -> Iterator[Dict[str, FieldValue]]:
+    """Stream a JSONL event trace written by :meth:`EventTrace.write`.
+
+    Yields one record dict per line; validation errors surface lazily as
+    the offending line is reached, so a million-event trace is never held
+    in memory.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -81,5 +121,4 @@ def read_events(path: str) -> List[Dict[str, FieldValue]]:
             if not isinstance(record, dict) or "event" not in record:
                 raise ValueError(
                     f"{path}:{line_number}: not an event record")
-            events.append(record)
-    return events
+            yield record

@@ -1,10 +1,16 @@
 """Profiling hooks: context-manager phase timers and per-phase counters.
 
 Wall-clock timings are *profiling* data, not trace data: they feed perf
-snapshots (``BENCH_obs.json``) and never the deterministic ``events.jsonl``
-/ ``metrics.json`` artefacts, which must be identical across runs at the
-same seed.  Keeping the two worlds in separate objects makes the rule
-structural instead of a convention someone has to remember.
+snapshots (``BENCH_obs.json``, ``--profile-out`` captures) and never the
+deterministic ``events.jsonl`` / ``metrics.json`` artefacts, which must be
+identical across runs at the same seed.  Keeping the two worlds in
+separate objects makes the rule structural instead of a convention someone
+has to remember.
+
+Each phase keeps its per-call durations in a bounded
+:class:`~repro.obs.stats.QuantileSketch`, so snapshots report
+p50/p95/p99 latency per phase without the profiler's memory growing with
+call count.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+from .stats import QuantileSketch
 
 __all__ = ["PhaseStats", "Profiler"]
 
@@ -25,6 +33,7 @@ class PhaseStats:
     total_seconds: float = 0.0
     max_seconds: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    durations: QuantileSketch = field(default_factory=QuantileSketch)
 
     @property
     def mean_seconds(self) -> float:
@@ -52,6 +61,7 @@ class Profiler:
             stats.calls += 1
             stats.total_seconds += elapsed
             stats.max_seconds = max(stats.max_seconds, elapsed)
+            stats.durations.observe(elapsed)
 
     def count(self, name: str, counter: str, amount: int = 1) -> None:
         """Bump a per-phase counter (e.g. events processed per run)."""
@@ -62,13 +72,20 @@ class Profiler:
         return len(self._phases)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """All phases as a sorted, JSON-serialisable dict."""
+        """All phases as a sorted, JSON-serialisable dict.
+
+        Includes per-phase duration percentiles from the sketch; these are
+        wall-clock figures and belong only in profiling artefacts.
+        """
         return {
             name: {
                 "calls": stats.calls,
                 "total_seconds": stats.total_seconds,
                 "mean_seconds": stats.mean_seconds,
                 "max_seconds": stats.max_seconds,
+                "p50_seconds": stats.durations.percentile(50.0),
+                "p95_seconds": stats.durations.percentile(95.0),
+                "p99_seconds": stats.durations.percentile(99.0),
                 "counters": dict(sorted(stats.counters.items())),
             }
             for name, stats in sorted(self._phases.items())

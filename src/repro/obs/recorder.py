@@ -57,6 +57,9 @@ class NullRecorder:
     def subscribe(self, callback: Callable[[dict], object]) -> None:
         """Register a live event subscriber (monitors attach this way)."""
 
+    def unsubscribe(self, callback: Callable[[dict], object]) -> None:
+        """Detach a subscriber; unknown callbacks are ignored."""
+
     def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
         """Record one structured event (``t`` defaults to the bound clock)."""
 
@@ -83,8 +86,14 @@ class Recorder(NullRecorder):
 
     enabled = True
 
-    def __init__(self, clock: Optional[Clock] = None):
-        self.trace = EventTrace()
+    def __init__(self, clock: Optional[Clock] = None,
+                 trace_sink: Optional[object] = None):
+        """``trace_sink`` — a streaming sink (``append(record)``, e.g.
+        :class:`~repro.obs.traceio.TraceWriter`) events spill into instead
+        of buffering; the caller owns closing it.  Without one, the trace
+        buffers in memory as before."""
+        self.trace = EventTrace(spill=trace_sink)
+        self.trace_sink = trace_sink
         self.registry = MetricsRegistry()
         self.profiler = Profiler()
         self._clock: Clock = clock if clock is not None else (lambda: 0.0)
@@ -101,6 +110,17 @@ class Recorder(NullRecorder):
         so a subscriber must ignore the kinds it emits.
         """
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[dict], object]) -> None:
+        """Detach a subscriber registered with :meth:`subscribe`.
+
+        Unknown callbacks are ignored, so detaching twice is safe.  Events
+        recorded after the call are no longer delivered to ``callback``.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def event(self, kind: str, t: Optional[float] = None, **fields) -> None:
         record = self.trace.record(kind, self._clock() if t is None else t,
@@ -125,7 +145,11 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------ #
 
     def write_trace(self, path: str) -> int:
-        """Write the event trace as JSONL; returns the record count."""
+        """Write the buffered event trace as JSONL; returns the count.
+
+        Only valid without a ``trace_sink`` — a spilling recorder's events
+        are already on disk (close the sink instead).
+        """
         return self.trace.write(path)
 
     def write_metrics(self, path: str) -> None:

@@ -1,11 +1,19 @@
 """Summarise an event trace: the analysis half of ``repro report``.
 
-Input is a sequence of event dicts (usually loaded from a JSONL trace via
-:func:`repro.obs.events.read_events`); output is plain data — the CLI owns
-rendering.  The summary answers the questions the paper's claims are about:
-per-class wait-time percentiles (service differentiation, §3.4), multitrust
+Input is a *stream* of event dicts (usually from
+:func:`repro.obs.traceio.iter_trace_events`, which accepts JSONL and
+binary traces alike); output is plain data — the CLI owns rendering.  The
+summary answers the questions the paper's claims are about: per-class
+wait-time percentiles (service differentiation, §3.4), multitrust
 convergence residuals per iteration (Eq. 8), and DHT hop/retry
 distributions (§4 routing cost under faults).
+
+:class:`TraceSummarizer` is strictly single-pass and bounded-memory: every
+distribution is held as a :class:`~repro.obs.stats.QuantileSketch` (exact
+up to the sketch budget, deterministic compression past it) and every
+count as a plain online counter, so summarising a 10⁶-event trace costs
+the same memory as a 10³-event one.  :func:`summarize_trace` keeps the old
+one-shot API on top of it.
 
 Event kinds the summariser has no dedicated aggregation for are counted in
 an ``unrecognized`` bucket (on top of the raw ``event_counts``), so newly
@@ -13,23 +21,27 @@ instrumented events surface loudly in reports instead of vanishing.
 
 :func:`summary_to_dict` renders a summary as the stable JSON schema behind
 ``repro report --json``; ``repro diff-trace`` compares two traces through
-the same schema.
+the same schema.  Schema 2 adds the optional ``profile`` section —
+p50/p95/p99 per profiled phase from a profiler snapshot captured with
+``--profile-out`` — and marks the sketch-backed percentile semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
-from .stats import summarize
+from .stats import QuantileSketch
 
-__all__ = ["TraceSummary", "summarize_trace", "summary_to_dict",
-           "KNOWN_EVENT_KINDS", "SUMMARY_SCHEMA"]
+__all__ = ["TraceSummary", "TraceSummarizer", "summarize_trace",
+           "summary_to_dict", "KNOWN_EVENT_KINDS", "SUMMARY_SCHEMA"]
 
 Summary = Dict[str, float]
 
 #: Bump when the ``summary_to_dict`` layout changes incompatibly.
-SUMMARY_SCHEMA = 1
+#: 2: percentiles are sketch-backed (exact for small traces), and the
+#: document gains a ``profile`` section (empty without ``--profile``).
+SUMMARY_SCHEMA = 2
 
 #: Every event kind the instrumentation layer emits on purpose.  A kind
 #: outside this set lands in :attr:`TraceSummary.unrecognized`.
@@ -85,110 +97,153 @@ class TraceSummary:
     fake_removal_latency: Summary = field(default_factory=dict)
     #: Alert severity -> count (``alert`` events embedded in the trace).
     alert_counts: Dict[str, int] = field(default_factory=dict)
+    #: Optional wall-clock profile (phase -> snapshot dict) attached by the
+    #: CLI from a ``--profile-out`` capture; never derived from the trace.
+    profile: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
-def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
-    """Aggregate a trace's events into a :class:`TraceSummary`."""
-    counts: Dict[str, int] = {}
-    unrecognized: Dict[str, int] = {}
-    times: List[float] = []
-    waits: Dict[str, List[float]] = {}
-    outcomes: Dict[str, Dict[str, int]] = {}
-    residuals: Dict[int, List[float]] = {}
-    refresh_modes: Dict[str, int] = {}
-    rows_rebuilt: List[float] = []
-    rebuild_ratios: List[float] = []
-    hops: List[float] = []
-    retries: List[float] = []
-    failed_lookups = 0
-    retrievals = 0
-    retrievals_incomplete = 0
-    removal_latencies: List[float] = []
-    alert_counts: Dict[str, int] = {}
-    total = 0
+class TraceSummarizer:
+    """Online trace aggregation: feed events one at a time, then finish.
 
-    for event in events:
-        total += 1
+    Holds only counters and fixed-budget quantile sketches — never the
+    events themselves — so the summariser's memory is independent of the
+    trace length.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._unrecognized: Dict[str, int] = {}
+        self._t_min = float("inf")
+        self._t_max = float("-inf")
+        self._has_time = False
+        self._waits: Dict[str, QuantileSketch] = {}
+        self._outcomes: Dict[str, Dict[str, int]] = {}
+        self._residuals: Dict[int, QuantileSketch] = {}
+        self._refresh_modes: Dict[str, int] = {}
+        self._rows_rebuilt = QuantileSketch()
+        self._rebuild_ratios = QuantileSketch()
+        self._hops = QuantileSketch()
+        self._retries = QuantileSketch()
+        self._failed_lookups = 0
+        self._retrievals = 0
+        self._retrievals_incomplete = 0
+        self._removal_latency = QuantileSketch()
+        self._alert_counts: Dict[str, int] = {}
+        self._total = 0
+
+    def feed(self, event: Mapping) -> None:
+        """Absorb one event into the running aggregates."""
+        self._total += 1
         kind = str(event.get("event", "unknown"))
-        counts[kind] = counts.get(kind, 0) + 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
         if kind not in KNOWN_EVENT_KINDS:
-            unrecognized[kind] = unrecognized.get(kind, 0) + 1
+            self._unrecognized[kind] = self._unrecognized.get(kind, 0) + 1
         t = event.get("t")
         if isinstance(t, (int, float)):
-            times.append(float(t))
+            t_value = float(t)
+            self._has_time = True
+            if t_value < self._t_min:
+                self._t_min = t_value
+            if t_value > self._t_max:
+                self._t_max = t_value
 
         if kind == "download":
             cls = str(event.get("cls", "unknown"))
-            waits.setdefault(cls, []).append(float(event.get("wait", 0.0)))
-            bucket = _outcome_bucket(outcomes, cls)
+            sketch = self._waits.get(cls)
+            if sketch is None:
+                sketch = self._waits[cls] = QuantileSketch()
+            sketch.observe(float(event.get("wait", 0.0)))
+            bucket = _outcome_bucket(self._outcomes, cls)
             bucket["downloads"] += 1
             if event.get("fake"):
                 bucket["fakes"] += 1
         elif kind == "blocked_fake":
-            _outcome_bucket(outcomes, str(event.get("cls", "unknown")))[
-                "blocked"] += 1
+            _outcome_bucket(self._outcomes,
+                            str(event.get("cls", "unknown")))["blocked"] += 1
         elif kind == "multitrust_iteration":
             iteration = int(event.get("iteration", 0))
             residual = event.get("residual")
             if isinstance(residual, (int, float)):
-                residuals.setdefault(iteration, []).append(float(residual))
+                sketch = self._residuals.get(iteration)
+                if sketch is None:
+                    sketch = self._residuals[iteration] = QuantileSketch()
+                sketch.observe(float(residual))
         elif kind == "pipeline_refresh":
             mode = str(event.get("mode", "unknown"))
-            refresh_modes[mode] = refresh_modes.get(mode, 0) + 1
+            self._refresh_modes[mode] = self._refresh_modes.get(mode, 0) + 1
             rebuilt = event.get("rows_rebuilt")
             if isinstance(rebuilt, (int, float)):
-                rows_rebuilt.append(float(rebuilt))
+                self._rows_rebuilt.observe(float(rebuilt))
             ratio = event.get("rebuild_ratio")
             if isinstance(ratio, (int, float)):
-                rebuild_ratios.append(float(ratio))
+                self._rebuild_ratios.observe(float(ratio))
         elif kind == "dht_lookup":
-            hops.append(float(event.get("hops", 0)))
-            retries.append(float(event.get("retries", 0)))
+            self._hops.observe(float(event.get("hops", 0)))
+            self._retries.observe(float(event.get("retries", 0)))
             if not event.get("ok", True):
-                failed_lookups += 1
+                self._failed_lookups += 1
         elif kind == "dht_retrieve":
-            retrievals += 1
+            self._retrievals += 1
             if not event.get("complete", True):
-                retrievals_incomplete += 1
+                self._retrievals_incomplete += 1
         elif kind == "fake_removal":
             latency = event.get("latency")
             if isinstance(latency, (int, float)):
-                removal_latencies.append(float(latency))
+                self._removal_latency.observe(float(latency))
         elif kind == "alert":
             severity = str(event.get("severity", "info"))
-            alert_counts[severity] = alert_counts.get(severity, 0) + 1
+            self._alert_counts[severity] = (
+                self._alert_counts.get(severity, 0) + 1)
 
-    return TraceSummary(
-        total_events=total,
-        start_time=min(times) if times else 0.0,
-        end_time=max(times) if times else 0.0,
-        event_counts=dict(sorted(counts.items())),
-        unrecognized=dict(sorted(unrecognized.items())),
-        wait_by_class={cls: summarize(values)
-                       for cls, values in sorted(waits.items())},
-        outcomes_by_class=dict(sorted(outcomes.items())),
-        multitrust_residuals={iteration: summarize(values)
-                              for iteration, values
-                              in sorted(residuals.items())},
-        pipeline_refresh_modes=dict(sorted(refresh_modes.items())),
-        pipeline_rows_rebuilt=summarize(rows_rebuilt),
-        pipeline_rebuild_ratio=summarize(rebuild_ratios),
-        dht_hops=summarize(hops),
-        dht_retries=summarize(retries),
-        dht_failed_lookups=failed_lookups,
-        dht_retrievals=retrievals,
-        dht_retrievals_incomplete=retrievals_incomplete,
-        fake_removal_latency=summarize(removal_latencies),
-        alert_counts=dict(sorted(alert_counts.items())),
-    )
+    def finish(self) -> TraceSummary:
+        """Freeze the aggregates into a :class:`TraceSummary`."""
+        return TraceSummary(
+            total_events=self._total,
+            start_time=self._t_min if self._has_time else 0.0,
+            end_time=self._t_max if self._has_time else 0.0,
+            event_counts=dict(sorted(self._counts.items())),
+            unrecognized=dict(sorted(self._unrecognized.items())),
+            wait_by_class={cls: sketch.summary()
+                           for cls, sketch in sorted(self._waits.items())},
+            outcomes_by_class=dict(sorted(self._outcomes.items())),
+            multitrust_residuals={iteration: sketch.summary()
+                                  for iteration, sketch
+                                  in sorted(self._residuals.items())},
+            pipeline_refresh_modes=dict(sorted(self._refresh_modes.items())),
+            pipeline_rows_rebuilt=self._rows_rebuilt.summary(),
+            pipeline_rebuild_ratio=self._rebuild_ratios.summary(),
+            dht_hops=self._hops.summary(),
+            dht_retries=self._retries.summary(),
+            dht_failed_lookups=self._failed_lookups,
+            dht_retrievals=self._retrievals,
+            dht_retrievals_incomplete=self._retrievals_incomplete,
+            fake_removal_latency=self._removal_latency.summary(),
+            alert_counts=dict(sorted(self._alert_counts.items())),
+        )
 
 
-def summary_to_dict(summary: TraceSummary) -> Dict[str, object]:
+def summarize_trace(events: Iterable[Mapping]) -> TraceSummary:
+    """Aggregate a trace's events into a :class:`TraceSummary`.
+
+    One streaming pass over ``events``; accepts any iterable, including
+    the lazy readers, without materialising it.
+    """
+    summarizer = TraceSummarizer()
+    for event in events:
+        summarizer.feed(event)
+    return summarizer.finish()
+
+
+def summary_to_dict(summary: TraceSummary,
+                    profile: Optional[Mapping[str, Mapping]] = None
+                    ) -> Dict[str, object]:
     """The stable, JSON-serialisable schema behind ``repro report --json``.
 
     ``repro diff-trace`` diffs two traces through this same layout; keep it
-    backward compatible or bump :data:`SUMMARY_SCHEMA`.
+    backward compatible or bump :data:`SUMMARY_SCHEMA`.  ``profile``
+    overrides the summary's attached profile section when given.
     """
+    profile_section = (profile if profile is not None else summary.profile)
     return {
         "schema": SUMMARY_SCHEMA,
         "total_events": summary.total_events,
@@ -217,6 +272,8 @@ def summary_to_dict(summary: TraceSummary) -> Dict[str, object]:
         },
         "fake_removal_latency": dict(summary.fake_removal_latency),
         "alert_counts": dict(summary.alert_counts),
+        "profile": {name: dict(stats)
+                    for name, stats in sorted(profile_section.items())},
     }
 
 

@@ -9,6 +9,13 @@ fake-served counts sampled along simulation time.  The dashboard and the
 view of the world can be cross-checked against them.
 
 Everything is plain data derived deterministically from the trace.
+
+:class:`TimelineBuilder` and :class:`FakeFractionAccumulator` are the
+feed-style (one event at a time) forms the single-pass dashboard uses so
+one loop over a streamed trace can feed every consumer at once; the
+function APIs wrap them.  Note timelines inherently hold one sample per
+snapshot — they are the one dashboard input whose size scales with refresh
+count (not with the raw event count), which is fine: snapshots are sparse.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
 
-__all__ = ["PeerSample", "PeerTimeline", "build_timelines",
+__all__ = ["PeerSample", "PeerTimeline", "TimelineBuilder",
+           "FakeFractionAccumulator", "build_timelines",
            "class_mean_series", "fake_fraction_series"]
 
 
@@ -57,14 +65,18 @@ class PeerTimeline:
                 for sample in self.samples]
 
 
-def build_timelines(events: Iterable[Mapping]) -> Dict[str, PeerTimeline]:
-    """Peer id -> timeline, from a trace's ``reputation_snapshot`` events."""
-    timelines: Dict[str, PeerTimeline] = {}
-    for event in events:
+class TimelineBuilder:
+    """Feed-style timeline construction for single-pass trace consumers."""
+
+    def __init__(self) -> None:
+        self._timelines: Dict[str, PeerTimeline] = {}
+
+    def feed(self, event: Mapping) -> None:
+        """Absorb one event; non-snapshot kinds are ignored."""
         if event.get("event") != "reputation_snapshot":
-            continue
+            return
         peer = str(event.get("peer"))
-        timeline = timelines.setdefault(peer, PeerTimeline(peer=peer))
+        timeline = self._timelines.setdefault(peer, PeerTimeline(peer=peer))
         timeline.cls = str(event.get("cls", timeline.cls))
         timeline.samples.append(PeerSample(
             t=float(event.get("t", 0.0)),
@@ -76,7 +88,18 @@ def build_timelines(events: Iterable[Mapping]) -> Dict[str, PeerTimeline]:
             fakes_served=int(event.get("fakes_served", 0)),
             online=bool(event.get("online", True)),
         ))
-    return dict(sorted(timelines.items()))
+
+    def finish(self) -> Dict[str, PeerTimeline]:
+        """Peer id -> timeline, sorted by peer id."""
+        return dict(sorted(self._timelines.items()))
+
+
+def build_timelines(events: Iterable[Mapping]) -> Dict[str, PeerTimeline]:
+    """Peer id -> timeline, from a trace's ``reputation_snapshot`` events."""
+    builder = TimelineBuilder()
+    for event in events:
+        builder.feed(event)
+    return builder.finish()
 
 
 def class_mean_series(timelines: Mapping[str, PeerTimeline],
@@ -96,26 +119,43 @@ def class_mean_series(timelines: Mapping[str, PeerTimeline],
     return series
 
 
-def fake_fraction_series(events: Iterable[Mapping],
-                         window_seconds: float = 6 * 3600.0
-                         ) -> List[Tuple[float, float, int]]:
-    """``(window_end, fake_fraction, downloads)`` per fixed window.
+class FakeFractionAccumulator:
+    """Feed-style windowed fake-fraction counting (one counter per window).
 
     Mirrors the bucketing of the fake-outbreak detector so the dashboard
     curve and the detector's alerts line up.
     """
-    if window_seconds <= 0:
-        raise ValueError("window_seconds must be positive")
-    counts: Dict[int, List[int]] = {}
-    for event in events:
+
+    def __init__(self, window_seconds: float = 6 * 3600.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._counts: Dict[int, List[int]] = {}
+
+    def feed(self, event: Mapping) -> None:
+        """Absorb one event; non-download kinds are ignored."""
         if event.get("event") != "download":
-            continue
-        bucket = int(float(event.get("t", 0.0)) // window_seconds)
-        pair = counts.setdefault(bucket, [0, 0])
+            return
+        bucket = int(float(event.get("t", 0.0)) // self.window_seconds)
+        pair = self._counts.setdefault(bucket, [0, 0])
         pair[0] += 1
         if event.get("fake"):
             pair[1] += 1
-    return [((bucket + 1) * window_seconds,
-             (fakes / downloads) if downloads else 0.0,
-             downloads)
-            for bucket, (downloads, fakes) in sorted(counts.items())]
+
+    def finish(self) -> List[Tuple[float, float, int]]:
+        """``(window_end, fake_fraction, downloads)`` per fixed window."""
+        return [((bucket + 1) * self.window_seconds,
+                 (fakes / downloads) if downloads else 0.0,
+                 downloads)
+                for bucket, (downloads, fakes)
+                in sorted(self._counts.items())]
+
+
+def fake_fraction_series(events: Iterable[Mapping],
+                         window_seconds: float = 6 * 3600.0
+                         ) -> List[Tuple[float, float, int]]:
+    """``(window_end, fake_fraction, downloads)`` per fixed window."""
+    accumulator = FakeFractionAccumulator(window_seconds)
+    for event in events:
+        accumulator.feed(event)
+    return accumulator.finish()

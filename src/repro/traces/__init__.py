@@ -2,7 +2,8 @@
 
 from .catalog import CatalogFile, FileCatalog, zipf_weights
 from .generator import GeneratedTrace, MazeTraceGenerator, TraceParameters
-from .io import read_csv, read_jsonl, write_csv, write_jsonl
+from .io import (iter_csv, iter_jsonl, read_csv, read_jsonl,
+                 write_csv, write_jsonl)
 from .records import DownloadRecord, DownloadTrace
 from .replay import (CoveragePoint, CoverageReplayer, CoverageSeries,
                      run_coverage_sweep)
@@ -16,6 +17,8 @@ __all__ = [
     "GeneratedTrace",
     "MazeTraceGenerator",
     "TraceParameters",
+    "iter_csv",
+    "iter_jsonl",
     "read_csv",
     "read_jsonl",
     "write_csv",

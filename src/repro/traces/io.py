@@ -10,11 +10,12 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from .records import DownloadRecord, DownloadTrace
 
-__all__ = ["write_jsonl", "read_jsonl", "write_csv", "read_csv"]
+__all__ = ["write_jsonl", "read_jsonl", "iter_jsonl", "write_csv",
+           "read_csv", "iter_csv"]
 
 _FIELDS = ["uploader_id", "downloader_id", "timestamp", "content_hash",
            "filename", "size_bytes", "is_fake"]
@@ -59,14 +60,24 @@ def write_jsonl(trace: DownloadTrace, path: Union[str, Path]) -> None:
             handle.write(json.dumps(_record_to_dict(record)) + "\n")
 
 
-def read_jsonl(path: Union[str, Path]) -> DownloadTrace:
-    """Read a trace written by :func:`write_jsonl` (blank lines ignored)."""
-    trace = DownloadTrace()
+def iter_jsonl(path: Union[str, Path]) -> Iterator[DownloadRecord]:
+    """Stream records written by :func:`write_jsonl`, one at a time.
+
+    A generator, so consumers that only need one pass (statistics,
+    filtering) never hold the whole trace; blank lines are ignored.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                trace.append(_record_from_dict(json.loads(line)))
+                yield _record_from_dict(json.loads(line))
+
+
+def read_jsonl(path: Union[str, Path]) -> DownloadTrace:
+    """Read a trace written by :func:`write_jsonl` (blank lines ignored)."""
+    trace = DownloadTrace()
+    for record in iter_jsonl(path):
+        trace.append(record)
     return trace
 
 
@@ -79,10 +90,16 @@ def write_csv(trace: DownloadTrace, path: Union[str, Path]) -> None:
             writer.writerow(_record_to_dict(record))
 
 
+def iter_csv(path: Union[str, Path]) -> Iterator[DownloadRecord]:
+    """Stream records written by :func:`write_csv`, one at a time."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            yield _record_from_dict(row)
+
+
 def read_csv(path: Union[str, Path]) -> DownloadTrace:
     """Read a trace written by :func:`write_csv`."""
     trace = DownloadTrace()
-    with open(path, "r", encoding="utf-8", newline="") as handle:
-        for row in csv.DictReader(handle):
-            trace.append(_record_from_dict(row))
+    for record in iter_csv(path):
+        trace.append(record)
     return trace

@@ -38,6 +38,41 @@ class TestEventTrace:
                         '"t":1.0,"z_field":1}')
 
 
+class TestSpilledTrace:
+    class _ListSink:
+        def __init__(self):
+            self.records = []
+
+        def append(self, record):
+            self.records.append(record)
+
+    def test_records_stream_to_sink_not_buffer(self):
+        sink = self._ListSink()
+        trace = EventTrace(spill=sink)
+        trace.record("a", 0.0)
+        trace.record("b", 1.0, x=1)
+        assert trace.spilled is True
+        assert len(trace) == 2
+        assert [r["event"] for r in sink.records] == ["a", "b"]
+        assert trace._events == []
+
+    def test_kind_counts_survive_spilling(self):
+        trace = EventTrace(spill=self._ListSink())
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)
+        trace.record("b", 2.0)
+        assert trace.kinds() == {"a": 2, "b": 1}
+
+    def test_buffered_only_operations_raise(self):
+        trace = EventTrace(spill=self._ListSink())
+        trace.record("a", 0.0)
+        for operation in (lambda: list(trace), lambda: trace.of_kind("a"),
+                          lambda: list(trace.lines()),
+                          lambda: trace.write("unused.jsonl")):
+            with pytest.raises(ValueError, match="spills to a sink"):
+                operation()
+
+
 class TestRoundTrip:
     def test_write_then_read(self, tmp_path):
         trace = EventTrace()
@@ -45,23 +80,32 @@ class TestRoundTrip:
         trace.record("request", 2.0, file="f-1")
         path = tmp_path / "events.jsonl"
         assert trace.write(str(path)) == 2
-        events = read_events(str(path))
+        events = list(read_events(str(path)))
         assert [e["event"] for e in events] == ["download", "request"]
         assert events[0]["fake"] is False
+
+    def test_read_is_a_lazy_generator(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a", "seq": 0, "t": 0}\nnot json\n')
+        events = read_events(str(path))
+        # The good prefix streams out before the bad line is reached.
+        assert next(events)["event"] == "a"
+        with pytest.raises(ValueError, match="invalid JSON"):
+            next(events)
 
     def test_read_rejects_invalid_json(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"event": "ok", "seq": 0, "t": 0}\nnot json\n')
         with pytest.raises(ValueError, match="invalid JSON"):
-            read_events(str(path))
+            list(read_events(str(path)))
 
     def test_read_rejects_non_event_record(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"seq": 0, "t": 0}\n')
         with pytest.raises(ValueError, match="not an event record"):
-            read_events(str(path))
+            list(read_events(str(path)))
 
     def test_read_skips_blank_lines(self, tmp_path):
         path = tmp_path / "events.jsonl"
         path.write_text('{"event": "a", "seq": 0, "t": 0}\n\n')
-        assert len(read_events(str(path))) == 1
+        assert len(list(read_events(str(path)))) == 1

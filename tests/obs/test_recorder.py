@@ -56,6 +56,40 @@ class TestRecorder:
             pass
         assert recorder.profiler.phase("phase").calls == 1
 
+    def test_subscribe_unsubscribe_lifecycle(self):
+        recorder = Recorder()
+        seen = []
+        callback = seen.append
+        recorder.subscribe(callback)
+        recorder.event("a", t=0.0)
+        recorder.unsubscribe(callback)
+        recorder.event("b", t=1.0)
+        assert [record["event"] for record in seen] == ["a"]
+        # Detaching an unknown/already-removed callback is a no-op.
+        recorder.unsubscribe(callback)
+        recorder.unsubscribe(lambda record: None)
+        # Re-subscribing resumes delivery.
+        recorder.subscribe(callback)
+        recorder.event("c", t=2.0)
+        assert [record["event"] for record in seen] == ["a", "c"]
+
+    def test_null_recorder_unsubscribe_is_noop(self):
+        NULL_RECORDER.unsubscribe(lambda record: None)
+
+    def test_trace_sink_spills_instead_of_buffering(self):
+        sink_records = []
+
+        class Sink:
+            def append(self, record):
+                sink_records.append(record)
+
+        recorder = Recorder(trace_sink=Sink())
+        recorder.event("a", t=0.0)
+        recorder.event("b", t=1.0, x=2)
+        assert recorder.trace.spilled is True
+        assert len(recorder.trace) == 2
+        assert [record["event"] for record in sink_records] == ["a", "b"]
+
     def test_write_artifacts(self, tmp_path):
         recorder = Recorder()
         recorder.event("a", t=1.0)

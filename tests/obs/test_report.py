@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs.report import summarize_trace, summary_to_dict
+from repro.obs.report import (TraceSummarizer, summarize_trace,
+                              summary_to_dict)
 
 
 def _event(kind, t, **fields):
@@ -10,6 +11,21 @@ def _event(kind, t, **fields):
 
 
 class TestSummarizeTrace:
+    def test_accepts_a_one_shot_generator(self):
+        summary = summarize_trace(
+            _event("request", float(i)) for i in range(10))
+        assert summary.total_events == 10
+        assert summary.end_time == 9.0
+
+    def test_feed_matches_batch(self):
+        events = [
+            _event("download", 1.0, cls="honest", wait=10.0, fake=False),
+            _event("dht_lookup", 2.0, hops=3, retries=1, ok=True)]
+        summarizer = TraceSummarizer()
+        for event in events:
+            summarizer.feed(event)
+        assert summarizer.finish() == summarize_trace(events)
+
     def test_empty_trace(self):
         summary = summarize_trace([])
         assert summary.total_events == 0
@@ -124,13 +140,20 @@ class TestSummaryToDict:
             _event("alert", 4.0, detector="d", severity="warning",
                    message="m")])
         document = summary_to_dict(summary)
-        assert document["schema"] == 1
+        assert document["schema"] == 2
         assert document["total_events"] == 4
         assert document["unrecognized"] == {"mystery": 1}
         assert document["alert_counts"] == {"warning": 1}
         # Iteration keys become strings so the document is JSON-clean.
         assert document["multitrust_residuals"]["2"]["count"] == 1
         assert document["dht"]["failed_lookups"] == 0
+        assert document["profile"] == {}
+
+    def test_profile_section_carried_through(self):
+        summary = summarize_trace([])
+        phases = {"simulate.run": {"calls": 3, "p95_seconds": 0.25}}
+        document = summary_to_dict(summary, profile=phases)
+        assert document["profile"]["simulate.run"]["p95_seconds"] == 0.25
 
     def test_round_trips_through_json(self):
         import json

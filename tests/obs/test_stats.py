@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs.stats import (DEFAULT_QUANTILES, mean, percentile,
+from repro.obs.stats import (DEFAULT_QUANTILES, QuantileSketch,
+                             RunningStats, mean, percentile,
                              percentiles, summarize)
 
 
@@ -68,3 +69,102 @@ class TestSummarize:
         summary = summarize([])
         assert summary["count"] == 0
         assert summary["mean"] == 0.0
+
+
+class TestRunningStats:
+    def test_empty_is_all_zero(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.min == 0.0
+        assert stats.max == 0.0
+
+    def test_tracks_count_mean_min_max(self):
+        stats = RunningStats()
+        for value in (4.0, 1.0, 7.0):
+            stats.observe(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.min == 1.0
+        assert stats.max == 7.0
+
+    def test_coerces_ints(self):
+        stats = RunningStats()
+        stats.observe(3)
+        assert stats.max == 3.0
+
+
+class TestQuantileSketchExactMode:
+    def test_summary_identical_to_summarize_below_limit(self):
+        values = [float((13 * i) % 101) for i in range(500)]
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.observe(value)
+        assert sketch.is_exact
+        assert sketch.summary() == summarize(values)
+
+    def test_empty_summary_matches_summarize(self):
+        assert QuantileSketch().summary() == summarize(())
+
+    def test_percentile_matches_batch_helper(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.observe(value)
+        assert sketch.percentile(50.0) == percentile(values, 50.0)
+
+    def test_rejects_out_of_range_percentile(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().percentile(101.0)
+
+    def test_rejects_degenerate_budgets(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(exact_limit=1)
+        with pytest.raises(ValueError):
+            QuantileSketch(compressed_size=1)
+
+
+class TestQuantileSketchCompressed:
+    def _stream(self, n, seed=3):
+        # A deterministic pseudo-random-ish stream with no RNG import.
+        return [float((seed + 37 * i) % 9973) for i in range(n)]
+
+    def _filled(self, n):
+        sketch = QuantileSketch(exact_limit=256, compressed_size=64)
+        for value in self._stream(n):
+            sketch.observe(value)
+        return sketch
+
+    def test_compression_keeps_exact_count_mean_min_max(self):
+        values = self._stream(5000)
+        sketch = self._filled(5000)
+        assert not sketch.is_exact
+        assert sketch.count == 5000
+        assert sketch.mean == pytest.approx(sum(values) / 5000)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+
+    def test_percentiles_close_to_exact(self):
+        values = self._stream(5000)
+        sketch = self._filled(5000)
+        span = max(values) - min(values)
+        for q in (50.0, 95.0, 99.0):
+            error = abs(sketch.percentile(q) - percentile(values, q))
+            assert error <= 0.05 * span
+
+    def test_deterministic_for_identical_streams(self):
+        a, b = self._filled(5000), self._filled(5000)
+        assert a.summary() == b.summary()
+
+    def test_percentile_monotone_in_q(self):
+        sketch = self._filled(5000)
+        marks = [sketch.percentile(q) for q in
+                 (0.0, 10.0, 50.0, 90.0, 99.0, 100.0)]
+        assert marks == sorted(marks)
+        assert marks[0] == sketch.min
+        assert marks[-1] == sketch.max
+
+    def test_memory_stays_bounded(self):
+        sketch = self._filled(50000)
+        assert len(sketch._centroids) <= sketch.compressed_size + 1
+        assert len(sketch._buffer) < sketch.exact_limit

@@ -200,10 +200,19 @@ class TestReport:
         assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
         assert "cannot read" in capsys.readouterr().err
 
-    def test_empty_trace_fails(self, tmp_path, capsys):
+    def test_empty_trace_summarises_to_nothing(self, tmp_path, capsys):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        assert main(["report", str(path)]) == 1
+        assert main(["report", str(path)]) == 0
+        assert "trace is empty" in capsys.readouterr().out
+
+    def test_empty_trace_json_has_full_schema(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_events"] == 0
+        assert payload["event_counts"] == {}
 
     def test_corrupt_trace_fails(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
@@ -229,7 +238,7 @@ class TestReportJson:
         capsys.readouterr()
         assert main(["report", str(trace), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["total_events"] > 0
         assert "download" in payload["event_counts"]
         assert "Event counts" not in json.dumps(payload)
@@ -301,6 +310,12 @@ class TestMonitorCommand:
         assert main(["monitor", str(tmp_path / "absent.jsonl")]) == 1
         assert "cannot read" in capsys.readouterr().err
 
+    def test_empty_trace_is_quiet(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["monitor", str(path)]) == 0
+        assert "no alerts raised" in capsys.readouterr().out
+
 
 class TestDashboardCommand:
     def test_writes_selfcontained_html(self, tmp_path, capsys):
@@ -360,7 +375,7 @@ class TestDiffTraceCommand:
         assert main(["diff-trace", str(calm), str(rough), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert {"a", "b", "deltas", "regressions"} <= set(payload)
-        assert payload["a"]["summary"]["schema"] == 1
+        assert payload["a"]["summary"]["schema"] == 2
 
     def test_missing_side_fails(self, tmp_path, capsys):
         calm, _ = self._traces(tmp_path)
@@ -424,3 +439,197 @@ class TestBenchObsGate:
                      "--max-overhead", "0.0"])
         assert code == 1
         assert "exceeds" in capsys.readouterr().err
+
+
+class TestTraceOutFormats:
+    def test_binary_trace_out_feeds_every_consumer(self, tmp_path, capsys):
+        trace = tmp_path / "events.bin"
+        assert main(_SIMULATE_SMALL + ["--trace-out", str(trace)]) == 0
+        assert trace.read_bytes()[:8] == b"REPROTRC"
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        assert "Event counts" in capsys.readouterr().out
+        assert main(["monitor", str(trace)]) == 0
+        capsys.readouterr()
+        dash = tmp_path / "dash.html"
+        assert main(["dashboard", str(trace), "-o", str(dash)]) == 0
+        assert dash.read_text().startswith("<!DOCTYPE html>")
+
+    def test_binary_and_jsonl_summaries_agree(self, tmp_path, capsys):
+        binary = tmp_path / "events.bin"
+        jsonl = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(binary)])
+        main(_SIMULATE_SMALL + ["--trace-out", str(jsonl)])
+        capsys.readouterr()
+        assert main(["report", str(binary), "--json"]) == 0
+        from_binary = json.loads(capsys.readouterr().out)
+        assert main(["report", str(jsonl), "--json"]) == 0
+        from_jsonl = json.loads(capsys.readouterr().out)
+        assert from_binary == from_jsonl
+
+
+class TestTraceSubcommands:
+    def _binary(self, tmp_path):
+        trace = tmp_path / "events.bin"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        return trace
+
+    def test_inspect_reports_layout(self, tmp_path, capsys):
+        trace = self._binary(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "binary" in out and "Event counts" in out
+
+    def test_inspect_json(self, tmp_path, capsys):
+        trace = self._binary(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(trace), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "binary"
+        assert info["events"] > 0
+        assert info["truncated"] is False
+
+    def test_inspect_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace", "inspect",
+                     str(tmp_path / "absent.bin")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_convert_round_trip_is_byte_identical(self, tmp_path, capsys):
+        direct = tmp_path / "direct.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(direct)])
+        binary = tmp_path / "events.bin"
+        main(_SIMULATE_SMALL + ["--trace-out", str(binary)])
+        capsys.readouterr()
+        recovered = tmp_path / "recovered.jsonl"
+        assert main(["trace", "convert", str(binary),
+                     str(recovered)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert recovered.read_bytes() == direct.read_bytes()
+
+    def test_convert_jsonl_to_binary_and_back(self, tmp_path, capsys):
+        jsonl = tmp_path / "events.jsonl"
+        main(_SIMULATE_SMALL + ["--trace-out", str(jsonl)])
+        binary = tmp_path / "events.bin"
+        again = tmp_path / "again.jsonl"
+        assert main(["trace", "convert", str(jsonl), str(binary)]) == 0
+        assert main(["trace", "convert", str(binary), str(again)]) == 0
+        assert again.read_bytes() == jsonl.read_bytes()
+
+    def test_query_filters_kind_and_projects_columns(self, tmp_path,
+                                                     capsys):
+        trace = self._binary(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "query", str(trace), "--kind", "download",
+                     "--columns", "cls,wait", "--limit", "5"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line
+                 in captured.out.splitlines()]
+        assert 0 < len(lines) <= 5
+        assert all(line["event"] == "download" for line in lines)
+        assert all(set(line) <= {"event", "cls", "wait"}
+                   for line in lines)
+        assert "matched" in captured.err
+
+    def test_query_time_window(self, tmp_path, capsys):
+        trace = self._binary(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "query", str(trace), "--since", "100",
+                     "--until", "200"]) == 0
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.splitlines()]
+        assert all(100 <= line["t"] < 200 for line in lines)
+
+    def test_compact_rechunks_binary(self, tmp_path, capsys):
+        trace = self._binary(tmp_path)
+        capsys.readouterr()
+        compacted = tmp_path / "compacted.bin"
+        assert main(["trace", "compact", str(trace), str(compacted),
+                     "--chunk-events", "64"]) == 0
+        assert "chunks" in capsys.readouterr().out
+        # Same logical contents under the new chunking.
+        assert main(["trace", "inspect", str(compacted), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert main(["trace", "inspect", str(trace), "--json"]) == 0
+        original = json.loads(capsys.readouterr().out)
+        assert info["events"] == original["events"]
+        assert info["kinds"] == original["kinds"]
+
+    def test_bad_chunk_events_rejected(self, tmp_path, capsys):
+        trace = self._binary(tmp_path)
+        assert main(["trace", "compact", str(trace),
+                     str(tmp_path / "o.bin"), "--chunk-events", "0"]) == 2
+
+
+class TestProfileCapture:
+    def test_profile_out_then_report_folds_it_in(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        profile = tmp_path / "profile.json"
+        assert main(_SIMULATE_SMALL + ["--trace-out", str(trace),
+                                       "--profile-out",
+                                       str(profile)]) == 0
+        phases = json.loads(profile.read_text())
+        assert phases, "simulate must profile at least one phase"
+        assert all({"calls", "p50_seconds", "p95_seconds", "p99_seconds"}
+                   <= set(stats) for stats in phases.values())
+        capsys.readouterr()
+        assert main(["report", str(trace), "--profile",
+                     str(profile)]) == 0
+        assert "Profiled sections" in capsys.readouterr().out
+
+    def test_report_json_carries_profile(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        profile = tmp_path / "profile.json"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace),
+                                "--profile-out", str(profile)])
+        capsys.readouterr()
+        assert main(["report", str(trace), "--json", "--profile",
+                     str(profile)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]
+        assert all("p95_seconds" in stats
+                   for stats in payload["profile"].values())
+
+    def test_missing_profile_fails(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        trace.write_text("")
+        assert main(["report", str(trace), "--profile",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "cannot read profile" in capsys.readouterr().err
+
+
+class TestBenchTrace:
+    _SMALL = ["--events", "4000", "--seed", "5", "--chunk-events", "512"]
+
+    def test_writes_stamped_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_trace.json"
+        assert main(["bench-trace", "--out", str(out)]
+                    + self._SMALL) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["seed"] == 5
+        assert snapshot["events"] == 4000
+        assert {"config_hash", "git_sha", "binary", "jsonl"} \
+            <= set(snapshot)
+        assert snapshot["scan_aggregates_match"] is True
+        assert snapshot["roundtrip_identical"] is True
+        assert "fidelity checks passed" in capsys.readouterr().out
+
+    def test_history_appended_and_generous_gate_passes(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "BENCH_trace.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(["bench-trace", "--out", str(out),
+                     "--history", str(history),
+                     "--min-throughput", "1"] + self._SMALL)
+        assert code == 0
+        assert "throughput gate passed" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["seed"] == 5
+
+    def test_impossible_gate_fails(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_trace.json"
+        code = main(["bench-trace", "--out", str(out),
+                     "--min-throughput", "1e15"] + self._SMALL)
+        assert code == 1
+        assert "below" in capsys.readouterr().err
