@@ -74,7 +74,7 @@ class MultiDimensionalMechanism(ReputationMechanism):
     # ------------------------------------------------------------------ #
 
     def refresh(self) -> None:
-        with self.recorder.profile("mechanism.refresh"):
+        with self.recorder.span("mechanism.refresh"):
             self.system.recompute()
             # Drives the incremental pipeline: only rows touched by deltas
             # since the previous tick are re-derived (pipeline_refresh

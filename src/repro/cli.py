@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seventeen commands cover the workflows a downstream user actually runs:
+Eighteen commands cover the workflows a downstream user actually runs:
 
 * ``gen-trace``   — generate a synthetic Maze-like download trace to a file;
 * ``trace-stats`` — summarise a trace file (Zipf fit, Gini, fake fraction);
@@ -21,7 +21,13 @@ Seventeen commands cover the workflows a downstream user actually runs:
 * ``trace``       — work with trace files directly: ``inspect`` (header /
   chunk / kind bookkeeping, corruption-tolerant), ``convert`` (binary <->
   JSONL, canonical bytes), ``query`` (kind/time filters + column
-  projection as JSONL) and ``compact`` (rechunk a trace);
+  projection as JSONL; ``--since``/``--until`` skip whole binary chunks
+  via per-chunk time bounds), ``compact`` (rechunk a trace) and ``spans``
+  (reconstruct causal span trees: per-operation duration percentiles and
+  exemplar critical paths);
+* ``flame``       — render a span-bearing trace as a self-contained
+  flamegraph SVG (folded stacks over simulated busy time; ``--folded``
+  also writes collapsed-stack lines);
 * ``bench-trace`` — emit a stamped ``BENCH_trace.json`` snapshot of trace
   write/scan throughput, binary vs JSONL (``--min-throughput`` and
   ``--min-scan-ratio`` gate);
@@ -50,10 +56,14 @@ way events *stream* to disk instead of buffering the run),
 ``--metrics-out metrics.json``, ``--alerts-out alerts.jsonl`` (which also
 attaches the live monitor, so alerts interleave into the trace) and
 ``--profile-out profile.json`` (wall-clock phase timings — the one
-artefact that is *not* deterministic).  Trace artefacts are keyed by
-simulation time only, so two runs at the same seed produce byte-identical
-files; every trace consumer accepts JSONL and binary interchangeably (the
-format is sniffed from the first bytes, not the extension).
+artefact that is *not* deterministic).  ``--spans`` additionally records
+causal request spans into the trace (``--span-sample N`` head-samples,
+keeping every Nth trace); span ids derive from the seed and simulation
+time, so span-bearing traces stay byte-identical across runs.  Trace
+artefacts are keyed by simulation time only, so two runs at the same seed
+produce byte-identical files; every trace consumer accepts JSONL and
+binary interchangeably (the format is sniffed from the first bytes, not
+the extension).
 
 All commands are seeded and print fixed-width tables to stdout.
 """
@@ -74,10 +84,12 @@ from .core.durability import (WAL_FILENAME, DurabilityManager,
 from .core.persistence import save_system
 from .lint import (all_rules, lint_paths, result_to_dict, rules_by_id,
                    should_fail)
-from .obs import (NULL_RECORDER, Monitor, Recorder, diff_summaries,
-                  monitor_events, render_dashboard, summarize_trace,
-                  summary_to_dict)
+from .obs import (NULL_RECORDER, FoldedStacks, Monitor, Recorder,
+                  SpanAnalyzer, SpanTreeBuilder, diff_summaries,
+                  monitor_events, render_dashboard, render_flamegraph,
+                  summarize_trace, summary_to_dict)
 from .obs.bench import (append_history, collect_snapshot, overhead_ratio,
+                        span_overhead_ratio, span_sampled_overhead_ratio,
                         write_snapshot)
 from .obs.bench_pipeline import (collect_pipeline_snapshot, dense_speedup,
                                  incremental_speedup)
@@ -111,6 +123,14 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
                         help="write the wall-clock profiler snapshot "
                              "(JSON) here; feed it to 'repro report "
                              "--profile'")
+    parser.add_argument("--spans", action="store_true",
+                        help="record causal request spans into the trace "
+                             "(deterministic ids; analyse with 'repro "
+                             "trace spans' / 'repro flame')")
+    parser.add_argument("--span-sample", type=int, default=None,
+                        metavar="N",
+                        help="head-sample spans: keep every Nth trace "
+                             "(implies --spans; 1 = keep all)")
 
 
 def _make_recorder(args: argparse.Namespace):
@@ -122,12 +142,22 @@ def _make_recorder(args: argparse.Namespace):
     ``.bin``/``.trc``, canonical JSONL otherwise), so the trace never
     buffers in memory.
     """
+    span_sample = getattr(args, "span_sample", None)
+    if span_sample is not None and span_sample < 1:
+        print(f"--span-sample must be >= 1, got {span_sample}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if span_sample is None and getattr(args, "spans", False):
+        span_sample = 1
     if (args.trace_out is None and args.metrics_out is None
-            and args.alerts_out is None and args.profile_out is None):
+            and args.alerts_out is None and args.profile_out is None
+            and span_sample is None):
         return NULL_RECORDER, None
     sink = (open_trace_sink(args.trace_out)
             if args.trace_out is not None else None)
-    recorder = Recorder(trace_sink=sink)
+    recorder = Recorder(trace_sink=sink,
+                        span_seed=getattr(args, "seed", 0),
+                        span_sample=span_sample or 0)
     monitor = None
     if args.alerts_out is not None:
         monitor = Monitor.default().attach(recorder)
@@ -367,6 +397,32 @@ def build_parser() -> argparse.ArgumentParser:
                                default=DEFAULT_CHUNK_EVENTS,
                                help="events per chunk in the output")
 
+    trace_spans = trace_commands.add_parser(
+        "spans", help="reconstruct causal span trees: per-operation "
+                      "duration percentiles (simulated seconds) and an "
+                      "exemplar critical path per root operation")
+    trace_spans.add_argument("trace", help="trace recorded with --spans")
+    trace_spans.add_argument("--op", action="append", default=None,
+                             metavar="NAME",
+                             help="restrict output to this operation name "
+                                  "(repeatable)")
+    trace_spans.add_argument("--json", action="store_true",
+                             help="emit the analysis as JSON")
+
+    flame = commands.add_parser(
+        "flame", help="render a span-bearing trace as a self-contained "
+                      "flamegraph SVG (simulated busy time)")
+    flame.add_argument("trace", help="trace recorded with --spans")
+    flame.add_argument("-o", "--out", default="flame.svg",
+                       help="SVG output path")
+    flame.add_argument("--folded", default=None, metavar="PATH",
+                       help="also write collapsed-stack lines "
+                            "('a;b;c <microseconds>') here")
+    flame.add_argument("--width", type=int, default=1200,
+                       help="SVG width in pixels")
+    flame.add_argument("--title", default="repro span flamegraph",
+                       help="SVG title text")
+
     bench_trace = commands.add_parser(
         "bench-trace", help="collect a stamped trace-format perf snapshot "
                             "(binary vs JSONL write/scan throughput)")
@@ -400,7 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-overhead", type=float, default=None,
                        metavar="RATIO",
                        help="exit 1 when the instrumentation overhead "
-                            "ratio exceeds this bound")
+                            "ratio (or full span tracing over plain "
+                            "instrumentation) exceeds this bound")
+    bench.add_argument("--max-sampled-overhead", type=float, default=None,
+                       metavar="RATIO",
+                       help="exit 1 when 1-in-8 head-sampled span tracing "
+                            "exceeds this ratio over plain "
+                            "instrumentation")
 
     bench_pipeline = commands.add_parser(
         "bench-pipeline",
@@ -960,19 +1022,15 @@ def _cmd_trace_query(args: argparse.Namespace) -> int:
     matched = 0
     out = sys.stdout
     try:
-        for event in iter_trace_events(args.trace):
+        # The time window is pushed down into the reader: binary chunks
+        # whose per-chunk [t_min, t_max] misses the window are skipped
+        # without decoding any column.
+        for event in iter_trace_events(args.trace, since=args.since,
+                                       until=args.until):
             if args.limit is not None and matched >= args.limit:
                 break
             if kinds is not None and event.get("event") not in kinds:
                 continue
-            if args.since is not None or args.until is not None:
-                t = event.get("t")
-                if not isinstance(t, (int, float)):
-                    continue
-                if args.since is not None and t < args.since:
-                    continue
-                if args.until is not None and t >= args.until:
-                    continue
             if columns is not None:
                 event = {"event": event.get("event", "unknown"),
                          **{name: event[name] for name in columns
@@ -1012,16 +1070,126 @@ def _cmd_trace_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+_NO_SPANS_MESSAGE = ("contains no span records; record one with "
+                     "--spans (or --span-sample N) on simulate/chaos")
+
+
+def _cmd_trace_spans(args: argparse.Namespace) -> int:
+    analyzer = SpanAnalyzer()
+    try:
+        for event in iter_trace_events(args.trace):
+            analyzer.feed(event)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    analysis = analyzer.finish()
+    selected = set(args.op) if args.op else None
+
+    if args.json:
+        document = analysis.to_dict()
+        if selected is not None:
+            for key in ("operations", "critical_paths"):
+                document[key] = {name: value
+                                 for name, value in document[key].items()
+                                 if name in selected}
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    if not analysis.spans:
+        print(f"trace {args.trace} {_NO_SPANS_MESSAGE}")
+        return 0
+
+    print(f"trace: {args.trace}")
+    print(f"spans: {analysis.spans} in {analysis.traces} traces "
+          f"({analysis.segments} segments, {analysis.orphans} orphans, "
+          f"{analysis.malformed} malformed)\n")
+
+    def _quantile(value) -> str:
+        return f"{value:.3f}" if value is not None else "-"
+
+    rows = []
+    for name, stats in sorted(analysis.operations.items()):
+        if selected is not None and name not in selected:
+            continue
+        entry = stats.to_dict()
+        rows.append([name, entry["count"],
+                     f"{entry['total_dur']:.3f}",
+                     f"{entry['total_busy']:.3f}",
+                     _quantile(entry["p50"]), _quantile(entry["p95"]),
+                     _quantile(entry["p99"])])
+    print(render_table(
+        ["operation", "spans", "total dur (s)", "total busy (s)",
+         "p50 (s)", "p95 (s)", "p99 (s)"], rows,
+        title="Span operations (simulated seconds)"))
+
+    for name, steps in sorted(analysis.critical_paths.items()):
+        if selected is not None and name not in selected:
+            continue
+        print(f"\ncritical path [{name}] "
+              f"({steps[0].dur:.3f}s end to end):")
+        for depth, step in enumerate(steps):
+            counters = "".join(
+                f" {counter}={amount}" for counter, amount
+                in sorted(step.counters.items()))
+            flag = "" if step.consistent else "  [INCONSISTENT]"
+            print(f"  {'  ' * depth}{step.name}: dur {step.dur:.3f}s, "
+                  f"busy {step.busy:.3f}s{counters}{flag}")
+
+    if analysis.inconsistent:
+        print(f"\nWARNING: {analysis.inconsistent} spans violate "
+              "dur == busy + sum(child dur)", file=sys.stderr)
+        return 1
+    print("\nconsistency: dur == busy + sum(child dur) holds for "
+          "every span")
+    return 0
+
+
 _TRACE_COMMANDS = {
     "inspect": _cmd_trace_inspect,
     "convert": _cmd_trace_convert,
     "query": _cmd_trace_query,
     "compact": _cmd_trace_compact,
+    "spans": _cmd_trace_spans,
 }
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    if args.width < 300:
+        print(f"--width must be >= 300, got {args.width}", file=sys.stderr)
+        return 2
+    builder = SpanTreeBuilder()
+    folded = FoldedStacks()
+    try:
+        for event in iter_trace_events(args.trace):
+            root = builder.feed(event)
+            if root is not None:
+                folded.add_tree(root)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    # Orphaned subtrees (parent lost to truncation) still carry real cost.
+    for root in builder.finish():
+        folded.add_tree(root)
+    if not builder.spans_seen:
+        print(f"trace {args.trace} {_NO_SPANS_MESSAGE}")
+        return 0
+    if args.folded is not None:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            for line in folded.lines():
+                handle.write(line + "\n")
+        print(f"wrote {len(folded)} folded stacks to {args.folded}")
+    document = render_flamegraph(folded, title=args.title,
+                                 width=args.width)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {len(document)} bytes of SVG to {args.out} "
+          f"({folded.trees} trees, {len(folded)} stacks, total busy "
+          f"{folded.total:.3f}s simulated)")
+    return 0
 
 
 def _cmd_bench_trace(args: argparse.Namespace) -> int:
@@ -1101,14 +1269,32 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
           f"bare, {timings['simulate_instrumented_seconds']:.3f}s "
           f"instrumented "
           f"(x{timings['instrumentation_overhead_ratio']:.2f})")
+    print(f"spans: {timings['simulate_spans_seconds']:.3f}s full "
+          f"(x{timings['span_overhead_ratio']:.2f} vs instrumented), "
+          f"{timings['simulate_spans_sampled_seconds']:.3f}s sampled 1/8 "
+          f"(x{timings['span_sampled_overhead_ratio']:.2f})")
     if args.max_overhead is not None:
         ratio = overhead_ratio(snapshot)
         if ratio > args.max_overhead:
             print(f"instrumentation overhead x{ratio:.2f} exceeds the "
                   f"x{args.max_overhead:.2f} bound", file=sys.stderr)
             return 1
-        print(f"overhead gate passed (x{ratio:.2f} <= "
-              f"x{args.max_overhead:.2f})")
+        span_ratio = span_overhead_ratio(snapshot)
+        if span_ratio > args.max_overhead:
+            print(f"full span tracing overhead x{span_ratio:.2f} exceeds "
+                  f"the x{args.max_overhead:.2f} bound", file=sys.stderr)
+            return 1
+        print(f"overhead gate passed (instrumentation x{ratio:.2f}, "
+              f"spans x{span_ratio:.2f} <= x{args.max_overhead:.2f})")
+    if args.max_sampled_overhead is not None:
+        sampled_ratio = span_sampled_overhead_ratio(snapshot)
+        if sampled_ratio > args.max_sampled_overhead:
+            print(f"sampled span tracing overhead x{sampled_ratio:.2f} "
+                  f"exceeds the x{args.max_sampled_overhead:.2f} bound",
+                  file=sys.stderr)
+            return 1
+        print(f"sampled-overhead gate passed (x{sampled_ratio:.2f} <= "
+              f"x{args.max_sampled_overhead:.2f})")
     return 0
 
 
@@ -1341,6 +1527,7 @@ _COMMANDS = {
     "dashboard": _cmd_dashboard,
     "diff-trace": _cmd_diff_trace,
     "trace": _cmd_trace,
+    "flame": _cmd_flame,
     "bench-trace": _cmd_bench_trace,
     "bench-obs": _cmd_bench_obs,
     "bench-pipeline": _cmd_bench_pipeline,

@@ -53,7 +53,7 @@ def compute_reputation_matrix(one_step: TrustMatrix,
         return result
     if n < 1:
         raise ValueError(f"matrix power requires n >= 1, got {n}")
-    with recorder.profile("multitrust.power"):
+    with recorder.span("multitrust.power") as span:
         result = one_step
         for iteration in range(2, n + 1):
             previous = result
@@ -62,6 +62,7 @@ def compute_reputation_matrix(one_step: TrustMatrix,
             recorder.event("multitrust_iteration", iteration=iteration,
                            residual=residual, entries=result.entry_count())
             recorder.observe("multitrust.residual", residual)
+        span.count("iterations", max(n - 1, 0))
     recorder.inc("multitrust.computations")
     recorder.observe("multitrust.steps", n)
     check_row_stochastic(result, name=f"RM=TM^{n}", strict=False)

@@ -197,7 +197,7 @@ class TrustPipeline:
             self.recorder.inc("pipeline.noop_refreshes")
             return self.view()
 
-        with self.recorder.profile("pipeline.refresh"):
+        with self.recorder.span("pipeline.refresh") as span:
             if full:
                 file_rows = (self._file.rebuild(self.evaluations)
                              if self._file else set())
@@ -218,6 +218,8 @@ class TrustPipeline:
             self._publish_trust(dirty_rows)
             backend = resolve_backend(self.config.matmul_backend, self._trust)
             self._publish_reputation(backend)
+            span.count("rows_rebuilt", len(dirty_rows))
+            span.count("dirty_files", len(dirty_files))
 
         self.evaluations.clear_dirty()
         self.ledger.clear_dirty()

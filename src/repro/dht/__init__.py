@@ -7,7 +7,8 @@ from .id_space import ID_BITS, ID_SPACE, distance, hash_key, in_interval
 from .retry import (DEFAULT_RETRY_POLICY, DHTError, EmptyNetworkError,
                     NetworkPartitionError, RetryBudget, RetryBudgetExhausted,
                     RetryPolicy, RoutingError)
-from .messages import EvaluationInfo, IndexRecord, MessageKind, MessageTally
+from .messages import (EvaluationInfo, IndexRecord, MessageEnvelope,
+                       MessageKind, MessageTally)
 from .node import DHTNode
 from .overlay_service import EvaluationOverlay, RetrievedEvaluations
 from .ring import DHTNetwork
@@ -38,6 +39,7 @@ __all__ = [
     "in_interval",
     "EvaluationInfo",
     "IndexRecord",
+    "MessageEnvelope",
     "MessageKind",
     "MessageTally",
     "DHTNode",

@@ -46,10 +46,12 @@ from ..core.incentive import ServiceDifferentiator, ServiceLevel
 from ..core.matrix import TrustMatrix
 from ..core.multitrust import compute_reputation_matrix
 from ..obs.recorder import NULL_RECORDER, NullRecorder
+from ..obs.spans import NULL_SPAN, NullSpan
 from .crypto import KeyAuthority
 from .faults import FaultPlan, RPCOutcome
 from .id_space import hash_key
-from .messages import EvaluationInfo, IndexRecord, MessageKind, MessageTally
+from .messages import (EvaluationInfo, IndexRecord, MessageEnvelope,
+                       MessageKind, MessageTally)
 from .node import DHTNode
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .ring import DHTNetwork
@@ -204,13 +206,21 @@ class EvaluationOverlay:
                       retry_policy=self.retry_policy, tally=self.tally,
                       recorder=self.recorder)
 
-    def _rpc(self, src_user: str, dst: DHTNode) -> bool:
-        """One fault-subjected overlay RPC with per-target retries."""
+    def _rpc(self, src_user: str, dst: DHTNode,
+             span: NullSpan = NULL_SPAN) -> bool:
+        """One fault-subjected overlay RPC with per-target retries.
+
+        The simulated wire latency of every attempt is attributed to
+        ``span`` (a no-op for the default null span).
+        """
         if not dst.alive:
             self.tally.record(MessageKind.TIMEOUT, 0)
+            span.count("timeouts")
             return False
         for attempt in range(self.retry_policy.max_attempts):
-            outcome, _ = self.faults.transmit(src_user, dst.user_id)
+            outcome, wire_latency = self.faults.transmit(src_user,
+                                                         dst.user_id)
+            span.add_cost(wire_latency)
             if outcome is RPCOutcome.DELIVERED:
                 return True
             if outcome is RPCOutcome.PARTITIONED:
@@ -220,14 +230,22 @@ class EvaluationOverlay:
                 if dst.alive:
                     self.network.fail(dst.user_id)
                 self.tally.record(MessageKind.TIMEOUT, 0)
+                span.count("timeouts")
                 return False
             self.tally.record(MessageKind.DROP, 0)
             if attempt + 1 < self.retry_policy.max_attempts:
                 self.tally.record(MessageKind.RETRY, 0)
+                span.count("retries")
         return False
 
     def _store(self, record: IndexRecord, user_id: str, now: float,
                kind: MessageKind) -> int:
+        with self.recorder.request_span("dht.publish",
+                                        message=kind.value) as span:
+            return self._store_impl(record, user_id, now, kind, span)
+
+    def _store_impl(self, record: IndexRecord, user_id: str, now: float,
+                    kind: MessageKind, span: NullSpan) -> int:
         key = hash_key(f"file:{record.file_id}")
         result = self._lookup_from(user_id, key)
         self.tally.record(MessageKind.LOOKUP, 0)
@@ -246,11 +264,16 @@ class EvaluationOverlay:
             return result.hops
         for replica in self.network.replica_nodes(key, self.replication):
             if self._injecting and replica is not result.owner \
-                    and not self._rpc(user_id, replica):
+                    and not self._rpc(user_id, replica, span):
                 continue  # write lost; repair/republication will catch up
             replica.storage.put(key, record.owner_id, record, now,
                                 self.record_ttl)
-            self.tally.record(kind, record.wire_size())
+            # The sender's causal context rides on the envelope, so the
+            # tally charges the (opt-in) span overhead to the right kind.
+            self.tally.record_envelope(MessageEnvelope(
+                kind=kind, payload_bytes=record.wire_size(),
+                span_id=span.span_id, trace_id=span.trace_id))
+            span.count("writes")
         return result.hops
 
     # ------------------------------------------------------------------ #
@@ -267,6 +290,14 @@ class EvaluationOverlay:
         result (``complete=False``) when fewer than ``read_quorum``
         replicas answered — graceful degradation instead of an exception.
         """
+        with self.recorder.request_span("dht.retrieve") as span:
+            retrieved = self._retrieve_impl(requester_id, file_id, now, span)
+            span.count("replicas", retrieved.replicas_contacted)
+            span.annotate(complete=retrieved.complete)
+        return retrieved
+
+    def _retrieve_impl(self, requester_id: str, file_id: str, now: float,
+                       span: NullSpan) -> RetrievedEvaluations:
         key = hash_key(f"file:{file_id}")
         result = self._lookup_from(requester_id, key)
         self.tally.record(MessageKind.LOOKUP, 0)
@@ -285,7 +316,7 @@ class EvaluationOverlay:
             contacted, quorum, complete = 1, 1, True
         else:
             stored_records, contacted = self._quorum_read(
-                requester_id, key, result, now)
+                requester_id, key, result, now, span)
             quorum = self.read_quorum
             complete = contacted >= quorum
 
@@ -331,13 +362,14 @@ class EvaluationOverlay:
         return retrieved
 
     def _quorum_read(self, requester_id: str, key: int, result: LookupResult,
-                     now: float) -> Tuple[List[StoredRecord], int]:
+                     now: float, span: NullSpan = NULL_SPAN
+                     ) -> Tuple[List[StoredRecord], int]:
         """Read the replica set under faults; freshest record per owner."""
         freshest: Dict[str, StoredRecord] = {}
         contacted = 0
         for replica in self.network.replica_nodes(key, self.replication):
             if replica is not result.owner \
-                    and not self._rpc(requester_id, replica):
+                    and not self._rpc(requester_id, replica, span):
                 continue
             contacted += 1
             for stored in replica.storage.get(key, now):
@@ -437,9 +469,11 @@ class EvaluationOverlay:
         publisher's TTL).  Returns the number of replica copies created;
         each one is tallied as a :attr:`MessageKind.REPAIR` message.
         """
-        repaired = self.network.repair_replicas(self.replication, now)
-        for _ in range(repaired):
-            self.tally.record(MessageKind.REPAIR, 0)
+        with self.recorder.request_span("dht.repair") as span:
+            repaired = self.network.repair_replicas(self.replication, now)
+            for _ in range(repaired):
+                self.tally.record(MessageKind.REPAIR, 0)
+            span.count("repaired", repaired)
         if self.recorder.enabled:
             self.recorder.event("dht_repair", t=now, repaired=repaired)
             self.recorder.inc("dht.repairs", repaired)

@@ -79,7 +79,29 @@ def lookup(network: DHTNetwork, key: int,
     :class:`RoutingError` on divergence when no fault plan is active; with
     an active plan, routing failures come back as ``result.error`` instead
     so chaos runs degrade rather than crash.
+
+    With span tracing enabled, every lookup runs inside a ``dht.lookup``
+    span whose cost is the route's simulated latency (wire time plus retry
+    backoff) and whose counters carry hops/retries/timeouts — the
+    per-query attribution the flat ``dht_lookup`` event cannot give.
     """
+    with recorder.request_span("dht.lookup") as span:
+        result = _lookup_impl(network, key, start, faults, retry_policy,
+                              tally, recorder)
+        span.add_cost(result.latency)
+        span.count("hops", result.hops)
+        span.count("retries", result.retries)
+        span.count("timeouts", result.timeouts)
+        span.annotate(ok=result.ok)
+    return result
+
+
+def _lookup_impl(network: DHTNetwork, key: int,
+                 start: Optional[DHTNode],
+                 faults: Optional[FaultPlan],
+                 retry_policy: Optional[RetryPolicy],
+                 tally: Optional[MessageTally],
+                 recorder: NullRecorder) -> LookupResult:
     if len(network) == 0:
         raise EmptyNetworkError("cannot look up in an empty network")
     key %= ID_SPACE

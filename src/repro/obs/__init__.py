@@ -14,6 +14,10 @@ The measurement substrate the quantitative claims run on:
   only, never in deterministic artefacts);
 * :mod:`~repro.obs.recorder` — the facade instrumented code talks to, with
   the zero-overhead :data:`~repro.obs.recorder.NULL_RECORDER` default;
+* :mod:`~repro.obs.spans` — causal request-scoped spans with deterministic
+  ids, streaming span-tree reconstruction and critical-path analysis;
+* :mod:`~repro.obs.flame` — folded-stack aggregation and flamegraph SVG
+  export over span trees;
 * :mod:`~repro.obs.report` — trace summarisation behind ``repro report``;
 * :mod:`~repro.obs.bench` — stamped ``BENCH_obs.json`` perf snapshots;
 * :mod:`~repro.obs.bench_pipeline` — stamped ``BENCH_pipeline.json``
@@ -42,10 +46,15 @@ from .dashboard import render_dashboard
 from .detectors import Detector, default_detectors
 from .diff import diff_summaries
 from .events import EventTrace, read_events
+from .flame import FoldedStacks, folded_from_trees, render_flamegraph
 from .monitor import Monitor, MonitorResult, monitor_events
 from .profiling import PhaseStats, Profiler
 from .recorder import NULL_RECORDER, NullRecorder, Recorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import (NULL_SPAN, NullSpan, OperationStats, Span, SpanAnalysis,
+                    SpanAnalyzer, SpanContext, SpanNode, SpanTreeBuilder,
+                    critical_path, derive_span_id, derive_trace_id,
+                    span_node_from_event)
 from .report import (TraceSummarizer, TraceSummary, summarize_trace,
                      summary_to_dict)
 from .stats import (DEFAULT_QUANTILES, QuantileSketch, RunningStats, mean,
@@ -86,6 +95,22 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "NULL_SPAN",
+    "NullSpan",
+    "OperationStats",
+    "Span",
+    "SpanAnalysis",
+    "SpanAnalyzer",
+    "SpanContext",
+    "SpanNode",
+    "SpanTreeBuilder",
+    "critical_path",
+    "derive_span_id",
+    "derive_trace_id",
+    "span_node_from_event",
+    "FoldedStacks",
+    "folded_from_trees",
+    "render_flamegraph",
     "Counter",
     "Gauge",
     "Histogram",

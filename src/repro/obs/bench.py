@@ -26,7 +26,8 @@ from typing import Dict, Optional
 from .recorder import NULL_RECORDER, Recorder
 
 __all__ = ["config_hash", "git_sha", "run_stamp", "collect_snapshot",
-           "write_snapshot", "append_history", "overhead_ratio"]
+           "write_snapshot", "append_history", "overhead_ratio",
+           "span_overhead_ratio", "span_sampled_overhead_ratio"]
 
 #: Bump when the snapshot layout changes incompatibly.
 SNAPSHOT_SCHEMA = 1
@@ -60,8 +61,14 @@ def run_stamp(seed: int, config: Dict[str, object]) -> Dict[str, object]:
     }
 
 
-def collect_snapshot(seed: int = 42) -> Dict[str, object]:
-    """Run the standard bench workload and return the stamped snapshot."""
+def collect_snapshot(seed: int = 42, repeats: int = 3) -> Dict[str, object]:
+    """Run the standard bench workload and return the stamped snapshot.
+
+    Every timed mode runs ``repeats`` times and keeps the *fastest* run —
+    the workload is deterministic, so the minimum is the measurement least
+    contaminated by scheduler noise, which matters because the overhead
+    ratios are CI gates.
+    """
     from ..baselines import MultiDimensionalMechanism
     from ..core import ReputationConfig
     from ..simulator import (ChaosConfig, FileSharingSimulation,
@@ -87,20 +94,41 @@ def collect_snapshot(seed: int = 42) -> Dict[str, object]:
             retention_saturation_seconds=duration / 3))
         return FileSharingSimulation(config, mechanism, recorder=recorder)
 
-    started = time.perf_counter()
-    baseline_metrics = build_simulation(NULL_RECORDER).run()
-    baseline_seconds = time.perf_counter() - started
+    def best_of(run):
+        """Fastest of ``repeats`` runs plus the last run's result."""
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            result = run()
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+        return best, result
 
-    recorder = Recorder()
-    started = time.perf_counter()
-    instrumented_metrics = build_simulation(recorder).run()
-    instrumented_seconds = time.perf_counter() - started
+    baseline_seconds, baseline_metrics = best_of(
+        lambda: build_simulation(NULL_RECORDER).run())
 
-    chaos_recorder = Recorder()
-    started = time.perf_counter()
-    chaos_result = run_chaos_point(
-        ChaosConfig(seed=seed, **chaos_config), recorder=chaos_recorder)
-    chaos_seconds = time.perf_counter() - started
+    def instrumented_run(**recorder_kwargs):
+        recorder = Recorder(**recorder_kwargs)
+        return build_simulation(recorder).run(), recorder
+
+    instrumented_seconds, (instrumented_metrics, recorder) = best_of(
+        instrumented_run)
+
+    # Span tracing on top of full instrumentation: every request traced,
+    # then 1-in-8 head sampling — the two operating points the CI gates.
+    span_seconds, (span_metrics, span_recorder) = best_of(
+        lambda: instrumented_run(span_seed=seed, span_sample=1))
+    sampled_seconds, (sampled_metrics, sampled_recorder) = best_of(
+        lambda: instrumented_run(span_seed=seed, span_sample=8))
+
+    def chaos_run():
+        recorder = Recorder()
+        return run_chaos_point(
+            ChaosConfig(seed=seed, **chaos_config), recorder=recorder), recorder
+
+    chaos_seconds, (chaos_result, chaos_recorder) = best_of(chaos_run)
 
     return {
         **run_stamp(seed, {"simulate": sim_config, "chaos": chaos_config}),
@@ -110,6 +138,14 @@ def collect_snapshot(seed: int = 42) -> Dict[str, object]:
             "instrumentation_overhead_ratio": (
                 instrumented_seconds / baseline_seconds
                 if baseline_seconds > 0 else 0.0),
+            "simulate_spans_seconds": span_seconds,
+            "simulate_spans_sampled_seconds": sampled_seconds,
+            "span_overhead_ratio": (
+                span_seconds / instrumented_seconds
+                if instrumented_seconds > 0 else 0.0),
+            "span_sampled_overhead_ratio": (
+                sampled_seconds / instrumented_seconds
+                if instrumented_seconds > 0 else 0.0),
             "chaos_cell_seconds": chaos_seconds,
         },
         "profiler": {
@@ -129,6 +165,23 @@ def collect_snapshot(seed: int = 42) -> Dict[str, object]:
                 == baseline_metrics.total_requests
                 and instrumented_metrics.overall_fake_fraction
                 == baseline_metrics.overall_fake_fraction),
+        },
+        "spans": {
+            "span_events_full": sum(
+                1 for event in span_recorder.trace
+                if event.get("event") == "span"),
+            "span_events_sampled": sum(
+                1 for event in sampled_recorder.trace
+                if event.get("event") == "span"),
+            "matches_instrumented_run": (
+                span_metrics.total_requests
+                == instrumented_metrics.total_requests
+                and sampled_metrics.total_requests
+                == instrumented_metrics.total_requests
+                and span_metrics.overall_fake_fraction
+                == instrumented_metrics.overall_fake_fraction
+                and sampled_metrics.overall_fake_fraction
+                == instrumented_metrics.overall_fake_fraction),
         },
         "chaos": {
             "availability": chaos_result.availability,
@@ -162,7 +215,21 @@ def append_history(path: str, snapshot: Dict[str, object]) -> None:
 
 def overhead_ratio(snapshot: Dict[str, object]) -> float:
     """The instrumented/bare wall-clock ratio a CI gate checks."""
+    return _timing_ratio(snapshot, "instrumentation_overhead_ratio")
+
+
+def span_overhead_ratio(snapshot: Dict[str, object]) -> float:
+    """Full span tracing over plain instrumentation (wall clock)."""
+    return _timing_ratio(snapshot, "span_overhead_ratio")
+
+
+def span_sampled_overhead_ratio(snapshot: Dict[str, object]) -> float:
+    """1-in-8 head-sampled span tracing over plain instrumentation."""
+    return _timing_ratio(snapshot, "span_sampled_overhead_ratio")
+
+
+def _timing_ratio(snapshot: Dict[str, object], key: str) -> float:
     timings = snapshot.get("timings", {})
     if not isinstance(timings, dict):
         return 0.0
-    return float(timings.get("instrumentation_overhead_ratio", 0.0))
+    return float(timings.get(key, 0.0))

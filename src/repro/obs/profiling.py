@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping, Optional
 
 from .stats import QuantileSketch
 
@@ -67,6 +67,24 @@ class Profiler:
         """Bump a per-phase counter (e.g. events processed per run)."""
         counters = self.phase(name).counters
         counters[counter] = counters.get(counter, 0) + amount
+
+    def record(self, name: str, elapsed: float,
+               counters: Optional[Mapping[str, int]] = None) -> None:
+        """Fold one already-timed call into the named phase.
+
+        Spans time themselves (their exit knows the elapsed wall time and
+        the counters accumulated inside), so they report here instead of
+        going through :meth:`timer`.
+        """
+        stats = self.phase(name)
+        stats.calls += 1
+        stats.total_seconds += elapsed
+        stats.max_seconds = max(stats.max_seconds, elapsed)
+        stats.durations.observe(elapsed)
+        if counters:
+            existing = stats.counters
+            for counter, amount in counters.items():
+                existing[counter] = existing.get(counter, 0) + amount
 
     def __len__(self) -> int:
         return len(self._phases)

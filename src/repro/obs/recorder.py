@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from .events import EventTrace
 from .profiling import Profiler
 from .registry import MetricsRegistry
+from .spans import NULL_SPAN, NullSpan, Span, SpanContext, SpanRef
 
 __all__ = ["NullRecorder", "Recorder", "NULL_RECORDER"]
 
@@ -76,6 +77,29 @@ class NullRecorder:
         """Context manager timing a phase (wall clock, profiling only)."""
         return _NULL_TIMER
 
+    def profile_count(self, name: str, counter: str, amount: int = 1) -> None:
+        """Bump a per-phase profiler counter without opening a span."""
+
+    def span(self, name: str, **fields: object) -> NullSpan:
+        """Open a span (always profiles; emits a record when the trace is kept)."""
+        return NULL_SPAN
+
+    def request_span(self, name: str, **fields: object) -> NullSpan:
+        """Open a per-request span; a shared no-op unless span tracing is on."""
+        return NULL_SPAN
+
+    def active_span_ref(self) -> Optional[SpanRef]:
+        """Causal context to capture when scheduling a callback (None = off)."""
+        return None
+
+    def resume_scope(self, ref: SpanRef):
+        """Context manager running a callback under a captured causal context."""
+        return _NULL_TIMER
+
+    def now(self) -> float:
+        """Current simulation time from the bound clock."""
+        return 0.0
+
 
 #: Shared do-nothing recorder; safe to use as a default argument.
 NULL_RECORDER = NullRecorder()
@@ -87,15 +111,22 @@ class Recorder(NullRecorder):
     enabled = True
 
     def __init__(self, clock: Optional[Clock] = None,
-                 trace_sink: Optional[object] = None):
+                 trace_sink: Optional[object] = None,
+                 span_seed: int = 0, span_sample: int = 0):
         """``trace_sink`` — a streaming sink (``append(record)``, e.g.
         :class:`~repro.obs.traceio.TraceWriter`) events spill into instead
         of buffering; the caller owns closing it.  Without one, the trace
-        buffers in memory as before."""
+        buffers in memory as before.
+
+        ``span_seed`` / ``span_sample`` configure deterministic span
+        tracing: ids derive from the seed, and every ``span_sample``-th
+        trace is kept (0 disables span records; spans still profile).
+        """
         self.trace = EventTrace(spill=trace_sink)
         self.trace_sink = trace_sink
         self.registry = MetricsRegistry()
         self.profiler = Profiler()
+        self.span_context = SpanContext(seed=span_seed, sample=span_sample)
         self._clock: Clock = clock if clock is not None else (lambda: 0.0)
         self._subscribers: list = []
 
@@ -139,6 +170,50 @@ class Recorder(NullRecorder):
 
     def profile(self, name: str):
         return self.profiler.timer(name)
+
+    def profile_count(self, name: str, counter: str, amount: int = 1) -> None:
+        self.profiler.count(name, counter, amount)
+
+    # ------------------------------------------------------------------ #
+    # Spans                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spans_enabled(self) -> bool:
+        """True when span records are being emitted (``span_sample > 0``)."""
+        return self.span_context.enabled
+
+    def span(self, name: str, **fields: object) -> NullSpan:
+        """Open a causal span replacing a bare :meth:`profile` hook.
+
+        Always feeds the profiler (so ``--profile-out`` keeps working with
+        span tracing off); emits a deterministic ``span`` trace record only
+        when span tracing is on and the trace is kept by sampling.
+        """
+        return Span(self, name, dict(fields) if fields else None)
+
+    def request_span(self, name: str, **fields: object) -> NullSpan:
+        """Open a span on a per-request hot path.
+
+        Unlike :meth:`span` this is a complete no-op (shared null span, no
+        profiling) unless span tracing is enabled, so request-rate work
+        costs nothing when nobody asked for spans.  Under head sampling the
+        span profiles only when its trace is kept — request-path profiler
+        phases are sampled along with their span records.
+        """
+        if not self.span_context.enabled:
+            return NULL_SPAN
+        return Span(self, name, dict(fields) if fields else None,
+                    always_profile=False)
+
+    def active_span_ref(self) -> Optional[SpanRef]:
+        return self.span_context.active_ref()
+
+    def resume_scope(self, ref: SpanRef):
+        return self.span_context.resumed(ref)
+
+    def now(self) -> float:
+        return self._clock()
 
     # ------------------------------------------------------------------ #
     # Export                                                             #

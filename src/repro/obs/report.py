@@ -58,6 +58,8 @@ KNOWN_EVENT_KINDS = frozenset({
     "churn_crash", "churn_rejoin",
     # monitoring
     "alert",
+    # causal spans (minor 1 of the binary trace format)
+    "span",
     # durability (WAL + crash recovery)
     "wal.snapshot", "recovery.complete", "recovery.quarantined",
 })

@@ -6,8 +6,11 @@ is the difference between tracing-by-default and tracing turned off.  This
 module stores the same flat event records (see :mod:`repro.obs.events`) in
 a compact, streamable binary layout:
 
-* a fixed 12-byte file header — ``REPROTRC`` magic + format version — so a
-  foreign or truncated file is rejected before any byte is trusted;
+* a fixed 12-byte file header — ``REPROTRC`` magic + format version +
+  minor revision — so a foreign or truncated file is rejected before any
+  byte is trusted; minor revisions are additive (new record families such
+  as spans), so a reader for version 1 accepts any minor and older traces
+  stay readable;
 * the event stream follows as CRC32 length-prefixed **chunk frames**
   (``<u32 body length> <u32 CRC32(body)> <body>``, all little-endian — the
   same self-checking framing idiom as ``core/durability/wal.py``), each
@@ -46,7 +49,8 @@ from typing import (Any, BinaryIO, Dict, Iterable, Iterator, List, Mapping,
 
 from .events import read_events
 
-__all__ = ["TRACE_MAGIC", "TRACE_VERSION", "DEFAULT_CHUNK_EVENTS",
+__all__ = ["TRACE_MAGIC", "TRACE_VERSION", "TRACE_MINOR",
+           "DEFAULT_CHUNK_EVENTS",
            "TraceFormatError", "TraceWriter", "JsonlTraceWriter",
            "TraceReader", "ChunkBatch", "Column", "encode_chunk",
            "decode_chunk", "is_binary_trace", "iter_trace_events",
@@ -54,8 +58,13 @@ __all__ = ["TRACE_MAGIC", "TRACE_VERSION", "DEFAULT_CHUNK_EVENTS",
 
 TRACE_MAGIC = b"REPROTRC"
 TRACE_VERSION = 1
+#: Additive format revision within version 1.  Minor 0: the PR 7 layout.
+#: Minor 1: span records (``event == "span"``) — a new record family, no
+#: layout change, so minor-0 readers of this codebase never existed that
+#: could break and minor-0 traces remain fully readable.
+TRACE_MINOR = 1
 
-_HEADER = struct.Struct("<8sHH")   # magic, version, reserved flags
+_HEADER = struct.Struct("<8sHH")   # magic, version, minor revision
 _FRAME = struct.Struct("<II")      # body length, CRC32(body)
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -100,7 +109,7 @@ def canonical_line(event: Mapping[str, Any]) -> str:
 
 def trace_header() -> bytes:
     """The 12-byte file header every binary trace starts with."""
-    return _HEADER.pack(TRACE_MAGIC, TRACE_VERSION, 0)
+    return _HEADER.pack(TRACE_MAGIC, TRACE_VERSION, TRACE_MINOR)
 
 
 # --------------------------------------------------------------------- #
@@ -580,7 +589,7 @@ class TraceReader:
         if len(header) < HEADER_SIZE:
             self._file.close()
             raise TraceFormatError(f"{self.path}: short header")
-        magic, version, _flags = _HEADER.unpack(header)
+        magic, version, minor = _HEADER.unpack(header)
         if magic != TRACE_MAGIC:
             self._file.close()
             raise TraceFormatError(f"{self.path}: bad magic")
@@ -589,6 +598,10 @@ class TraceReader:
             raise TraceFormatError(
                 f"{self.path}: unsupported trace version {version}")
         self.version = version
+        #: Minor revision the file was written at.  Minors are additive
+        #: (new record families only), so any minor of a supported version
+        #: is readable — including minors newer than :data:`TRACE_MINOR`.
+        self.minor = minor
         self._closed = False
 
     def batches(self) -> Iterator[ChunkBatch]:
@@ -641,19 +654,80 @@ def is_binary_trace(path: Union[str, Path]) -> bool:
         return False
 
 
-def iter_trace_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+def _column_time_bounds(column: Column) -> Optional[Tuple[float, float]]:
+    """Min/max over the numeric values of a chunk's ``t`` column.
+
+    Decoding one float column is the only cost; None means the chunk has
+    no numeric timestamps at all (so no event in it can pass a filter).
+    """
+    if column.tag in (_T_INT64, _T_FLOAT64):
+        values = column.values
+        if not values:
+            return None
+        return float(min(values)), float(max(values))
+    numeric = [float(value) for value in column.values
+               if isinstance(value, (int, float))]
+    if not numeric:
+        return None
+    return min(numeric), max(numeric)
+
+
+def _in_window(t: Any, since: Optional[float], until: Optional[float]) -> bool:
+    """Half-open ``[since, until)`` test; non-numeric times never match."""
+    if not isinstance(t, (int, float)):
+        return False
+    t_value = float(t)
+    if since is not None and t_value < since:
+        return False
+    return not (until is not None and t_value >= until)
+
+
+def iter_trace_events(path: Union[str, Path],
+                      since: Optional[float] = None,
+                      until: Optional[float] = None
+                      ) -> Iterator[Dict[str, Any]]:
     """Stream events from a trace file, JSONL or binary, transparently.
 
     The unified entry point every trace consumer goes through: the format
     is sniffed from the file's first bytes (never the extension), and the
     result is a generator either way — consumers stay single-pass and
     bounded-memory regardless of how the trace was captured.
+
+    ``since``/``until`` restrict the stream to events whose sim time falls
+    in the half-open window ``[since, until)`` (events without a numeric
+    ``t`` are dropped when a filter is set).  On binary traces the filter
+    first checks each chunk's ``t``-column min/max — thanks to lazy column
+    decoding, a chunk entirely outside the window is skipped without
+    decoding any of its other columns.
     """
+    if since is None and until is None:
+        if is_binary_trace(path):
+            with TraceReader(path) as reader:
+                yield from reader
+        else:
+            yield from read_events(str(path))
+        return
     if is_binary_trace(path):
         with TraceReader(path) as reader:
-            yield from reader
+            for batch in reader.batches():
+                column = batch.columns.get("t")
+                if column is None:
+                    continue
+                bounds = _column_time_bounds(column)
+                if bounds is None:
+                    continue
+                t_min, t_max = bounds
+                if since is not None and t_max < since:
+                    continue
+                if until is not None and t_min >= until:
+                    continue
+                for event in batch.events():
+                    if _in_window(event.get("t"), since, until):
+                        yield event
     else:
-        yield from read_events(str(path))
+        for event in read_events(str(path)):
+            if _in_window(event.get("t"), since, until):
+                yield event
 
 
 def trace_info(path: Union[str, Path]) -> Dict[str, Any]:
@@ -678,6 +752,7 @@ def trace_info(path: Union[str, Path]) -> Dict[str, Any]:
     }
     if binary:
         info["version"] = TRACE_VERSION
+        info["minor"] = None
     kinds: Dict[str, int] = {}
     t_min = float("inf")
     t_max = float("-inf")
@@ -706,6 +781,7 @@ def trace_info(path: Union[str, Path]) -> Dict[str, Any]:
     try:
         if binary:
             with TraceReader(path) as reader:
+                info["minor"] = reader.minor
                 for batch in reader.batches():
                     _absorb_batch(batch)
         else:

@@ -130,52 +130,57 @@ def run_chaos_point(config: ChaosConfig,
     for round_number in range(config.rounds):
         now = float(round_number * 100)
         clock[0] = now
-        online = [pid for pid in peer_ids if pid not in offline]
+        # Each round is one trace: publishes, churn, reads, and repair all
+        # hang off a ``chaos.round`` span, so the critical path of a bad
+        # round points at the overlay operation that actually paid for it.
+        with recorder.request_span("chaos.round", round=round_number):
+            online = [pid for pid in peer_ids if pid not in offline]
 
-        # Publication: each online peer refreshes evaluations for a few
-        # files; the published value is its quality plus seeded noise, so
-        # the per-peer mean recovers the quality ranking.
-        for pid in online:
-            for file_id in rng.sample(file_ids, min(3, len(file_ids))):
-                value = min(max(
-                    quality[pid] + rng.uniform(-0.04, 0.04), 0.0), 1.0)
-                overlay.publish(pid, file_id, value, now)
+            # Publication: each online peer refreshes evaluations for a few
+            # files; the published value is its quality plus seeded noise,
+            # so the per-peer mean recovers the quality ranking.
+            for pid in online:
+                for file_id in rng.sample(file_ids, min(3, len(file_ids))):
+                    value = min(max(
+                        quality[pid] + rng.uniform(-0.04, 0.04), 0.0), 1.0)
+                    overlay.publish(pid, file_id, value, now)
 
-        # Churn: crash one peer, resurrect one, per the churn rate.
-        if config.churn_rate > 0.0 and rng.random() < config.churn_rate:
-            online_now = [pid for pid in peer_ids if pid not in offline]
-            if len(online_now) > config.replication + 1:
-                victim = rng.choice(online_now)
-                if overlay.network.has_node(victim):
-                    overlay.network.fail(victim)
-                offline.append(victim)
+            # Churn: crash one peer, resurrect one, per the churn rate.
+            if config.churn_rate > 0.0 and rng.random() < config.churn_rate:
+                online_now = [pid for pid in peer_ids if pid not in offline]
+                if len(online_now) > config.replication + 1:
+                    victim = rng.choice(online_now)
+                    if overlay.network.has_node(victim):
+                        overlay.network.fail(victim)
+                    offline.append(victim)
+                    if recorder.enabled:
+                        recorder.event("churn_crash", t=now, peer=victim)
+                        recorder.inc("chaos.crashes")
+            if offline and rng.random() < config.churn_rate:
+                returning = offline.pop(0)
+                overlay.register_user(returning)
+                overlay.republish_all(returning, now)
                 if recorder.enabled:
-                    recorder.event("churn_crash", t=now, peer=victim)
-                    recorder.inc("chaos.crashes")
-        if offline and rng.random() < config.churn_rate:
-            returning = offline.pop(0)
-            overlay.register_user(returning)
-            overlay.republish_all(returning, now)
-            if recorder.enabled:
-                recorder.event("churn_rejoin", t=now, peer=returning)
-                recorder.inc("chaos.rejoins")
+                    recorder.event("churn_rejoin", t=now, peer=returning)
+                    recorder.inc("chaos.rejoins")
 
-        # Retrieval: online peers read random files through the overlay.
-        online = [pid for pid in peer_ids if pid not in offline]
-        for pid in rng.sample(online, min(4, len(online))):
-            file_id = rng.choice(file_ids)
-            retrieved = overlay.retrieve(pid, file_id, now)
-            metrics.record_retrieval(retrieved.complete,
-                                     retrieved.lookup_hops)
-            if retrieved.replicas_contacted == 0:
-                failed_lookups += 1
+            # Retrieval: online peers read random files through the overlay.
+            online = [pid for pid in peer_ids if pid not in offline]
+            for pid in rng.sample(online, min(4, len(online))):
+                file_id = rng.choice(file_ids)
+                retrieved = overlay.retrieve(pid, file_id, now)
+                metrics.record_retrieval(retrieved.complete,
+                                         retrieved.lookup_hops)
+                if retrieved.replicas_contacted == 0:
+                    failed_lookups += 1
 
-        # Repair sweep: re-replicate what crashes took down.
-        if config.repair_every > 0 \
-                and round_number % config.repair_every == 0:
-            overlay.repair_replicas(now)
+            # Repair sweep: re-replicate what crashes took down.
+            if config.repair_every > 0 \
+                    and round_number % config.repair_every == 0:
+                overlay.repair_replicas(now)
 
-    scores = _recover_scores(overlay, peer_ids, file_ids, now, metrics)
+    scores = _recover_scores(overlay, peer_ids, file_ids, now, metrics,
+                             recorder)
     result = ChaosResult(
         loss_rate=config.loss_rate,
         churn_rate=config.churn_rate,
@@ -200,19 +205,30 @@ def run_chaos_point(config: ChaosConfig,
 
 def _recover_scores(overlay: EvaluationOverlay, peer_ids: List[str],
                     file_ids: List[str], now: float,
-                    metrics: SimulationMetrics) -> Dict[str, float]:
-    """Per-peer mean evaluation as served by the DHT right now."""
+                    metrics: SimulationMetrics,
+                    recorder: NullRecorder = NULL_RECORDER
+                    ) -> Dict[str, float]:
+    """Per-peer mean evaluation as served by the DHT right now.
+
+    Runs under a ``mechanism.refresh`` span: the full-catalog read that
+    rebuilds reputation from DHT-served state is the mechanism-level
+    operation whose children (``dht.retrieve`` → ``dht.lookup``, retries
+    and all) a span trace should attribute end to end.
+    """
     sums: Dict[str, float] = {pid: 0.0 for pid in peer_ids}
     counts: Dict[str, int] = {pid: 0 for pid in peer_ids}
     observer = next(pid for pid in peer_ids
                     if overlay.network.has_node(pid))
-    for file_id in file_ids:
-        retrieved = overlay.retrieve(observer, file_id, now)
-        metrics.record_retrieval(retrieved.complete, retrieved.lookup_hops)
-        for owner, value in retrieved.evaluations.items():
-            if owner in sums:
-                sums[owner] += value
-                counts[owner] += 1
+    with recorder.request_span("mechanism.refresh") as span:
+        span.count("files", len(file_ids))
+        for file_id in file_ids:
+            retrieved = overlay.retrieve(observer, file_id, now)
+            metrics.record_retrieval(retrieved.complete,
+                                     retrieved.lookup_hops)
+            for owner, value in retrieved.evaluations.items():
+                if owner in sums:
+                    sums[owner] += value
+                    counts[owner] += 1
     return {pid: (sums[pid] / counts[pid]) if counts[pid] else 0.0
             for pid in peer_ids}
 

@@ -1,9 +1,17 @@
 """Deterministic discrete-event simulation engine.
 
-A minimal heap-based scheduler: events are ``(time, sequence, callback)``
-triples; the sequence number makes simultaneous events fire in scheduling
-order, so runs are fully deterministic for a fixed seed.  Callbacks receive
-the engine, may schedule further events, and may stop the run.
+A minimal heap-based scheduler: events are ``(time, sequence, callback,
+span_ref)`` tuples; the sequence number makes simultaneous events fire in
+scheduling order, so runs are fully deterministic for a fixed seed.
+Callbacks receive the engine, may schedule further events, and may stop
+the run.
+
+The fourth element is causal-span propagation (see
+:mod:`repro.obs.spans`): when span tracing is on, scheduling captures the
+active span reference and the loop resumes it around the callback, so a
+span opened inside the callback joins the trace of the work that scheduled
+it.  With spans off (the default) the reference is always ``None`` and the
+loop takes the bare-call path.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
+
+from ..obs.spans import SpanRef
 
 from ..core.durability.faults import SimulatedCrash
 from ..obs.recorder import NULL_RECORDER, NullRecorder
@@ -39,7 +49,7 @@ class EventEngine:
                  recorder: NullRecorder = NULL_RECORDER):
         self._now = start_time
         self._sequence = itertools.count()
-        self._heap: List[Tuple[float, int, Callback]] = []
+        self._heap: List[Tuple[float, int, Callback, Optional[SpanRef]]] = []
         self._cancelled: set = set()
         self._stopped = False
         self._events_processed = 0
@@ -76,7 +86,9 @@ class EventEngine:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self._now}")
         sequence = next(self._sequence)
-        heapq.heappush(self._heap, (time, sequence, callback))
+        link = (self._recorder.active_span_ref()
+                if self._recorder.enabled else None)
+        heapq.heappush(self._heap, (time, sequence, callback, link))
         return ScheduledEvent(time=time, sequence=sequence)
 
     def cancel(self, event: ScheduledEvent) -> None:
@@ -118,7 +130,7 @@ class EventEngine:
             while self._heap and not self._stopped:
                 if max_events is not None and processed >= max_events:
                     break
-                time, sequence, callback = self._heap[0]
+                time, sequence, callback, link = self._heap[0]
                 if until is not None and time > until:
                     break
                 heapq.heappop(self._heap)
@@ -126,11 +138,16 @@ class EventEngine:
                     self._cancelled.discard(sequence)
                     continue
                 self._now = time
-                callback(self)
+                if link is not None:
+                    with self._recorder.resume_scope(link):
+                        callback(self)
+                else:
+                    callback(self)
                 processed += 1
                 self._events_processed += 1
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         if processed and self._recorder.enabled:
             self._recorder.inc("engine.events_processed", processed)
+            self._recorder.profile_count("engine.run", "events", processed)
         return processed

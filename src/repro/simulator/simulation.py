@@ -298,8 +298,14 @@ class FileSharingSimulation:
     # ------------------------------------------------------------------ #
 
     def _on_request_arrival(self, engine: EventEngine) -> None:
+        # Schedule the next arrival *before* opening the span, so successive
+        # requests start fresh traces instead of chaining to each other.
         engine.schedule(self.workload.next_interarrival(),
                         self._on_request_arrival)
+        with self.recorder.request_span("sim.request"):
+            self._handle_request_arrival(engine)
+
+    def _handle_request_arrival(self, engine: EventEngine) -> None:
         online = sorted(pid for pid, peer in self.peers.items() if peer.online)
         picked = self.workload.pick_request(online, self.registry, engine.now)
         if picked is None:
@@ -450,6 +456,13 @@ class FileSharingSimulation:
 
     def _on_transfer_complete(self, uploader_id: str, request: UploadRequest,
                               wait: float, bandwidth: float) -> None:
+        with self.recorder.request_span("sim.transfer") as span:
+            self._handle_transfer_complete(uploader_id, request, wait,
+                                           bandwidth, span)
+
+    def _handle_transfer_complete(self, uploader_id: str,
+                                  request: UploadRequest, wait: float,
+                                  bandwidth: float, span) -> None:
         uploader = self.peers.get(uploader_id)
         if uploader is not None:
             uploader.active_uploads = max(uploader.active_uploads - 1, 0)
@@ -462,6 +475,9 @@ class FileSharingSimulation:
         now = self.engine.now
         size = self.registry.size(file_id)
         is_fake = self.registry.is_fake(file_id)
+        # End-to-end request latency (queue wait + transfer) in sim time.
+        span.add_cost(now - request.arrival_time)
+        span.count("bytes", int(size))
 
         self.registry.add_copy(request.requester_id, file_id, now)
         if is_fake:
@@ -494,10 +510,12 @@ class FileSharingSimulation:
         requester_id = request.requester_id
 
         def _judge(engine: EventEngine) -> None:
-            peer = self.peers.get(requester_id)
-            if peer is not None and self.registry.holds(requester_id, file_id):
-                peer.behavior.on_download_complete(self, peer, file_id,
-                                                   uploader_id)
+            with self.recorder.request_span("sim.judge"):
+                peer = self.peers.get(requester_id)
+                if peer is not None and self.registry.holds(requester_id,
+                                                            file_id):
+                    peer.behavior.on_download_complete(self, peer, file_id,
+                                                       uploader_id)
 
         self.engine.schedule(delay, _judge)
 
@@ -582,7 +600,7 @@ class FileSharingSimulation:
             self.recorder.event(
                 "maintenance",
                 online=sum(1 for p in self.peers.values() if p.online))
-        with self.recorder.profile("sim.maintenance"):
+        with self.recorder.span("sim.maintenance"):
             self._flush_retention(engine.now)
             for peer_id in sorted(self.peers):
                 peer = self.peers[peer_id]

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.dht import EvaluationInfo, IndexRecord, MessageKind, MessageTally
+from repro.dht import (EvaluationInfo, IndexRecord, MessageEnvelope,
+                       MessageKind, MessageTally)
 
 
 class TestEvaluationInfo:
@@ -67,3 +68,57 @@ class TestMessageTally:
         tally.record(MessageKind.LOOKUP)
         snapshot = tally.snapshot()
         assert snapshot == {"lookup": 1}
+
+
+class TestMessageEnvelope:
+    def test_bare_envelope_adds_no_overhead(self):
+        envelope = MessageEnvelope(kind=MessageKind.PUBLISH,
+                                   payload_bytes=100)
+        assert envelope.wire_size() == 100
+
+    def test_causal_ids_cost_eight_bytes_each(self):
+        base = MessageEnvelope(kind=MessageKind.PUBLISH, payload_bytes=100)
+        with_span = MessageEnvelope(kind=MessageKind.PUBLISH,
+                                    payload_bytes=100, span_id=7)
+        with_both = MessageEnvelope(kind=MessageKind.PUBLISH,
+                                    payload_bytes=100, span_id=7,
+                                    trace_id=9)
+        assert with_span.wire_size() == base.wire_size() + 8
+        assert with_both.wire_size() == base.wire_size() + 16
+
+    def test_wire_roundtrip(self):
+        envelope = MessageEnvelope(kind=MessageKind.RETRIEVE,
+                                   payload_bytes=42, span_id=123,
+                                   trace_id=456)
+        assert MessageEnvelope.from_wire(envelope.to_wire()) == envelope
+
+    def test_wire_roundtrip_without_ids(self):
+        envelope = MessageEnvelope(kind=MessageKind.REPUBLISH,
+                                   payload_bytes=0)
+        frame = envelope.to_wire()
+        assert "span" not in frame and "trace" not in frame
+        assert MessageEnvelope.from_wire(frame) == envelope
+
+    def test_wire_frame_is_canonical(self):
+        envelope = MessageEnvelope(kind=MessageKind.PUBLISH,
+                                   payload_bytes=10, span_id=1, trace_id=2)
+        assert envelope.to_wire() == ('{"kind":"publish","payload_bytes":10,'
+                                      '"span":1,"trace":2}')
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(ValueError):
+            MessageEnvelope.from_wire("[]")
+        with pytest.raises(ValueError):
+            MessageEnvelope.from_wire('{"payload_bytes":1}')
+        with pytest.raises(ValueError):
+            MessageEnvelope.from_wire('{"kind":"no-such","payload_bytes":1}')
+
+    def test_tally_accounts_envelope_overhead(self):
+        tally = MessageTally()
+        tally.record_envelope(MessageEnvelope(
+            kind=MessageKind.PUBLISH, payload_bytes=100, span_id=1,
+            trace_id=2))
+        tally.record_envelope(MessageEnvelope(
+            kind=MessageKind.PUBLISH, payload_bytes=100))
+        assert tally.count(MessageKind.PUBLISH) == 2
+        assert tally.total_bytes() == 216

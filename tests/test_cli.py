@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.obs import read_events
+from repro.obs.traceio import iter_trace_events
 from repro.traces import read_csv, read_jsonl
 
 
@@ -559,6 +560,140 @@ class TestTraceSubcommands:
         trace = self._binary(tmp_path)
         assert main(["trace", "compact", str(trace),
                      str(tmp_path / "o.bin"), "--chunk-events", "0"]) == 2
+
+
+class TestSpanTracing:
+    def _span_trace(self, tmp_path, name="spans.bin", extra=()):
+        trace = tmp_path / name
+        main(_SIMULATE_SMALL + ["--spans", "--trace-out", str(trace)]
+             + list(extra))
+        return trace
+
+    def test_spans_flag_adds_span_records(self, tmp_path, capsys):
+        trace = self._span_trace(tmp_path)
+        spans = [event for event in iter_trace_events(str(trace))
+                 if event["event"] == "span"]
+        assert spans
+        assert all({"span", "trace", "t_end", "dur", "busy"} <= set(event)
+                   for event in spans)
+
+    def test_span_trace_deterministic_for_seed(self, tmp_path):
+        a = self._span_trace(tmp_path, "a.bin")
+        b = self._span_trace(tmp_path, "b.bin")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_span_trace_convert_round_trip(self, tmp_path, capsys):
+        trace = self._span_trace(tmp_path)
+        capsys.readouterr()
+        jsonl = tmp_path / "spans.jsonl"
+        again = tmp_path / "again.bin"
+        assert main(["trace", "convert", str(trace), str(jsonl)]) == 0
+        assert main(["trace", "convert", str(jsonl), str(again)]) == 0
+        assert again.read_bytes() == trace.read_bytes()
+
+    def test_sampling_thins_traces(self, tmp_path):
+        def span_count(extra):
+            trace = self._span_trace(tmp_path, "sampled.bin", extra)
+            return sum(1 for event in iter_trace_events(str(trace))
+                       if event["event"] == "span")
+
+        full = span_count(())
+        sampled = span_count(["--span-sample", "8"])
+        assert 0 < sampled < full
+
+    def test_invalid_sample_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_SIMULATE_SMALL + ["--span-sample", "0"])
+        assert excinfo.value.code == 2
+        assert "--span-sample" in capsys.readouterr().err
+
+    def test_trace_spans_reports_operations_and_paths(self, tmp_path,
+                                                      capsys):
+        trace = self._span_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "spans", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "operation" in out and "p95" in out
+        assert "sim.request" in out
+        assert "critical path" in out
+        assert "consistency" in out
+
+    def test_trace_spans_json_with_op_filter(self, tmp_path, capsys):
+        trace = self._span_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "spans", str(trace), "--json",
+                     "--op", "sim.request"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["operations"]) == {"sim.request"}
+        assert payload["operations"]["sim.request"]["count"] > 0
+        assert payload["critical_paths"]["sim.request"]
+
+    def test_trace_spans_on_chaos_shows_refresh_path(self, tmp_path,
+                                                     capsys):
+        trace = tmp_path / "chaos.bin"
+        main(_CHAOS_SMALL + ["--spans", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", "spans", str(trace), "--json",
+                     "--op", "mechanism.refresh"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        path = payload["critical_paths"]["mechanism.refresh"]
+        assert path[0]["name"] == "mechanism.refresh"
+        assert any(step["name"].startswith("dht.") for step in path)
+        assert payload["inconsistent"] == 0
+
+    def test_trace_spans_without_spans_exits_cleanly(self, tmp_path,
+                                                     capsys):
+        trace = tmp_path / "plain.bin"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", "spans", str(trace)]) == 0
+        assert "no span records" in capsys.readouterr().out
+
+    def test_flame_writes_deterministic_svg(self, tmp_path, capsys):
+        trace = self._span_trace(tmp_path)
+        capsys.readouterr()
+        first, second = tmp_path / "a.svg", tmp_path / "b.svg"
+        folded = tmp_path / "flame.folded"
+        assert main(["flame", str(trace), "-o", str(first),
+                     "--folded", str(folded)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["flame", str(trace), "-o", str(second)]) == 0
+        document = first.read_text()
+        assert document.startswith("<svg ")
+        assert document == second.read_text()
+        lines = folded.read_text().splitlines()
+        assert lines and all(line.rsplit(" ", 1)[1].isdigit()
+                             for line in lines)
+
+    def test_flame_without_spans_writes_nothing(self, tmp_path, capsys):
+        trace = tmp_path / "plain.bin"
+        main(_SIMULATE_SMALL + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        svg = tmp_path / "flame.svg"
+        assert main(["flame", str(trace), "-o", str(svg)]) == 0
+        assert "no span records" in capsys.readouterr().out
+        assert not svg.exists()
+
+    def test_flame_rejects_tiny_width(self, tmp_path, capsys):
+        trace = self._span_trace(tmp_path)
+        assert main(["flame", str(trace), "--width", "100"]) == 2
+
+    def test_bench_obs_gates_span_overheads(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main(["bench-obs", "--out", str(out), "--seed", "5",
+                     "--max-overhead", "1000",
+                     "--max-sampled-overhead", "1000"]) == 0
+        assert "sampled-overhead gate passed" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        assert snapshot["spans"]["span_events_full"] > 0
+        assert snapshot["timings"]["span_overhead_ratio"] > 0
+
+    def test_bench_obs_impossible_sampled_gate_fails(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main(["bench-obs", "--out", str(out), "--seed", "5",
+                     "--max-sampled-overhead", "0.0"]) == 1
+        assert "exceeds" in capsys.readouterr().err
 
 
 class TestProfileCapture:
