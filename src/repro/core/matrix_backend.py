@@ -5,7 +5,9 @@ matrices are patched incrementally.  The right algorithm depends on the
 matrix: real P2P trust matrices are extremely sparse (the paper's coverage
 problem), where the dict-of-dicts product wins; but the multi-dimensional
 design *densifies* TM on purpose, and past ~30% density a BLAS-backed dense
-product is an order of magnitude faster than hashing entry by entry.
+product is an order of magnitude faster than hashing entry by entry.  In
+between — large populations whose TM stays sparse — a compressed-sparse-row
+product beats both.
 
 This module extracts the seam:
 
@@ -14,20 +16,27 @@ This module extracts the seam:
   (delegates to :meth:`TrustMatrix.matmul` / :meth:`TrustMatrix.power`);
 * :class:`DenseNumpyBackend` — bridges through :meth:`TrustMatrix.to_dense`
   over the sorted union of node ids and multiplies in numpy;
+* :class:`CsrBackend` — scipy CSR product when scipy is importable, a
+  blocked-numpy product otherwise (same protocol, no hard dependency);
 * :func:`select_backend` — the density×size heuristic behind ``"auto"``;
+* :class:`MatrixStats` + :func:`select_backend_from_stats` — the same
+  heuristic decided from incrementally maintained counters, so the sharded
+  pipeline never pays an O(entries) density scan per refresh;
 * :func:`resolve_backend` — maps the config/CLI spelling (``"auto"`` /
-  ``"sparse"`` / ``"dense"``) to a concrete choice for a given matrix.
+  ``"sparse"`` / ``"dense"`` / ``"csr"``) to a concrete choice.
 
 Backends are value-deterministic: two value-equal inputs produce the same
 result matrix under the same backend, regardless of dict insertion order
-(the sparse product iterates in canonical order; the dense bridge indexes
-by sorted ids).  Sparse and dense results agree to float tolerance, not
-bit-for-bit — accumulation orders differ.
+(the sparse product iterates in canonical order; the dense and CSR bridges
+index by sorted ids).  Different backends agree to float tolerance, not
+bit-for-bit — accumulation orders differ — which is why the ``"auto"``
+*decision* itself must be exactly reproducible from stats (see
+:class:`MatrixStats`).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -37,13 +46,19 @@ __all__ = [
     "MatmulBackend",
     "SparseDictBackend",
     "DenseNumpyBackend",
+    "CsrBackend",
     "SPARSE_BACKEND",
     "DENSE_BACKEND",
+    "CSR_BACKEND",
     "BACKEND_SPECS",
     "DENSE_DENSITY_THRESHOLD",
     "DENSE_MIN_NODES",
+    "CSR_MIN_NODES",
+    "MatrixStats",
     "select_backend",
+    "select_backend_from_stats",
     "resolve_backend",
+    "resolve_backend_from_stats",
 ]
 
 #: Density above which the dense product typically beats the sparse one.
@@ -51,9 +66,15 @@ DENSE_DENSITY_THRESHOLD = 0.3
 #: Below this population the dict product wins regardless of density
 #: (the dense bridge's conversion overhead dominates tiny matrices).
 DENSE_MIN_NODES = 32
+#: At or above this population a sparse matrix is worth the CSR conversion;
+#: below it the dict product's zero conversion cost wins.  Deliberately
+#: higher than :data:`DENSE_MIN_NODES` so the new regime cannot shift the
+#: auto choice for any matrix the old two-way heuristic saw (n < 256 sparse
+#: workloads keep picking ``sparse``).
+CSR_MIN_NODES = 256
 
 #: Config/CLI spellings accepted by :func:`resolve_backend`.
-BACKEND_SPECS = ("auto", "sparse", "dense")
+BACKEND_SPECS = ("auto", "sparse", "dense", "csr")
 
 
 class MatmulBackend:
@@ -116,35 +137,275 @@ class DenseNumpyBackend(MatmulBackend):
         return _from_dense_nonzero(np.linalg.matrix_power(dense, n), ids)
 
 
+def _scipy_sparse() -> Optional[Any]:
+    """The ``scipy.sparse`` module, or ``None`` when scipy is absent."""
+    try:
+        from scipy import sparse
+    except ImportError:
+        return None
+    return sparse
+
+
+class CsrBackend(MatmulBackend):
+    """Compressed-sparse-row product for large sparse matrices.
+
+    With scipy importable the product runs through ``scipy.sparse``'s C
+    CSR multiply; without it, a blocked dense-numpy product (row blocks of
+    ``block_rows``, bounding temporary memory) provides the same protocol
+    so the backend never becomes a hard dependency.  Both flavours convert
+    through the sorted union of node ids with column-sorted rows, so the
+    bridge is canonical regardless of dict insertion order.
+
+    ``power(m, 1)`` returns ``m`` itself (the universal fast path); larger
+    powers use repeated squaring in the native representation so only the
+    final product pays the conversion back to :class:`TrustMatrix`.
+    """
+
+    name = "csr"
+
+    def __init__(self, block_rows: int = 256):
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self._block_rows = block_rows
+
+    @property
+    def flavor(self) -> str:
+        """``"scipy"`` or ``"blocked-numpy"`` — which engine runs here."""
+        return "scipy" if _scipy_sparse() is not None else "blocked-numpy"
+
+    def matmul(self, left: TrustMatrix, right: TrustMatrix) -> TrustMatrix:
+        ids = DenseNumpyBackend._ids(left, right)
+        if not ids:
+            return TrustMatrix()
+        sparse = _scipy_sparse()
+        if sparse is None:
+            dense_left, _ = left.to_dense(ids)
+            dense_right, _ = right.to_dense(ids)
+            return _from_dense_nonzero(
+                self._blocked_matmul(dense_left, dense_right), ids)
+        product = _to_csr(left, ids, sparse) @ _to_csr(right, ids, sparse)
+        return _from_csr(product, ids)
+
+    def power(self, matrix: TrustMatrix, n: int) -> TrustMatrix:
+        if n < 1:
+            raise ValueError(f"matrix power requires n >= 1, got {n}")
+        if n == 1:
+            return matrix
+        ids = DenseNumpyBackend._ids(matrix)
+        if not ids:
+            return TrustMatrix()
+        sparse = _scipy_sparse()
+        if sparse is None:
+            dense, _ = matrix.to_dense(ids)
+            result = dense
+            for _ in range(n - 1):
+                result = self._blocked_matmul(result, dense)
+            return _from_dense_nonzero(result, ids)
+        base = _to_csr(matrix, ids, sparse)
+        result = None
+        remaining = n
+        while remaining:
+            if remaining & 1:
+                result = base if result is None else result @ base
+            remaining >>= 1
+            if remaining:
+                base = base @ base
+        assert result is not None
+        return _from_csr(result, ids)
+
+    def _blocked_matmul(self, left: "np.ndarray",
+                        right: "np.ndarray") -> "np.ndarray":
+        """``left @ right`` one row block at a time (bounded temporaries)."""
+        out = np.empty_like(left)
+        for start in range(0, left.shape[0], self._block_rows):
+            stop = start + self._block_rows
+            out[start:stop] = left[start:stop] @ right
+        return out
+
+
+def _to_csr(matrix: TrustMatrix, ids: Sequence[str], sparse: Any) -> Any:
+    """Canonical CSR over ``ids``: rows in id order, columns sorted."""
+    index = {node_id: position for position, node_id in enumerate(ids)}
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    for i in ids:
+        row = matrix.row_view(i)
+        # Sorted column ids land in ascending index order (ids is sorted),
+        # giving scipy its canonical format without a sort_indices pass.
+        for j in sorted(row):
+            indices.append(index[j])
+            data.append(row[j])
+        indptr.append(len(indices))
+    return sparse.csr_matrix(
+        (np.asarray(data, dtype=np.float64),
+         np.asarray(indices, dtype=np.int64),
+         np.asarray(indptr, dtype=np.int64)),
+        shape=(len(ids), len(ids)))
+
+
+def _from_csr(result: Any, ids: Sequence[str]) -> TrustMatrix:
+    """CSR product back to a :class:`TrustMatrix` (positive entries only)."""
+    result = result.tocsr()
+    result.sum_duplicates()
+    result.sort_indices()
+    out = TrustMatrix()
+    indptr = result.indptr
+    indices = result.indices
+    data = result.data
+    for a, i in enumerate(ids):
+        start, stop = int(indptr[a]), int(indptr[a + 1])
+        if start == stop:
+            continue
+        cols = indices[start:stop].tolist()
+        values = data[start:stop].tolist()
+        row = {ids[b]: value for b, value in zip(cols, values) if value > 0.0}
+        out.replace_row(i, row)
+    return out
+
+
 def _from_dense_nonzero(array: "np.ndarray", ids: Sequence[str]
                         ) -> TrustMatrix:
     """``TrustMatrix.from_dense`` touching only the non-zero entries."""
     result = TrustMatrix()
     rows, cols = np.nonzero(array > 0.0)
-    for a, b in zip(rows.tolist(), cols.tolist()):
-        result.set(ids[a], ids[b], float(array[a, b]))
+    values = array[rows, cols].tolist()
+    for a, b, value in zip(rows.tolist(), cols.tolist(), values):
+        result.set(ids[a], ids[b], value)
     return result
 
 
 SPARSE_BACKEND = SparseDictBackend()
 DENSE_BACKEND = DenseNumpyBackend()
+CSR_BACKEND = CsrBackend()
+
+
+class MatrixStats:
+    """Incrementally maintained node/entry counters of one matrix.
+
+    The monolithic pipeline's ``"auto"`` backend choice scans the whole
+    matrix per refresh (``node_ids()`` + ``density()`` are both O(entries)
+    — the very O(n²) wall sharding exists to break).  The sharded pipeline
+    instead folds each row replacement into these counters, paying
+    O(row size) per patched row, and decides the backend from them.
+
+    The decision **must** match the matrix-scan path exactly (backends
+    agree only to tolerance, so a diverging choice breaks bit-identity
+    with the monolith): ``nodes`` replicates ``len(matrix.node_ids())``
+    via per-id reference counts (one ref per non-empty row owned, one per
+    column occurrence) and ``density()`` computes the same
+    ``off_diagonal / (n * (n - 1))`` quotient over the same integers as
+    :meth:`TrustMatrix.density`.
+    """
+
+    __slots__ = ("_refs", "entries", "diagonal", "rows")
+
+    def __init__(self) -> None:
+        self._refs: Dict[str, int] = {}
+        self.entries = 0
+        self.diagonal = 0
+        self.rows = 0
+
+    def _retain(self, node_id: str) -> None:
+        self._refs[node_id] = self._refs.get(node_id, 0) + 1
+
+    def _release(self, node_id: str) -> None:
+        count = self._refs[node_id] - 1
+        if count:
+            self._refs[node_id] = count
+        else:
+            del self._refs[node_id]
+
+    def replace_row(self, row_id: str, old_row: Mapping[str, float],
+                    new_row: Mapping[str, float]) -> None:
+        """Fold one row replacement into the counters.
+
+        Both mappings must reflect *stored* rows (no zero values — the
+        caller filters exactly like :meth:`TrustMatrix.replace_row` does).
+        """
+        if old_row:
+            self._release(row_id)
+            for j in old_row:
+                self._release(j)
+            self.entries -= len(old_row)
+            self.rows -= 1
+            if row_id in old_row:
+                self.diagonal -= 1
+        if new_row:
+            self._retain(row_id)
+            for j in new_row:
+                self._retain(j)
+            self.entries += len(new_row)
+            self.rows += 1
+            if row_id in new_row:
+                self.diagonal += 1
+
+    @property
+    def nodes(self) -> int:
+        """``len(matrix.node_ids())`` without building the list."""
+        return len(self._refs)
+
+    @property
+    def off_diagonal(self) -> int:
+        return self.entries - self.diagonal
+
+    def density(self) -> float:
+        """Same quotient as :meth:`TrustMatrix.density` over all ids."""
+        n = self.nodes
+        if n < 2:
+            return 0.0
+        return self.off_diagonal / (n * (n - 1))
+
+    @classmethod
+    def of(cls, matrix: TrustMatrix) -> "MatrixStats":
+        """Counters for an existing matrix (O(entries), for seeding/tests)."""
+        stats = cls()
+        for i, row in matrix.iter_row_views():
+            stats.replace_row(i, {}, row)
+        return stats
+
+
+def _choose_auto(nodes: int, density: float, density_threshold: float,
+                 min_nodes: int, csr_min_nodes: int) -> MatmulBackend:
+    """The shared three-regime decision; both selection paths land here."""
+    if nodes < min_nodes:
+        return SPARSE_BACKEND
+    if density >= density_threshold:
+        return DENSE_BACKEND
+    if nodes >= csr_min_nodes:
+        return CSR_BACKEND
+    return SPARSE_BACKEND
 
 
 def select_backend(matrix: TrustMatrix,
                    density_threshold: float = DENSE_DENSITY_THRESHOLD,
-                   min_nodes: int = DENSE_MIN_NODES) -> MatmulBackend:
-    """The ``"auto"`` heuristic: dense when the matrix is big *and* dense.
+                   min_nodes: int = DENSE_MIN_NODES,
+                   csr_min_nodes: int = CSR_MIN_NODES) -> MatmulBackend:
+    """The ``"auto"`` heuristic: three regimes over density × size.
 
-    ``density × size``: below ``min_nodes`` the conversion overhead always
-    loses; above it, the dense product wins once more than
-    ``density_threshold`` of the off-diagonal edges exist.
+    * below ``min_nodes``: the dict product's zero conversion cost wins;
+    * density ≥ ``density_threshold``: the BLAS dense product wins;
+    * otherwise, at or above ``csr_min_nodes``: large-and-sparse — CSR;
+    * otherwise sparse.
     """
     ids = matrix.node_ids()
-    if len(ids) < min_nodes:
-        return SPARSE_BACKEND
-    if matrix.density(ids) >= density_threshold:
-        return DENSE_BACKEND
-    return SPARSE_BACKEND
+    return _choose_auto(len(ids), matrix.density(ids), density_threshold,
+                        min_nodes, csr_min_nodes)
+
+
+def select_backend_from_stats(stats: MatrixStats,
+                              density_threshold: float = DENSE_DENSITY_THRESHOLD,
+                              min_nodes: int = DENSE_MIN_NODES,
+                              csr_min_nodes: int = CSR_MIN_NODES
+                              ) -> MatmulBackend:
+    """:func:`select_backend` decided from counters — O(1), no matrix scan.
+
+    Guaranteed to pick the same backend as :func:`select_backend` would on
+    the matrix the stats track (same integers, same quotient, same
+    comparisons); ``tests/core/test_matrix_backend.py`` pins the lockstep.
+    """
+    return _choose_auto(stats.nodes, stats.density(), density_threshold,
+                        min_nodes, csr_min_nodes)
 
 
 def resolve_backend(spec: str, matrix: TrustMatrix,
@@ -152,14 +413,37 @@ def resolve_backend(spec: str, matrix: TrustMatrix,
                     min_nodes: int = DENSE_MIN_NODES) -> MatmulBackend:
     """Map a config/CLI backend spelling to a concrete backend.
 
-    ``"sparse"`` / ``"dense"`` force the named backend; ``"auto"`` applies
-    :func:`select_backend` to the matrix at hand.
+    ``"sparse"`` / ``"dense"`` / ``"csr"`` force the named backend;
+    ``"auto"`` applies :func:`select_backend` to the matrix at hand.
     """
-    if spec == "sparse":
-        return SPARSE_BACKEND
-    if spec == "dense":
-        return DENSE_BACKEND
+    forced = _forced_backend(spec)
+    if forced is not None:
+        return forced
     if spec == "auto":
         return select_backend(matrix, density_threshold, min_nodes)
     raise ValueError(
         f"unknown matmul backend {spec!r}; expected one of {BACKEND_SPECS}")
+
+
+def resolve_backend_from_stats(spec: str, stats: MatrixStats,
+                               density_threshold: float = DENSE_DENSITY_THRESHOLD,
+                               min_nodes: int = DENSE_MIN_NODES
+                               ) -> MatmulBackend:
+    """:func:`resolve_backend` with the ``"auto"`` case decided from stats."""
+    forced = _forced_backend(spec)
+    if forced is not None:
+        return forced
+    if spec == "auto":
+        return select_backend_from_stats(stats, density_threshold, min_nodes)
+    raise ValueError(
+        f"unknown matmul backend {spec!r}; expected one of {BACKEND_SPECS}")
+
+
+def _forced_backend(spec: str) -> Optional[MatmulBackend]:
+    if spec == "sparse":
+        return SPARSE_BACKEND
+    if spec == "dense":
+        return DENSE_BACKEND
+    if spec == "csr":
+        return CSR_BACKEND
+    return None

@@ -28,7 +28,7 @@ equality is exact ``==``, not tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..lint.contracts import (check_matrices_equal, check_row_stochastic,
                               check_simplex, contracts_enabled)
@@ -42,7 +42,32 @@ from .multitrust import compute_reputation_matrix
 from .user_trust import UserTrustAccumulator, UserTrustStore
 from .volume_trust import DownloadLedger, VolumeTrustAccumulator
 
-__all__ = ["TrustPipeline", "RefreshStats", "RefreshView"]
+__all__ = ["TrustPipeline", "RefreshStats", "RefreshView",
+           "combine_dimension_rows"]
+
+
+def combine_dimension_rows(dimensions: Sequence[Tuple[float, TrustMatrix]],
+                           rows: Iterable[str]
+                           ) -> Dict[str, Dict[str, float]]:
+    """Eq. 7 re-applied to exactly ``rows``: the shared row-patch arithmetic.
+
+    Per-row accumulation adds the dimensions in the order given (FM, DM,
+    UM) — the same per-entry addition sequence
+    :meth:`TrustMatrix.weighted_sum` performs in the full builder, so a
+    patched row carries the same floats.  Rows are processed in sorted
+    order; both the monolithic :class:`TrustPipeline` and the sharded
+    pipeline's serial patch path call this, and the multiprocessing worker
+    path replicates the identical float-op sequence in numpy (see
+    :mod:`~repro.core.shard_workers`).
+    """
+    updates: Dict[str, Dict[str, float]] = {}
+    for i in sorted(rows):
+        accumulator: Dict[str, float] = {}
+        for weight, matrix in dimensions:
+            for j, value in matrix.row_view(i).items():
+                accumulator[j] = accumulator.get(j, 0.0) + weight * value
+        updates[i] = accumulator
+    return updates
 
 
 @dataclass(frozen=True)
@@ -174,6 +199,21 @@ class TrustPipeline:
         """
         self._force_full = True
 
+    def dimension_matrices(self) -> Dict[str, TrustMatrix]:
+        """The current per-dimension one-step matrices, keyed by dimension.
+
+        ``{"file": FM, "volume": DM, "user": UM}``; a dimension disabled by
+        a zero weight maps to an empty matrix.  Shared accessor with the
+        sharded pipeline (which merges shard fragments here) so tests and
+        diagnostics never reach into accumulator internals.
+        """
+        empty = TrustMatrix()
+        return {
+            "file": self._file.matrix if self._file else empty,
+            "volume": self._volume.matrix if self._volume else empty,
+            "user": self._user.matrix if self._user else empty,
+        }
+
     # ------------------------------------------------------------------ #
     # Refresh                                                            #
     # ------------------------------------------------------------------ #
@@ -291,16 +331,9 @@ class TrustPipeline:
         :meth:`TrustMatrix.weighted_sum` performs in the full builder, so
         a patched row carries the same floats.
         """
-        dimensions = self._dimensions()
         check_simplex((self.config.alpha, self.config.beta, self.config.gamma),
                       name="(alpha, beta, gamma)")
-        updates: Dict[str, Dict[str, float]] = {}
-        for i in sorted(dirty_rows):
-            accumulator: Dict[str, float] = {}
-            for weight, matrix in dimensions:
-                for j, value in matrix.row_view(i).items():
-                    accumulator[j] = accumulator.get(j, 0.0) + weight * value
-            updates[i] = accumulator
+        updates = combine_dimension_rows(self._dimensions(), dirty_rows)
         self._trust = self._trust.copy_with_rows(updates)
         check_row_stochastic(self._trust, name="TM", strict=False)
 

@@ -1,0 +1,128 @@
+"""Deterministic peer-space partitioning for the sharded trust domain.
+
+The sharded pipeline (see :mod:`~repro.core.sharded_pipeline`) splits every
+row-local structure — DM/UM accumulators, FM row fragments, TM row patches —
+by the *owning* peer: row ``i`` of every matrix lives in the shard that owns
+peer ``i``.  For that split to be reproducible the assignment must be a pure
+function of the peer id and the shard count, never of process state:
+
+* the hash is ``blake2b`` over the UTF-8 id (``hashlib``, not Python's
+  ``hash()`` — the latter is salted per process by ``PYTHONHASHSEED`` and
+  would scatter peers differently in every worker);
+* two :class:`ShardMap` instances with the same ``shard_count`` agree on
+  every id, across processes, platforms and runs;
+* ``shard_count == 1`` degenerates to "everything in shard 0", which is how
+  the sharded pipeline reproduces the monolithic one bit-for-bit.
+
+:func:`shard_for_record` maps a journal record to the shard of the peer
+whose row-local state it mutates, so durability tooling can annotate and
+route WAL records without understanding each store's payload schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["ShardMap", "shard_owner", "shard_for_record"]
+
+#: Stable spelling of the assignment function, stamped into snapshot
+#: metadata so a future algorithm change is detectable, not silent.
+SHARD_HASH_ALGORITHM = "blake2b64"
+
+#: Journal record kind -> payload key naming the peer whose row-local state
+#: the record mutates.  Kinds absent here (``ledger.prune``, ``eval.*``
+#: pruning sweeps) touch many shards and have no single owner.
+_RECORD_OWNER_KEYS = {
+    "eval.retention": "user",
+    "eval.vote": "user",
+    "eval.implicit": "user",
+    "eval.play": "user",
+    "eval.remove": "user",
+    "ledger.download": "downloader",
+    "user.rate": "rater",
+    "user.friend": "user",
+    "user.blacklist": "user",
+    "user.unfriend": "user",
+    "user.unblacklist": "user",
+    "credit.record": "user",
+}
+
+
+def _stable_hash(peer_id: str) -> int:
+    """64-bit digest of the id; stable across processes and runs."""
+    digest = hashlib.blake2b(peer_id.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ShardMap:
+    """Deterministic peer-id -> shard assignment over a fixed shard count.
+
+    Assignments are memoised per instance (peers are re-looked-up on every
+    refresh), but the memo is pure cache: :meth:`shard_of` is a function of
+    ``(peer_id, shard_count)`` only.
+    """
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+        self._memo: Dict[str, int] = {}
+
+    def shard_of(self, peer_id: str) -> int:
+        """The shard owning ``peer_id`` (and its rows in every matrix)."""
+        shard = self._memo.get(peer_id)
+        if shard is None:
+            shard = (0 if self.shard_count == 1
+                     else _stable_hash(peer_id) % self.shard_count)
+            self._memo[peer_id] = shard
+        return shard
+
+    def partition(self, ids: Iterable[str]) -> Dict[int, List[str]]:
+        """Split ``ids`` by owning shard; each bucket sorted, keys sorted.
+
+        Only non-empty buckets appear, in ascending shard order — callers
+        iterate the result directly and inherit canonical shard order.
+        """
+        buckets: Dict[int, List[str]] = {}
+        for peer_id in sorted(set(ids)):
+            buckets.setdefault(self.shard_of(peer_id), []).append(peer_id)
+        return {shard: buckets[shard] for shard in sorted(buckets)}
+
+    def assignment_digest(self, ids: Iterable[str]) -> str:
+        """sha256 over the sorted ``(id, shard)`` assignment of ``ids``.
+
+        Stamped into snapshot metadata: two nodes disagree on this digest
+        iff they would route at least one peer differently.
+        """
+        digest = hashlib.sha256()
+        for peer_id in sorted(set(ids)):
+            digest.update(peer_id.encode("utf-8") + b"\x00")
+            digest.update(str(self.shard_of(peer_id)).encode("ascii"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        return f"ShardMap(shard_count={self.shard_count})"
+
+
+def shard_owner(kind: str, payload: Mapping[str, Any]) -> Optional[str]:
+    """The peer whose row-local state a journal record mutates.
+
+    ``None`` for record kinds without a single owner (``ledger.prune``
+    affects every downloader with old entries).
+    """
+    key = _RECORD_OWNER_KEYS.get(kind)
+    if key is None:
+        return None
+    owner = payload.get(key)
+    return owner if isinstance(owner, str) else None
+
+
+def shard_for_record(kind: str, payload: Mapping[str, Any],
+                     shard_map: ShardMap) -> Optional[int]:
+    """Shard index a journal record routes to, or ``None`` for global ones."""
+    owner = shard_owner(kind, payload)
+    if owner is None:
+        return None
+    return shard_map.shard_of(owner)

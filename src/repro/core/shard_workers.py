@@ -1,0 +1,225 @@
+"""Multiprocessing row patching for the sharded trust pipeline.
+
+Each refresh, the sharded pipeline has a set of per-shard patch jobs: "for
+these dirty rows, combine the shard's FM/DM/UM fragment rows with the
+Eq. 7 weights".  Jobs are independent across shards (rows are disjoint by
+construction), so :class:`ShardPatchPool` fans them out over a
+``multiprocessing`` pool.
+
+Bit-identity with the serial dict path
+(:func:`~repro.core.pipeline.combine_dimension_rows`) is an invariant, not
+a hope:
+
+* the numeric payload per row is packed as contiguous ``(column index,
+  value)`` segments — one segment per dimension, in FM/DM/UM order;
+* the worker multiplies each segment by its weight (one IEEE-754 multiply
+  per entry, same as ``weight * value`` in the dict path) and adds it into
+  a zeroed scratch vector *segment by segment* — column indices are unique
+  within a segment (dict keys), so a fancy-index ``+=`` applies exactly one
+  addition per column per dimension, in dimension order: the dict path's
+  ``acc[j] = acc.get(j, 0.0) + weight * value`` sequence, float for float;
+* gather order is deterministic: ``pool.map`` returns results in job
+  submission order, and jobs are submitted in ascending shard order with
+  rows pre-sorted.
+
+The numeric blocks travel through :mod:`multiprocessing.shared_memory`
+(one block per job: int64 column indices + float64 values); only the small
+string tables (row ids, column ids, per-segment lengths) are pickled.  A
+pool with ``workers == 1`` is never constructed — the pipeline keeps the
+serial path, byte-identical by sharing the dict arithmetic outright.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import TrustMatrix
+
+__all__ = ["ShardPatchJob", "ShardPatchPool"]
+
+#: One patch job: (shard index, sorted dirty rows, Eq. 7 (weight, matrix)
+#: dimension pairs for that shard's fragments).
+ShardPatchJob = Tuple[int, List[str], Sequence[Tuple[float, TrustMatrix]]]
+
+#: Pickled per-job arguments handed to the worker: shared-memory block name
+#: (``None`` when the job has no entries), entry count, per-(row, dim)
+#: segment lengths, dimension weights, and the column id table.
+_WorkerArgs = Tuple[Optional[str], int, List[int], List[float], List[str]]
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned block without adopting its lifetime.
+
+    Attaching normally registers the segment with the (shared, forked)
+    resource tracker a second time; the parent's unlink then leaves that
+    duplicate registration dangling and the tracker reports phantom leaks
+    at shutdown.  The parent owns creation and unlink outright, so the
+    worker attaches untracked: via ``track=False`` where the runtime
+    supports it (3.13+), by suppressing the register call otherwise.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _patch_worker(args: _WorkerArgs) -> List[Dict[str, float]]:
+    """Combine one job's packed rows; returns row dicts in packed order."""
+    shm_name, total, seg_lengths, weights, col_ids = args
+    n_dims = len(weights)
+    if shm_name is None:
+        idx = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+        shm = None
+    else:
+        shm = _attach_block(shm_name)
+        idx = np.ndarray((total,), dtype=np.int64, buffer=shm.buf)
+        values = np.ndarray((total,), dtype=np.float64, buffer=shm.buf,
+                            offset=8 * total)
+    try:
+        scratch = np.zeros(len(col_ids), dtype=np.float64)
+        results: List[Dict[str, float]] = []
+        position = 0
+        cursor = 0
+        n_rows = len(seg_lengths) // n_dims if n_dims else 0
+        for _ in range(n_rows):
+            row_start = position
+            for dim in range(n_dims):
+                length = seg_lengths[cursor]
+                cursor += 1
+                if not length:
+                    continue
+                segment = idx[position:position + length]
+                # Unique indices within a segment (dict keys): one addition
+                # per column per dimension, in dimension order — the dict
+                # path's accumulation sequence exactly.
+                scratch[segment] += weights[dim] * values[position:position + length]
+                position += length
+            touched = np.unique(idx[row_start:position])
+            row_values = scratch[touched].tolist()
+            results.append({col_ids[t]: value for t, value
+                            in zip(touched.tolist(), row_values)})
+            scratch[touched] = 0.0
+        return results
+    finally:
+        if shm is not None:
+            del idx, values
+            shm.close()
+
+
+class _PackedJob:
+    """Parent-side packed form of one :data:`ShardPatchJob`."""
+
+    __slots__ = ("row_ids", "shm", "args")
+
+    def __init__(self, job: ShardPatchJob):
+        _shard, rows, dimensions = job
+        self.row_ids = rows
+        col_index: Dict[str, int] = {}
+        col_ids: List[str] = []
+        seg_lengths: List[int] = []
+        idx_parts: List[int] = []
+        val_parts: List[float] = []
+        for i in rows:
+            for _weight, matrix in dimensions:
+                row = matrix.row_view(i)
+                seg_lengths.append(len(row))
+                for j, value in row.items():
+                    position = col_index.get(j)
+                    if position is None:
+                        position = len(col_ids)
+                        col_index[j] = position
+                        col_ids.append(j)
+                    idx_parts.append(position)
+                    val_parts.append(value)
+        total = len(idx_parts)
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        shm_name: Optional[str] = None
+        if total:
+            self.shm = shared_memory.SharedMemory(create=True,
+                                                  size=16 * total)
+            idx = np.ndarray((total,), dtype=np.int64, buffer=self.shm.buf)
+            values = np.ndarray((total,), dtype=np.float64,
+                                buffer=self.shm.buf, offset=8 * total)
+            idx[:] = idx_parts
+            values[:] = val_parts
+            del idx, values
+            shm_name = self.shm.name
+        weights = [weight for weight, _matrix in dimensions]
+        self.args: _WorkerArgs = (shm_name, total, seg_lengths, weights,
+                                  col_ids)
+
+    def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            self.shm.unlink()
+            self.shm = None
+
+
+def _pool_context() -> "multiprocessing.context.BaseContext":
+    """Fork where available (cheap, inherits numpy pages), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ShardPatchPool:
+    """Lazy worker pool applying shard patch jobs with deterministic gather.
+
+    The pool is created on first use and reused across refreshes; callers
+    own the lifecycle (:meth:`close`).  Job results come back in submission
+    order — ascending shard index — so the merge the pipeline performs over
+    them is canonical regardless of worker scheduling.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(
+                f"ShardPatchPool needs >= 2 workers, got {workers}; "
+                "workers == 1 is the pipeline's serial path")
+        self.workers = workers
+        self._pool: Optional["multiprocessing.pool.Pool"] = None
+
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.workers)
+        return self._pool
+
+    def gather_patches(self, jobs: Sequence[ShardPatchJob]
+                       ) -> List[Dict[str, Dict[str, float]]]:
+        """Run every job; one ``{row: new row}`` mapping per job, in order."""
+        if not jobs:
+            return []
+        packed = [_PackedJob(job) for job in jobs]
+        try:
+            worker_rows = self._ensure_pool().map(
+                _patch_worker, [job.args for job in packed])
+        finally:
+            for job in packed:
+                job.release()
+        return [dict(zip(job.row_ids, rows))
+                for job, rows in zip(packed, worker_rows)]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: S110 - interpreter teardown is best-effort
+            pass

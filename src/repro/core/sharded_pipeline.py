@@ -1,0 +1,588 @@
+"""The sharded trust domain: per-shard stores, boundary exchange, row patching.
+
+:class:`ShardedTrustPipeline` is the :class:`~repro.core.pipeline
+.TrustPipeline` refactored over a partition of the peer space (see
+:class:`~repro.core.shard.ShardMap`): every row-local structure — DM/UM
+accumulator rows, FM row fragments, TM row patches — lives in the shard
+owning that row's peer, and a refresh touches only the shards incident to
+the dirt it consumes.
+
+The one structure that cannot be partitioned row-locally is file-based
+trust: an FM edge couples a *pair* of users through the files both
+evaluated, and the pair may straddle shards.  :class:`_FileTrustExchange`
+is the cross-shard boundary exchange that reconciles those edges — it owns
+the pair-term state globally (the same invertible delta engine as
+:class:`~repro.core.file_trust.FileTrustAccumulator`, arithmetic step for
+arithmetic step) and routes each re-normalised row to the fragment of the
+shard owning it.  Because retraction, re-contribution and re-finalisation
+run in the identical canonical order (sorted files, sorted pairs) and row
+normalisation is order-independent fsum, the union of the shard fragments
+is bit-identical to the monolithic accumulator's matrix.
+
+Backend choice never scans the matrix: a :class:`~repro.core
+.matrix_backend.MatrixStats` ledger folds every row patch into O(row)
+counter updates, and ``"auto"`` resolves from the counters — the same
+integers and quotient the monolith's O(entries) scan would produce, so the
+*decision* is identical while the per-refresh cost drops from O(entries)
+to O(dirty).
+
+Row patching parallelises across shards through
+:class:`~repro.core.shard_workers.ShardPatchPool` when
+``config.shard_workers > 1``; patches gather in ascending shard order and
+rows are disjoint across shards, so the merge is canonical and the result
+byte-identical to the serial path.  With ``shards == 1`` and
+``shard_workers == 1`` every loop degenerates to the monolithic pipeline's
+exact traversal — the bit-identity bar of ``REPRO_CHECK_INVARIANTS``
+(incremental == full rebuild, exactly) holds unchanged and is enforced the
+same way.
+"""
+
+from __future__ import annotations
+
+from math import fsum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lint.contracts import (ContractViolation, check_matrices_equal,
+                              check_row_stochastic, check_simplex,
+                              contracts_enabled)
+from ..obs.recorder import NULL_RECORDER, NullRecorder
+from .config import DEFAULT_CONFIG, ReputationConfig
+from .evaluation import EvaluationStore
+from .matrix import TrustMatrix
+from .matrix_backend import (MatmulBackend, MatrixStats, resolve_backend,
+                             resolve_backend_from_stats)
+from .multitrust import compute_reputation_matrix
+from .pipeline import RefreshStats, RefreshView, combine_dimension_rows
+from .shard import ShardMap
+from .shard_workers import ShardPatchJob, ShardPatchPool
+from .user_trust import UserTrustAccumulator, UserTrustStore
+from .volume_trust import DownloadLedger, VolumeTrustAccumulator
+
+__all__ = ["ShardedTrustPipeline"]
+
+
+class _FileTrustExchange:
+    """Cross-shard boundary exchange for file-based trust (Eqs. 2-3).
+
+    Pair terms are global — an edge's two endpoints may live in different
+    shards — but every *row* of the normalised FM belongs to exactly one
+    shard, so the exchange keeps one fragment matrix per shard and
+    re-normalises a touched row into its owner's fragment.
+
+    Bit-identity with :class:`~repro.core.file_trust.FileTrustAccumulator`
+    is structural: term retraction/contribution walks files in sorted
+    order, re-finalisation walks changed pairs in sorted order with the
+    same left-to-right sorted-file term sum and the same ``value changed``
+    gate, and row normalisation shares the order-independent fsum.  Only
+    the *destination* of a normalised row differs (a shard fragment instead
+    of one matrix), and fragments never overlap.
+    """
+
+    def __init__(self, config: ReputationConfig, shard_map: ShardMap):
+        from .distances import PAIRWISE_ACCUMULATORS
+
+        self._config = config
+        self._shard_map = shard_map
+        self._term, self._finalize = PAIRWISE_ACCUMULATORS[config.distance_metric]
+        #: pair -> {file_id: Eq. 2 term} for every file both users evaluated.
+        self._pair_terms: Dict[Tuple[str, str], Dict[str, float]] = {}
+        #: file_id -> pairs currently holding a term from this file.
+        self._file_pairs: Dict[str, Set[Tuple[str, str]]] = {}
+        #: Un-normalised symmetric FT matrix (Eq. 2 finalised values);
+        #: global, because edges straddle shards.
+        self._raw = TrustMatrix()
+        #: shard -> row-normalised FM fragment holding that shard's rows.
+        self._fragments: Dict[int, TrustMatrix] = {}
+
+    def fragment(self, shard: int) -> TrustMatrix:
+        """The FM fragment owned by ``shard`` (created empty on demand)."""
+        fragment = self._fragments.get(shard)
+        if fragment is None:
+            fragment = TrustMatrix()
+            self._fragments[shard] = fragment
+        return fragment
+
+    def merged(self) -> TrustMatrix:
+        """All fragments as one matrix (rows are disjoint across shards)."""
+        merged = TrustMatrix()
+        for shard in sorted(self._fragments):
+            for i, row in self._fragments[shard].iter_row_views():
+                merged.replace_row(i, row)
+        return merged
+
+    def update_terms(self, store: EvaluationStore,
+                     dirty_files: Set[str]) -> Tuple[Set[str], int]:
+        """Retract + re-derive + re-finalise downstream of ``dirty_files``.
+
+        Returns the users whose raw FT row changed (their FM rows need
+        re-normalising) and the number of *cross-shard* edges reconciled —
+        changed pairs whose endpoints live in different shards.
+        """
+        changed_pairs: Set[Tuple[str, str]] = set()
+        for file_id in sorted(set(dirty_files)):
+            # Retract the file's previous contribution...
+            for pair in self._file_pairs.pop(file_id, ()):
+                terms = self._pair_terms[pair]
+                del terms[file_id]
+                if not terms:
+                    del self._pair_terms[pair]
+                changed_pairs.add(pair)
+            # ...then contribute its current evaluator set.
+            evaluators = sorted(store.users_evaluating(file_id))
+            if len(evaluators) < 2:
+                continue
+            values = {u: store.value(u, file_id) for u in evaluators}
+            pairs: Set[Tuple[str, str]] = set()
+            for index, a in enumerate(evaluators):
+                value_a = values[a]
+                for b in evaluators[index + 1:]:
+                    pair = (a, b)
+                    self._pair_terms.setdefault(pair, {})[file_id] = (
+                        self._term(value_a, values[b]))
+                    pairs.add(pair)
+                    changed_pairs.add(pair)
+            self._file_pairs[file_id] = pairs
+
+        touched: Set[str] = set()
+        cross_edges = 0
+        for pair in sorted(changed_pairs):
+            a, b = pair
+            trust = 0.0
+            terms = self._pair_terms.get(pair)
+            if terms is not None and len(terms) >= self._config.min_overlap:
+                # Left-to-right over sorted files: the exact accumulation
+                # sequence of the full builder's per-pair running total.
+                total = 0.0
+                for term_file in sorted(terms):
+                    total += terms[term_file]
+                trust = self._finalize(total, len(terms))
+            value = trust if trust > 0.0 else 0.0
+            if value != self._raw.get(a, b):
+                self._raw.set(a, b, value)
+                self._raw.set(b, a, value)
+                touched.add(a)
+                touched.add(b)
+                if (self._shard_map.shard_of(a)
+                        != self._shard_map.shard_of(b)):
+                    cross_edges += 1
+        return touched, cross_edges
+
+    def normalize_shard(self, shard: int, users: Sequence[str]) -> None:
+        """Eq. 3 for ``users`` (all owned by ``shard``), into its fragment."""
+        fragment = self.fragment(shard)
+        for user in users:
+            raw_row = self._raw.row_view(user)
+            total = fsum(raw_row.values())
+            if total > 0:
+                fragment.replace_row(
+                    user, {j: value / total for j, value in raw_row.items()})
+            else:
+                fragment.replace_row(user, {})
+        check_row_stochastic(fragment, name=f"FM[shard={shard}]")
+
+    def reset(self) -> Set[str]:
+        """Forget everything; returns the rows the old fragments held."""
+        stale: Set[str] = set()
+        for shard in sorted(self._fragments):
+            stale.update(self._fragments[shard].row_ids())
+        self._pair_terms = {}
+        self._file_pairs = {}
+        self._raw = TrustMatrix()
+        self._fragments = {}
+        return stale
+
+
+class _ShardState:
+    """Row-local accumulators owned by one shard (DM/UM dimensions)."""
+
+    __slots__ = ("volume", "user")
+
+    def __init__(self, config: ReputationConfig):
+        self.volume: Optional[VolumeTrustAccumulator] = (
+            VolumeTrustAccumulator(config) if config.beta > 0 else None)
+        self.user: Optional[UserTrustAccumulator] = (
+            UserTrustAccumulator() if config.gamma > 0 else None)
+
+
+class ShardedTrustPipeline:
+    """The incremental pipeline partitioned over a deterministic shard map.
+
+    Public API mirrors :class:`~repro.core.pipeline.TrustPipeline` —
+    ``trust``/``reputation``/``view``/``refresh``/``checksums``/
+    ``reputation_at``/``has_dirty``/``invalidate``/``version``/
+    ``last_stats``/``dimension_matrices`` — so the façade switches between
+    the two purely on ``config.shards``.  Additionally :meth:`close`
+    releases the worker pool (a no-op with ``shard_workers == 1``).
+    """
+
+    def __init__(self, evaluations: EvaluationStore, ledger: DownloadLedger,
+                 user_trust: UserTrustStore,
+                 config: ReputationConfig = DEFAULT_CONFIG,
+                 recorder: NullRecorder = NULL_RECORDER):
+        self.config = config
+        self.recorder = recorder
+        self.evaluations = evaluations
+        self.ledger = ledger
+        self.user_trust = user_trust
+        self.shard_map = ShardMap(config.shards)
+        self._exchange: Optional[_FileTrustExchange] = (
+            _FileTrustExchange(config, self.shard_map)
+            if config.alpha > 0 else None)
+        self._states: Dict[int, _ShardState] = {}
+        self._pool: Optional[ShardPatchPool] = (
+            ShardPatchPool(config.shard_workers)
+            if config.shard_workers > 1 else None)
+        self._trust = TrustMatrix()
+        self._reputation = TrustMatrix()
+        #: Incrementally maintained TM counters driving "auto" backend
+        #: choice without per-refresh matrix scans.
+        self._stats = MatrixStats()
+        self._power_cache: Dict[int, TrustMatrix] = {}
+        self._initialized = False
+        self._force_full = False
+        self.version = 0
+        self.last_stats: Optional[RefreshStats] = None
+
+    # ------------------------------------------------------------------ #
+    # Published state                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trust(self) -> TrustMatrix:
+        """The most recently published integrated ``TM`` (Eq. 7)."""
+        return self._trust
+
+    @property
+    def reputation(self) -> TrustMatrix:
+        """The most recently published ``RM = TM^n`` (Eq. 8)."""
+        return self._reputation
+
+    def view(self) -> RefreshView:
+        """Zero-copy view of the current published pair (no refresh)."""
+        return RefreshView(trust=self._trust, reputation=self._reputation)
+
+    @property
+    def has_dirty(self) -> bool:
+        """Whether any store holds unconsumed deltas."""
+        return (not self._initialized or self._force_full
+                or self.evaluations.has_dirty or self.ledger.has_dirty
+                or self.user_trust.has_dirty)
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`refresh` to rebuild every shard."""
+        self._force_full = True
+
+    def dimension_matrices(self) -> Dict[str, TrustMatrix]:
+        """Per-dimension one-step matrices, shard fragments merged.
+
+        Same shape as the monolith's accessor; rows are disjoint across
+        shards so the merge is exact, not approximate.
+        """
+        empty = TrustMatrix()
+        return {
+            "file": self._exchange.merged() if self._exchange else empty,
+            "volume": self._merged_dimension("volume"),
+            "user": self._merged_dimension("user"),
+        }
+
+    def close(self) -> None:
+        """Release the patch worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    # ------------------------------------------------------------------ #
+    # Refresh                                                            #
+    # ------------------------------------------------------------------ #
+
+    def refresh(self, force_full: bool = False) -> RefreshView:
+        """Consume all accumulated deltas and publish fresh ``TM``/``RM``.
+
+        Same contract as the monolith: no dirt means the current matrices
+        return *by identity*; otherwise both republish copy-on-write.
+        """
+        dirty_files = self.evaluations.dirty_files()
+        # A user's DM row re-weights when their evaluations move (Eq. 4
+        # weighs downloaded bytes by the downloader's own evaluations).
+        dirty_downloaders = (self.ledger.dirty_downloaders()
+                             | self.evaluations.dirty_users())
+        dirty_raters = self.user_trust.dirty_raters()
+        full = force_full or self._force_full or not self._initialized
+        if not (full or dirty_files or dirty_downloaders or dirty_raters):
+            self.recorder.inc("pipeline.noop_refreshes")
+            return self.view()
+
+        with self.recorder.span("pipeline.refresh") as span:
+            file_rows: Set[str] = set()
+            file_touched: Set[str] = set()
+            cross_edges = 0
+            stale_volume: Set[str] = set()
+            stale_user: Set[str] = set()
+            if full:
+                volume_dirty = ({downloader for downloader, _
+                                 in self.ledger.pairs()}
+                                if self._has_volume else set())
+                user_dirty = (self.user_trust.raters()
+                              if self._has_user else set())
+                stale_volume, stale_user = self._reset_shard_states()
+            else:
+                volume_dirty = dirty_downloaders if self._has_volume else set()
+                user_dirty = dirty_raters if self._has_user else set()
+
+            if self._exchange is not None:
+                with self.recorder.span("pipeline.shard_exchange") as exchange_span:
+                    if full:
+                        stale_file = self._exchange.reset()
+                        file_touched, cross_edges = self._exchange.update_terms(
+                            self.evaluations, self.evaluations.files())
+                        file_rows = file_touched | stale_file
+                    else:
+                        file_touched, cross_edges = self._exchange.update_terms(
+                            self.evaluations, dirty_files)
+                        file_rows = set(file_touched)
+                    exchange_span.count("cross_shard_edges", cross_edges)
+
+            file_partition = self.shard_map.partition(file_touched)
+            volume_partition = self.shard_map.partition(volume_dirty)
+            user_partition = self.shard_map.partition(user_dirty)
+            incident = sorted(set(file_partition) | set(volume_partition)
+                              | set(user_partition))
+            volume_rows: Set[str] = set(stale_volume)
+            user_rows: Set[str] = set(stale_user)
+            for shard in incident:
+                with self.recorder.span("pipeline.shard_refresh",
+                                        shard=shard) as shard_span:
+                    rows_before = len(volume_rows) + len(user_rows)
+                    if self._exchange is not None and shard in file_partition:
+                        self._exchange.normalize_shard(
+                            shard, file_partition[shard])
+                    state = self._state(shard)
+                    if state.volume is not None and shard in volume_partition:
+                        volume_rows |= state.volume.refresh(
+                            self.ledger, self.evaluations,
+                            volume_partition[shard])
+                    if state.user is not None and shard in user_partition:
+                        user_rows |= state.user.refresh(
+                            self.user_trust, user_partition[shard])
+                    shard_span.count(
+                        "rows_refreshed",
+                        len(volume_rows) + len(user_rows) - rows_before
+                        + len(file_partition.get(shard, ())))
+
+            dirty_rows = file_rows | volume_rows | user_rows
+            row_partition = self._publish_trust(dirty_rows)
+            backend = resolve_backend_from_stats(self.config.matmul_backend,
+                                                 self._stats)
+            self._publish_reputation(backend)
+            span.count("rows_rebuilt", len(dirty_rows))
+            span.count("dirty_files", len(dirty_files))
+            span.count("shards_touched", len(incident))
+            span.count("cross_shard_edges", cross_edges)
+
+        self.evaluations.clear_dirty()
+        self.ledger.clear_dirty()
+        self.user_trust.clear_dirty()
+        self._power_cache.clear()
+        self._power_cache[self.config.multitrust_steps] = self._reputation
+        self._force_full = False
+        self._initialized = True
+        self.version += 1
+
+        stats = RefreshStats(
+            mode="full" if full else "incremental",
+            backend=backend.name,
+            dirty_files=len(dirty_files),
+            dirty_rows_file=len(file_rows),
+            dirty_rows_volume=len(volume_rows),
+            dirty_rows_user=len(user_rows),
+            rows_rebuilt=len(dirty_rows),
+            total_rows=len(self._trust.row_ids()),
+        )
+        self.last_stats = stats
+        self._record(stats, len(incident), cross_edges, row_partition)
+        if contracts_enabled():
+            self._verify_stats()
+            if not full:
+                self._verify_against_full_rebuild()
+        return self.view()
+
+    def checksums(self) -> Dict[str, str]:
+        """Bit-exact digests of the published ``TM``/``RM`` pair."""
+        return {"trust": self._trust.checksum(),
+                "reputation": self._reputation.checksum()}
+
+    def reputation_at(self, steps: int) -> TrustMatrix:
+        """``TM^steps`` for a step override, cached until the next refresh."""
+        cached = self._power_cache.get(steps)
+        if cached is None:
+            backend = resolve_backend_from_stats(self.config.matmul_backend,
+                                                 self._stats)
+            cached = compute_reputation_matrix(
+                self._trust, steps, self.config, recorder=self.recorder,
+                backend=backend)
+            self._power_cache[steps] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _has_volume(self) -> bool:
+        return self.config.beta > 0
+
+    @property
+    def _has_user(self) -> bool:
+        return self.config.gamma > 0
+
+    def _state(self, shard: int) -> _ShardState:
+        state = self._states.get(shard)
+        if state is None:
+            state = _ShardState(self.config)
+            self._states[shard] = state
+        return state
+
+    def _reset_shard_states(self) -> Tuple[Set[str], Set[str]]:
+        """Full-rebuild prep: forget DM/UM rows; returns the stale row sets.
+
+        Mirrors each accumulator's ``rebuild`` recipe — remember the rows
+        the old matrices held (their TM rows must re-patch even if no new
+        input names them), then start from empty matrices.
+        """
+        stale_volume: Set[str] = set()
+        stale_user: Set[str] = set()
+        for shard in sorted(self._states):
+            state = self._states[shard]
+            if state.volume is not None:
+                stale_volume.update(state.volume.matrix.row_ids())
+                state.volume.matrix = TrustMatrix()
+                state.volume.last_dirty_rows = set()
+            if state.user is not None:
+                stale_user.update(state.user.matrix.row_ids())
+                state.user.matrix = TrustMatrix()
+                state.user.last_dirty_rows = set()
+        return stale_volume, stale_user
+
+    def _shard_dimensions(self, shard: int
+                          ) -> List[Tuple[float, TrustMatrix]]:
+        """Active (weight, fragment) pairs for ``shard``, in Eq. 7 order."""
+        dimensions: List[Tuple[float, TrustMatrix]] = []
+        if self._exchange is not None:
+            dimensions.append((self.config.alpha,
+                               self._exchange.fragment(shard)))
+        state = self._state(shard)
+        if state.volume is not None:
+            dimensions.append((self.config.beta, state.volume.matrix))
+        if state.user is not None:
+            dimensions.append((self.config.gamma, state.user.matrix))
+        return dimensions
+
+    def _merged_dimension(self, name: str) -> TrustMatrix:
+        """Union of one row-local dimension's shard matrices (disjoint rows)."""
+        merged = TrustMatrix()
+        for shard in sorted(self._states):
+            state = self._states[shard]
+            accumulator = state.volume if name == "volume" else state.user
+            if accumulator is None:
+                continue
+            for i, row in accumulator.matrix.iter_row_views():
+                merged.replace_row(i, row)
+        return merged
+
+    def _publish_trust(self, dirty_rows: Set[str]) -> Dict[int, List[str]]:
+        """Eq. 7 re-applied per shard to exactly ``dirty_rows``.
+
+        Shards patch independently (a TM row reads only its owner shard's
+        fragments) — serially through the shared
+        :func:`~repro.core.pipeline.combine_dimension_rows` arithmetic, or
+        through the worker pool, which replicates the identical float-op
+        sequence (see :mod:`~repro.core.shard_workers`).  Patches merge in
+        ascending shard order over disjoint row sets, then fold into the
+        :class:`MatrixStats` ledger before the copy-on-write publish.
+        """
+        check_simplex((self.config.alpha, self.config.beta, self.config.gamma),
+                      name="(alpha, beta, gamma)")
+        row_partition = self.shard_map.partition(dirty_rows)
+        jobs: List[ShardPatchJob] = [
+            (shard, rows, self._shard_dimensions(shard))
+            for shard, rows in row_partition.items()]
+        if self._pool is not None and jobs:
+            patches = self._pool.gather_patches(jobs)
+        else:
+            patches = [combine_dimension_rows(dimensions, rows)
+                       for _shard, rows, dimensions in jobs]
+        updates: Dict[str, Dict[str, float]] = {}
+        for patch in patches:
+            updates.update(patch)
+        for i in sorted(updates):
+            stored = {j: value for j, value in updates[i].items()
+                      if value > 0.0}
+            self._stats.replace_row(i, self._trust.row_view(i), stored)
+        self._trust = self._trust.copy_with_rows(updates)
+        check_row_stochastic(self._trust, name="TM", strict=False)
+        return row_partition
+
+    def _publish_reputation(self, backend: MatmulBackend) -> None:
+        steps = self.config.multitrust_steps
+        if steps == 1 and not self.recorder.enabled:
+            # power(1) is the identity operation; RM *is* the patched TM.
+            self._reputation = self._trust
+            return
+        self._reputation = compute_reputation_matrix(
+            self._trust, None, self.config, recorder=self.recorder,
+            backend=backend)
+
+    def _verify_stats(self) -> None:
+        """Contracts-gated: the stats ledger matches an O(entries) rescan."""
+        scan = MatrixStats.of(self._trust)
+        tracked = (self._stats.nodes, self._stats.entries,
+                   self._stats.diagonal, self._stats.rows)
+        scanned = (scan.nodes, scan.entries, scan.diagonal, scan.rows)
+        if tracked != scanned:
+            raise ContractViolation(
+                "MatrixStats drifted from TM: tracked "
+                f"(nodes, entries, diagonal, rows) = {tracked}, "
+                f"rescan = {scanned}")
+
+    def _verify_against_full_rebuild(self) -> None:
+        """Contracts-gated hard bar: patched state == full rebuild, exactly."""
+        from .integration import build_one_step_matrix
+
+        full_trust = build_one_step_matrix(
+            self.evaluations, self.ledger, self.user_trust, self.config)
+        check_matrices_equal(self._trust, full_trust, name="TM(sharded)")
+        # Same backend family as the incremental path: backends agree only
+        # to tolerance and the bar here is exact equality.
+        full_reputation = compute_reputation_matrix(
+            full_trust, None, self.config,
+            backend=resolve_backend(self.config.matmul_backend, full_trust))
+        check_matrices_equal(self._reputation, full_reputation,
+                             name="RM(sharded)")
+
+    def _record(self, stats: RefreshStats, shards_touched: int,
+                cross_edges: int,
+                row_partition: Dict[int, List[str]]) -> None:
+        recorder = self.recorder
+        if not recorder.enabled:
+            return
+        recorder.event("pipeline_refresh", mode=stats.mode,
+                       backend=stats.backend, dirty_files=stats.dirty_files,
+                       dirty_rows_file=stats.dirty_rows_file,
+                       dirty_rows_volume=stats.dirty_rows_volume,
+                       dirty_rows_user=stats.dirty_rows_user,
+                       rows_rebuilt=stats.rows_rebuilt,
+                       total_rows=stats.total_rows,
+                       rebuild_ratio=stats.rebuild_ratio,
+                       shards=self.shard_map.shard_count,
+                       shards_touched=shards_touched,
+                       cross_shard_edges=cross_edges)
+        recorder.inc("pipeline.refreshes")
+        if stats.mode == "full":
+            recorder.inc("pipeline.full_rebuilds")
+        recorder.observe("pipeline.rows_rebuilt", stats.rows_rebuilt)
+        recorder.observe("pipeline.rebuild_ratio", stats.rebuild_ratio)
+        recorder.gauge("pipeline.total_rows", stats.total_rows)
+        recorder.observe("pipeline.shards_touched", shards_touched)
+        recorder.inc("pipeline.cross_shard_edges", cross_edges)
+        for shard, rows in row_partition.items():
+            recorder.observe("pipeline.shard_rows_rebuilt", len(rows),
+                             shard=str(shard))

@@ -121,13 +121,33 @@ class TestOtherKnobs:
         assert ReputationConfig().matmul_backend == "auto"
 
     def test_known_matmul_backends_accepted(self):
-        for spec in ("auto", "sparse", "dense"):
+        for spec in ("auto", "sparse", "dense", "csr"):
             assert ReputationConfig(matmul_backend=spec).matmul_backend \
                 == spec
 
     def test_unknown_matmul_backend_rejected(self):
         with pytest.raises(ConfigError, match="matmul_backend"):
             ReputationConfig(matmul_backend="blas")
+
+
+class TestShardingKnobs:
+    def test_defaults_are_monolithic(self):
+        # shards == 1 selects the monolithic TrustPipeline and
+        # shard_workers == 1 keeps row patching serial and in-process.
+        assert DEFAULT_CONFIG.shards == 1
+        assert DEFAULT_CONFIG.shard_workers == 1
+
+    def test_sharded_configs_accepted(self):
+        config = ReputationConfig(shards=8, shard_workers=4)
+        assert (config.shards, config.shard_workers) == (8, 4)
+
+    def test_shards_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="shards"):
+            ReputationConfig(shards=0)
+
+    def test_shard_workers_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="shard_workers"):
+            ReputationConfig(shard_workers=-2)
 
 
 class TestReplace:

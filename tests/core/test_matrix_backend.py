@@ -3,10 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import (DENSE_BACKEND, SPARSE_BACKEND, DenseNumpyBackend,
-                        SparseDictBackend, TrustMatrix, resolve_backend,
-                        select_backend)
-from repro.core.matrix_backend import DENSE_MIN_NODES
+import repro.core.matrix_backend as mb
+from repro.core import (CSR_BACKEND, DENSE_BACKEND, SPARSE_BACKEND,
+                        CsrBackend, DenseNumpyBackend, SparseDictBackend,
+                        TrustMatrix, resolve_backend, select_backend)
+from repro.core.matrix_backend import (CSR_MIN_NODES,
+                                       DENSE_DENSITY_THRESHOLD,
+                                       DENSE_MIN_NODES, MatrixStats,
+                                       resolve_backend_from_stats,
+                                       select_backend_from_stats)
 
 
 def _random_stochastic(nodes: int, per_row: int, seed: int = 3) -> TrustMatrix:
@@ -21,6 +26,27 @@ def _random_stochastic(nodes: int, per_row: int, seed: int = 3) -> TrustMatrix:
         total = sum(raw.values())
         for j, value in raw.items():
             matrix.set(i, j, value / total)
+    return matrix
+
+
+def _matrix_with_entries(nodes: int, entries: int) -> TrustMatrix:
+    """Exactly ``entries`` off-diagonal entries over exactly ``nodes`` ids.
+
+    Fills ring offsets (i, i+shift) so every id appears from the first
+    shift onward, and the off-diagonal count is *precise* — the boundary
+    tests need density to land exactly on the crossover quotient.
+    """
+    assert nodes >= 2 and entries >= nodes
+    assert entries <= nodes * (nodes - 1)
+    ids = [f"n{i:03d}" for i in range(nodes)]
+    matrix = TrustMatrix()
+    placed = 0
+    for shift in range(1, nodes):
+        for a in range(nodes):
+            if placed == entries:
+                return matrix
+            matrix.set(ids[a], ids[(a + shift) % nodes], 0.5)
+            placed += 1
     return matrix
 
 
@@ -106,3 +132,179 @@ class TestSelection:
     def test_backend_names(self):
         assert SparseDictBackend().name == "sparse"
         assert DenseNumpyBackend().name == "dense"
+        assert CsrBackend().name == "csr"
+
+
+class TestCsrBackend:
+    def test_matmul_agrees_with_sparse(self):
+        left = _random_stochastic(24, 6, seed=5)
+        right = _random_stochastic(24, 6, seed=6)
+        sparse = SPARSE_BACKEND.matmul(left, right)
+        csr = CSR_BACKEND.matmul(left, right)
+        ids = sorted(set(sparse.node_ids()) | set(csr.node_ids()))
+        for i in ids:
+            for j in ids:
+                assert csr.get(i, j) == pytest.approx(
+                    sparse.get(i, j), abs=1e-12)
+
+    @pytest.mark.parametrize("steps", [2, 3, 5])
+    def test_power_agrees_with_sparse(self, steps):
+        matrix = _random_stochastic(18, 8, seed=7)
+        sparse = SPARSE_BACKEND.power(matrix, steps)
+        csr = CSR_BACKEND.power(matrix, steps)
+        for i in matrix.node_ids():
+            for j in matrix.node_ids():
+                assert csr.get(i, j) == pytest.approx(
+                    sparse.get(i, j), abs=1e-12)
+
+    def test_power_one_returns_same_object(self):
+        matrix = _random_stochastic(8, 3)
+        assert CSR_BACKEND.power(matrix, 1) is matrix
+
+    def test_power_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CSR_BACKEND.power(TrustMatrix(), 0)
+
+    def test_empty_matrix(self):
+        assert CSR_BACKEND.power(TrustMatrix(), 2) == TrustMatrix()
+        assert CSR_BACKEND.matmul(TrustMatrix(),
+                                  TrustMatrix()) == TrustMatrix()
+
+    def test_invalid_block_rows_rejected(self):
+        with pytest.raises(ValueError):
+            CsrBackend(block_rows=0)
+
+    def test_blocked_numpy_fallback_agrees(self, monkeypatch):
+        # Simulate a scipy-less environment: the backend must degrade to
+        # the blocked-numpy product, not fail — and still agree with the
+        # canonical sparse result.  block_rows=4 forces several blocks.
+        monkeypatch.setattr(mb, "_scipy_sparse", lambda: None)
+        backend = CsrBackend(block_rows=4)
+        assert backend.flavor == "blocked-numpy"
+        matrix = _random_stochastic(19, 7, seed=8)
+        expected = SPARSE_BACKEND.power(matrix, 3)
+        result = backend.power(matrix, 3)
+        for i in matrix.node_ids():
+            for j in matrix.node_ids():
+                assert result.get(i, j) == pytest.approx(
+                    expected.get(i, j), abs=1e-12)
+
+    def test_flavor_reports_scipy_when_available(self):
+        expected = "scipy" if mb._scipy_sparse() is not None \
+            else "blocked-numpy"
+        assert CSR_BACKEND.flavor == expected
+
+    def test_resolve_forced_csr(self):
+        assert resolve_backend("csr", TrustMatrix()) is CSR_BACKEND
+
+
+class TestSelectionBoundaries:
+    """The density × size heuristic at its exact crossover points."""
+
+    def test_zero_node_matrix_stays_sparse(self):
+        assert select_backend(TrustMatrix()) is SPARSE_BACKEND
+
+    def test_one_node_matrix_stays_sparse(self):
+        matrix = TrustMatrix()
+        matrix.set("solo", "solo", 1.0)
+        assert select_backend(matrix) is SPARSE_BACKEND
+
+    def test_density_exactly_at_threshold_selects_dense(self):
+        # 41 nodes: 0.3 * 41 * 40 = 492 entries exactly — the quotient
+        # lands on the threshold and the comparison is >=, so dense.
+        matrix = _matrix_with_entries(41, 492)
+        assert matrix.density(matrix.node_ids()) == DENSE_DENSITY_THRESHOLD
+        assert select_backend(matrix) is DENSE_BACKEND
+
+    def test_density_one_entry_below_threshold(self):
+        matrix = _matrix_with_entries(41, 491)
+        assert matrix.density(matrix.node_ids()) < DENSE_DENSITY_THRESHOLD
+        # 32 <= 41 < 256 and sparse: the middle regime stays dict-based.
+        assert select_backend(matrix) is SPARSE_BACKEND
+
+    def test_min_nodes_edge(self):
+        # Same (high) density on both sides of DENSE_MIN_NODES: one node
+        # fewer flips dense -> sparse.
+        below = _matrix_with_entries(DENSE_MIN_NODES - 1,
+                                     (DENSE_MIN_NODES - 1) * 10)
+        at = _matrix_with_entries(DENSE_MIN_NODES, DENSE_MIN_NODES * 10)
+        assert below.density(below.node_ids()) >= DENSE_DENSITY_THRESHOLD
+        assert at.density(at.node_ids()) >= DENSE_DENSITY_THRESHOLD
+        assert select_backend(below) is SPARSE_BACKEND
+        assert select_backend(at) is DENSE_BACKEND
+
+    def test_csr_min_nodes_edge(self):
+        # Sparse ring on both sides of CSR_MIN_NODES: one node fewer
+        # flips csr -> sparse.
+        below = _matrix_with_entries(CSR_MIN_NODES - 1, CSR_MIN_NODES - 1)
+        at = _matrix_with_entries(CSR_MIN_NODES, CSR_MIN_NODES)
+        assert select_backend(below) is SPARSE_BACKEND
+        assert select_backend(at) is CSR_BACKEND
+
+    def test_large_dense_beats_csr_regime(self):
+        # density >= threshold wins before the csr_min_nodes check even
+        # for populations big enough for CSR.
+        matrix = _matrix_with_entries(CSR_MIN_NODES,
+                                      CSR_MIN_NODES * (CSR_MIN_NODES - 1)
+                                      * 3 // 10 + CSR_MIN_NODES)
+        assert matrix.density(matrix.node_ids()) >= DENSE_DENSITY_THRESHOLD
+        assert select_backend(matrix) is DENSE_BACKEND
+
+
+class TestStatsLockstep:
+    """select_backend_from_stats == select_backend, same matrix, always."""
+
+    def _shapes(self):
+        yield TrustMatrix()
+        solo = TrustMatrix()
+        solo.set("solo", "solo", 1.0)
+        yield solo
+        yield _matrix_with_entries(DENSE_MIN_NODES - 1,
+                                   (DENSE_MIN_NODES - 1) * 10)
+        yield _matrix_with_entries(DENSE_MIN_NODES, DENSE_MIN_NODES * 10)
+        yield _matrix_with_entries(41, 492)   # exactly at the threshold
+        yield _matrix_with_entries(41, 491)   # one entry below
+        yield _random_stochastic(100, 3)
+        yield _matrix_with_entries(CSR_MIN_NODES - 1, CSR_MIN_NODES - 1)
+        yield _matrix_with_entries(CSR_MIN_NODES, CSR_MIN_NODES)
+
+    def test_lockstep_across_shapes(self):
+        for matrix in self._shapes():
+            stats = MatrixStats.of(matrix)
+            assert select_backend_from_stats(stats) \
+                is select_backend(matrix), matrix
+
+    def test_stats_counters_match_scan(self):
+        matrix = _random_stochastic(50, 5, seed=11)
+        matrix.set("n000", "n000", 0.25)  # a diagonal entry
+        stats = MatrixStats.of(matrix)
+        ids = matrix.node_ids()
+        assert stats.nodes == len(ids)
+        assert stats.density() == matrix.density(ids)
+
+    def test_replace_row_folds_exactly(self):
+        matrix = _random_stochastic(30, 4, seed=12)
+        stats = MatrixStats.of(matrix)
+        # Replace a row and fold the delta; counters must match a rescan.
+        old_row = dict(matrix.row_view("n001"))
+        new_row = {"n002": 0.5, "n003": 0.5}
+        matrix.replace_row("n001", new_row)
+        stats.replace_row("n001", old_row, new_row)
+        rescan = MatrixStats.of(matrix)
+        assert (stats.nodes, stats.entries, stats.diagonal, stats.rows) \
+            == (rescan.nodes, rescan.entries, rescan.diagonal, rescan.rows)
+        # And clearing the row entirely releases every reference.
+        matrix.replace_row("n001", {})
+        stats.replace_row("n001", new_row, {})
+        rescan = MatrixStats.of(matrix)
+        assert (stats.nodes, stats.entries, stats.diagonal, stats.rows) \
+            == (rescan.nodes, rescan.entries, rescan.diagonal, rescan.rows)
+
+    def test_resolve_from_stats_spellings(self):
+        stats = MatrixStats()
+        assert resolve_backend_from_stats("sparse", stats) is SPARSE_BACKEND
+        assert resolve_backend_from_stats("dense", stats) is DENSE_BACKEND
+        assert resolve_backend_from_stats("csr", stats) is CSR_BACKEND
+        assert resolve_backend_from_stats("auto", stats) is SPARSE_BACKEND
+        with pytest.raises(ValueError, match="unknown matmul backend"):
+            resolve_backend_from_stats("blas", stats)

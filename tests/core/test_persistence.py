@@ -175,6 +175,76 @@ class TestV2Metadata:
             system_from_dict(data)
 
 
+class TestV3Sharding:
+    """Sharded systems stamp (and validate) shard-routing metadata."""
+
+    def _sharded_system(self):
+        config = ReputationConfig(shards=4)
+        system = MultiDimensionalReputationSystem(config)
+        system.record_vote("alice", "f1", 0.9, timestamp=1.0)
+        system.record_vote("bob", "f1", 0.8, timestamp=2.0)
+        system.record_download("alice", "bob", "f1", 5e8, timestamp=3.0)
+        system.record_rank("bob", "alice", 0.6)
+        return system
+
+    def test_unsharded_document_has_no_sharding_section(
+            self, populated_system):
+        assert "sharding" not in system_to_dict(populated_system)
+
+    def test_sharded_document_stamps_metadata(self):
+        data = system_to_dict(self._sharded_system())
+        sharding = data["sharding"]
+        assert sharding["shards"] == 4
+        assert sharding["hash"] == "blake2b64"
+        assert isinstance(sharding["assignment_digest"], str)
+
+    def test_sharded_round_trip(self):
+        system = self._sharded_system()
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.config.shards == 4
+        assert restored.pipeline.checksums() == system.pipeline.checksums()
+
+    def test_wrong_hash_algorithm_rejected(self):
+        data = system_to_dict(self._sharded_system())
+        data["sharding"]["hash"] = "crc32"
+        data["checksum"] = snapshot_checksum(data)
+        with pytest.raises(ValueError, match="crc32"):
+            system_from_dict(data)
+
+    def test_shard_count_disagreement_rejected(self):
+        data = system_to_dict(self._sharded_system())
+        data["sharding"]["shards"] = 8
+        data["checksum"] = snapshot_checksum(data)
+        with pytest.raises(ValueError, match="8 shard"):
+            system_from_dict(data)
+
+    def test_assignment_digest_mismatch_rejected(self):
+        data = system_to_dict(self._sharded_system())
+        data["sharding"]["assignment_digest"] = "0" * 64
+        data["checksum"] = snapshot_checksum(data)
+        with pytest.raises(ValueError, match="assignment digest"):
+            system_from_dict(data)
+
+    def test_malformed_sharding_section_rejected(self):
+        data = system_to_dict(self._sharded_system())
+        data["sharding"] = {"shards": "four"}
+        data["checksum"] = snapshot_checksum(data)
+        with pytest.raises(ValueError, match="'sharding'"):
+            system_from_dict(data)
+
+    def test_v2_document_without_shard_knobs_loads(self, populated_system):
+        # A pre-v3 document has neither the config knobs nor the section;
+        # it must default to the unsharded pipeline.
+        data = system_to_dict(populated_system)
+        data["format_version"] = 2
+        del data["config"]["shards"]
+        del data["config"]["shard_workers"]
+        data["checksum"] = snapshot_checksum(data)
+        restored = system_from_dict(data)
+        assert restored.config.shards == 1
+        assert restored.config.shard_workers == 1
+
+
 class TestPreciseErrors:
     """Rejections must name the offending field or section."""
 

@@ -1,0 +1,95 @@
+"""Unit tests for ShardPatchPool: bit-identity with the serial dict path.
+
+The pool's contract is stronger than "agrees to tolerance": every row it
+returns must be float-for-float identical to
+:func:`~repro.core.pipeline.combine_dimension_rows` on the same job — the
+worker replicates the dict path's exact IEEE-754 operation sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.core import TrustMatrix
+from repro.core.pipeline import combine_dimension_rows
+from repro.core.shard_workers import ShardPatchPool
+
+
+def _fragment(rows, cols, fill, seed):
+    rng = random.Random(seed)
+    matrix = TrustMatrix()
+    for i in rows:
+        for j in cols:
+            if rng.random() < fill:
+                matrix.set(i, j, rng.random())
+    return matrix
+
+
+def _job(shard, seed, n_rows=12, n_cols=15):
+    rows = sorted(f"s{shard}r{i}" for i in range(n_rows))
+    cols = [f"c{j}" for j in range(n_cols)]
+    dimensions = [
+        (0.5, _fragment(rows, cols, 0.4, seed)),
+        (0.3, _fragment(rows, cols, 0.2, seed + 1)),
+        (0.2, _fragment(rows, cols, 0.7, seed + 2)),
+    ]
+    return (shard, rows, dimensions)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    pool = ShardPatchPool(2)
+    yield pool
+    pool.close()
+
+
+class TestValidation:
+    def test_single_worker_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardPatchPool(1)
+
+    def test_empty_job_list(self, pool):
+        assert pool.gather_patches([]) == []
+
+
+class TestBitIdentity:
+    def test_matches_serial_combine_exactly(self, pool):
+        jobs = [_job(shard, seed=shard * 10) for shard in range(4)]
+        patches = pool.gather_patches(jobs)
+        for (shard, rows, dimensions), patch in zip(jobs, patches):
+            expected = combine_dimension_rows(dimensions, rows)
+            assert patch == expected, f"shard {shard}"
+
+    def test_results_in_submission_order(self, pool):
+        jobs = [_job(shard, seed=shard) for shard in (3, 0, 2)]
+        patches = pool.gather_patches(jobs)
+        for (shard, rows, _dims), patch in zip(jobs, patches):
+            assert sorted(patch) == rows, f"shard {shard}"
+
+    def test_job_with_all_empty_rows(self, pool):
+        # No entries anywhere: the no-shared-memory path must still return
+        # one (empty) row dict per requested row.
+        rows = ["a", "b", "c"]
+        dimensions = [(1.0, TrustMatrix())]
+        patches = pool.gather_patches([(0, rows, dimensions)])
+        assert patches == [{"a": {}, "b": {}, "c": {}}]
+
+    def test_zero_weight_dimensions(self, pool):
+        shard, rows, dimensions = _job(0, seed=99)
+        zeroed = [(0.0, matrix) for _weight, matrix in dimensions]
+        patches = pool.gather_patches([(shard, rows, zeroed)])
+        assert patches[0] == combine_dimension_rows(zeroed, rows)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_pool_recreates(self):
+        pool = ShardPatchPool(2)
+        try:
+            first = pool.gather_patches([_job(0, seed=1)])
+            pool.close()
+            pool.close()
+            # A closed pool lazily builds a fresh one on next use.
+            second = pool.gather_patches([_job(0, seed=1)])
+            assert first == second
+        finally:
+            pool.close()

@@ -1,0 +1,202 @@
+"""Unit tests for the shard-partitioned trust pipeline.
+
+The property suite (``tests/property/test_incremental_pipeline.py``) drives
+random interleavings; here we pin the deterministic surface — checksum
+identity against the monolith across shard counts, worker-pool identity
+against the serial sharded path, noop/invalidate semantics, the merged
+dimension accessors, and the MatrixStats ledger's exactness.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (MultiDimensionalReputationSystem, ReputationConfig,
+                        ShardedTrustPipeline, TrustMatrix)
+
+USERS = [f"u{i}" for i in range(12)]
+FILES = [f"f{i}" for i in range(20)]
+
+
+def _drive(system: MultiDimensionalReputationSystem, events: int = 150,
+           seed: int = 9, refresh_every: int = 20) -> None:
+    """A deterministic mixed workload touching every store."""
+    rng = random.Random(seed)
+    for step in range(events):
+        user = rng.choice(USERS)
+        peer = rng.choice([u for u in USERS if u != user])
+        file_id = rng.choice(FILES)
+        kind = step % 5
+        if kind == 0:
+            system.record_vote(user, file_id, rng.random(),
+                               timestamp=float(step))
+        elif kind == 1:
+            system.record_download(user, peer, file_id,
+                                   1e4 * (1 + rng.random()),
+                                   timestamp=float(step))
+        elif kind == 2:
+            system.record_retention(user, file_id, rng.random() * 1e4,
+                                    timestamp=float(step))
+        elif kind == 3:
+            system.record_rank(user, peer, rng.random())
+        else:
+            system.add_friend(user, peer)
+        if step % refresh_every == refresh_every - 1:
+            system.recompute()
+            system.refresh_view()
+    system.recompute()
+    system.refresh_view()
+
+
+def _system(**config_kwargs) -> MultiDimensionalReputationSystem:
+    config = ReputationConfig(**config_kwargs)
+    return MultiDimensionalReputationSystem(config, auto_refresh=False)
+
+
+@pytest.fixture(scope="module")
+def monolith():
+    system = _system()
+    _drive(system)
+    return system
+
+
+class TestChecksumIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_sharded_matches_monolith(self, shards, monolith):
+        system = _system(shards=shards)
+        _drive(system)
+        assert system.pipeline.checksums() == monolith.pipeline.checksums()
+        assert isinstance(system.pipeline, ShardedTrustPipeline) \
+            == (shards > 1)
+
+    @pytest.mark.parametrize("weights", [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0),
+                                         (0.0, 0.0, 1.0)])
+    def test_single_dimension_configs(self, weights):
+        alpha, beta, gamma = weights
+        flat = _system(alpha=alpha, beta=beta, gamma=gamma)
+        sharded = _system(alpha=alpha, beta=beta, gamma=gamma, shards=4)
+        _drive(flat, events=80)
+        _drive(sharded, events=80)
+        assert sharded.pipeline.checksums() == flat.pipeline.checksums()
+
+    def test_multitrust_steps_and_reputation_at(self, monolith):
+        flat = _system(multitrust_steps=3)
+        sharded = _system(multitrust_steps=3, shards=4)
+        _drive(flat, events=80)
+        _drive(sharded, events=80)
+        assert sharded.pipeline.checksums() == flat.pipeline.checksums()
+        for steps in (1, 2, 4):
+            assert sharded.pipeline.reputation_at(steps) \
+                == flat.pipeline.reputation_at(steps)
+
+
+class TestWorkerPoolIdentity:
+    def test_pool_matches_serial(self):
+        serial = _system(shards=4, shard_workers=1)
+        parallel = _system(shards=4, shard_workers=2)
+        try:
+            _drive(serial, events=100)
+            _drive(parallel, events=100)
+            assert parallel.pipeline.checksums() \
+                == serial.pipeline.checksums()
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_close_is_idempotent(self):
+        system = _system(shards=2, shard_workers=2)
+        _drive(system, events=30)
+        system.close()
+        system.close()
+
+
+class TestRefreshSemantics:
+    def test_noop_refresh_returns_identity(self):
+        system = _system(shards=4)
+        _drive(system, events=40)
+        pipeline = system.pipeline
+        version = pipeline.version
+        before = pipeline.view()
+        after = pipeline.refresh()
+        assert after.trust is before.trust
+        assert after.reputation is before.reputation
+        assert pipeline.version == version
+
+    def test_invalidate_forces_full_rebuild(self):
+        system = _system(shards=4)
+        _drive(system, events=60)
+        pipeline = system.pipeline
+        checksums = pipeline.checksums()
+        pipeline.invalidate()
+        assert pipeline.has_dirty
+        pipeline.refresh()
+        assert pipeline.last_stats is not None
+        assert pipeline.last_stats.mode == "full"
+        assert pipeline.checksums() == checksums
+
+    def test_first_refresh_is_full(self):
+        system = _system(shards=2)
+        system.record_vote("u0", "f0", 0.8, timestamp=0.0)
+        system.recompute()
+        system.refresh_view()
+        assert system.pipeline.last_stats.mode == "full"
+
+    def test_version_increments_on_real_refreshes(self):
+        system = _system(shards=2)
+        pipeline = system.pipeline
+        assert pipeline.version == 0
+        system.record_vote("u0", "f0", 0.5, timestamp=0.0)
+        system.recompute()
+        system.refresh_view()
+        assert pipeline.version == 1
+        system.record_vote("u1", "f0", 0.7, timestamp=1.0)
+        system.recompute()
+        system.refresh_view()
+        assert pipeline.version == 2
+
+
+class TestMergedAccessors:
+    def test_dimension_matrices_match_monolith(self, monolith):
+        system = _system(shards=4)
+        _drive(system)
+        sharded_dims = system.pipeline.dimension_matrices()
+        flat_dims = monolith.pipeline.dimension_matrices()
+        assert set(sharded_dims) == {"file", "volume", "user"}
+        for name in ("file", "volume", "user"):
+            assert sharded_dims[name] == flat_dims[name], name
+
+    def test_dimension_matrices_before_any_refresh(self):
+        system = _system(shards=4)
+        dims = system.pipeline.dimension_matrices()
+        for matrix in dims.values():
+            assert isinstance(matrix, TrustMatrix)
+            assert matrix.row_ids() == []
+
+
+class TestStatsLedger:
+    def test_stats_exact_after_incremental_refreshes(self):
+        # _verify_stats raises ContractViolation if the incrementally
+        # folded counters drift from an O(entries) rescan of TM; calling
+        # it directly keeps the check active without REPRO_CHECK_INVARIANTS.
+        system = _system(shards=4)
+        rng = random.Random(3)
+        pipeline = system.pipeline
+        for step in range(60):
+            user = rng.choice(USERS)
+            system.record_vote(user, rng.choice(FILES), rng.random(),
+                               timestamp=float(step))
+            if step % 10 == 9:
+                system.recompute()
+                system.refresh_view()
+                pipeline._verify_stats()
+        system.recompute()
+        system.refresh_view()
+        pipeline._verify_stats()
+
+    def test_last_stats_counts_rows(self):
+        system = _system(shards=4)
+        _drive(system, events=50)
+        stats = system.pipeline.last_stats
+        assert stats is not None
+        assert stats.total_rows == len(system.pipeline.trust.row_ids())
+        assert stats.rows_rebuilt >= 0

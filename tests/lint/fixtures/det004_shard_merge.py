@@ -1,0 +1,41 @@
+# lint-path: src/repro/core/shard_merge_fixture.py
+"""DET004 fixture: unordered iteration inside shard merge/gather paths.
+
+The virtual path lives in ``core`` with ``shard`` in the filename, so both
+DET002 (set-only, whole file) and DET004 (sets *and* dict views, merge/
+gather functions only) apply; lines flagged by both carry both ids.
+"""
+
+
+def merge_fragments(fragments, patches):
+    for shard, fragment in fragments.items():       # expect[DET004]
+        print(shard, fragment)
+    for patch in patches.values():                  # expect[DET004]
+        print(patch)
+    for shard in fragments.keys():                  # expect[DET002, DET004]
+        print(shard)
+    for shard in set(fragments):                    # expect[DET002, DET004]
+        print(shard)
+    touched = {row for patch in patches for row in patch}
+    for row in touched:                             # expect[DET002, DET004]
+        print(row)
+
+
+def gather_rows(jobs):
+    return [row for job in jobs for row in job.rows.items()]  # expect[DET004]
+
+
+def exchange_pinned(fragments, patches):
+    for shard, fragment in sorted(fragments.items()):
+        print(shard, fragment)
+    for shard in sorted(patches):
+        print(shard)
+    rows = [patch for patch in patches]  # list iteration: order is explicit
+    return rows
+
+
+def apply_patch(patches):
+    # Not a merge/gather function: dict-view iteration is DET004-exempt
+    # (DET002 still polices sets and bare .keys()).
+    for patch in patches.values():
+        print(patch)
